@@ -1,0 +1,64 @@
+// Ablation of the model-space preconditioner (paper section 4: "In all the
+// calculations a model space is selected to improve the convergence.
+// Inside the model space the exact Hamiltonian is used to compute the
+// correction vector; outside the model space the diagonal elements are
+// used.")
+//
+// Sweeps the model-space size for each diagonalization method on the
+// multireference CN+ system; size 1 is the plain Davidson diagonal
+// preconditioner.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fci/fci.hpp"
+#include "systems/standard_systems.hpp"
+
+namespace xs = xfci::systems;
+namespace xf = xfci::fci;
+using namespace xfci::bench;
+
+namespace {
+
+std::string iterations_for(const xs::PreparedSystem& sys, xf::Method m,
+                           std::size_t model) {
+  xf::FciOptions opt;
+  opt.solver.method = m;
+  opt.solver.model_space = model;
+  opt.solver.energy_tolerance = 1e-10;
+  opt.solver.residual_tolerance = 1e-5;
+  opt.solver.max_iterations = 80;
+  const auto res = xf::run_fci(sys.tables, sys.nalpha, sys.nbeta, 0, opt);
+  return res.solve.converged ? std::to_string(res.solve.iterations) : "NC";
+}
+
+}  // namespace
+
+int main() {
+  xs::SpaceOptions o;
+  o.basis = "sto-3g";
+  o.freeze_core = 2;
+  const auto sys = xs::cn_cation(o);
+  std::printf(
+      "Model-space preconditioner ablation: CN+ FCI(%zu,%zu), convergence\n"
+      "1e-10 Eh, iterations to convergence vs model-space size.\n\n",
+      sys.nalpha + sys.nbeta, sys.tables.norb);
+
+  print_row({"model size", "Subspace", "Olsen(0.7)", "Auto", "Davidson"},
+            14);
+  print_rule(5, 14);
+  for (const std::size_t model : {1u, 4u, 16u, 60u, 200u}) {
+    print_row({std::to_string(model),
+               iterations_for(sys, xf::Method::kSubspace2, model),
+               iterations_for(sys, xf::Method::kModifiedOlsen, model),
+               iterations_for(sys, xf::Method::kAutoAdjusted, model),
+               iterations_for(sys, xf::Method::kDavidson, model)},
+              14);
+  }
+  std::printf(
+      "\nExpected: a larger exact block accelerates the subspace, auto and\n"
+      "Davidson methods markedly on this multireference system.  The\n"
+      "fixed-step Olsen update stays unreliable at any model size --\n"
+      "consistent with its NC entry in Table 2.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Fig. 5: parallel speedup of the full DGEMM-based FCI
+// iteration for the oxygen anion ground state.
+//
+// Paper: O- / aug-cc-pVQZ, 14.85e9 determinants, 128 -> 256 MSPs, almost
+// perfect speedup; same-spin ~9.6 GF/MSP, mixed-spin 8.5-8.1 GF/MSP.
+// Here: O- in the x-dz basis truncated to 13 active orbitals, 16 -> 256
+// simulated MSPs; speedups are normalized to the 16-MSP run.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "fci_parallel/parallel_fci.hpp"
+#include "systems/standard_systems.hpp"
+
+namespace xs = xfci::systems;
+namespace xf = xfci::fci;
+namespace fcp = xfci::fcp;
+using namespace xfci::bench;
+
+int main() {
+  xs::SpaceOptions o;
+  o.basis = "x-dzp";
+  o.max_orbitals = 17;
+  o.use_symmetry = false;  // unblocked: large DGEMM operands (EXPERIMENTS.md)
+  auto sys = xs::oxygen_anion(o);
+  sys.ground_irrep = xs::scf_determinant_irrep(sys);
+
+  const xf::CiSpace space(sys.tables.norb, sys.nalpha, sys.nbeta,
+                          sys.tables.group, sys.tables.orbital_irreps,
+                          sys.ground_irrep);
+  const xf::SigmaContext ctx(space, sys.tables);
+  std::printf(
+      "Fig. 5: parallel speedup of the DGEMM FCI sigma, O- anion\n"
+      "CI dimension %zu, irrep %s\n\n",
+      space.dimension(),
+      sys.tables.group.irrep_name(sys.ground_irrep).c_str());
+
+  xfci::Rng rng(4);
+  const auto c = rng.signed_vector(space.dimension());
+
+  print_row({"MSPs", "t/sigma", "speedup", "ideal", "efficiency",
+             "GF/MSP"});
+  print_rule(6);
+  double t16 = 0.0;
+  for (std::size_t p : {16, 32, 64, 128, 256}) {
+    fcp::ParallelOptions opt;
+    opt.num_ranks = p;
+    // Overheads scaled with the problem size (EXPERIMENTS.md).
+    opt.cost = opt.cost.with_overhead_scale(0.02);
+    fcp::ParallelSigma op(ctx, opt);
+    std::vector<double> s(c.size());
+    op.apply(c, s);
+    const double t = op.breakdown().total;
+    if (p == 16) t16 = t;
+    double flops = 0.0;
+    for (std::size_t r = 0; r < p; ++r) flops += op.machine().flops(r);
+    const double gf = flops / static_cast<double>(p) / t / 1e9;
+    const double speedup = 16.0 * t16 / t;
+    print_row({std::to_string(p), fmt_seconds(t), fmt(speedup, "%.1f"),
+               std::to_string(p), fmt(speedup / static_cast<double>(p), "%.2f"),
+               fmt(gf, "%.2f")});
+  }
+  std::printf(
+      "\nShape check (paper): near-perfect speedup 128 -> 256 MSPs;\n"
+      "sustained 8-10 GF/MSP (62-80%% of the 12.8 GF/MSP peak).\n");
+  return 0;
+}

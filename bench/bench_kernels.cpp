@@ -1,0 +1,137 @@
+// Native kernel microbenchmarks (google-benchmark): the DGEMM vs DAXPY vs
+// indexed gather/scatter rates that motivate the paper's algorithm
+// (section 2.1), plus the sigma building blocks.  These are real wall-clock
+// measurements on this host, not simulated X1 numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fci/fci.hpp"
+#include "integrals/boys.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/kernels.hpp"
+#include "systems/standard_systems.hpp"
+
+namespace xl = xfci::linalg;
+namespace xf = xfci::fci;
+namespace xs = xfci::systems;
+
+static void BM_Dgemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n * n, 1.01), b(n * n, 0.99), c(n * n);
+  for (auto _ : state) {
+    xl::gemm(false, false, n, n, n, 1.0, a.data(), n, b.data(), n, 0.0,
+             c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GF/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n * n * n) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dgemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+static void BM_Daxpy(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n, 1.1), y(n, 0.2);
+  for (auto _ : state) {
+    xl::daxpy_n(n, 1.000001, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GF/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Daxpy)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 22);
+
+static void BM_IndexedScatter(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  xfci::Rng rng(3);
+  std::vector<double> in(n), alpha(n), out(2 * n, 0.0);
+  std::vector<std::uint32_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = rng.uniform(-1, 1);
+    alpha[i] = rng.uniform(-1, 1);
+    idx[i] = static_cast<std::uint32_t>(rng.index(2 * n));
+  }
+  for (auto _ : state) {
+    xl::scatter_axpy(in, idx, alpha, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["Mops/s"] = benchmark::Counter(
+      static_cast<double>(n) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IndexedScatter)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_Boys(benchmark::State& state) {
+  std::vector<double> f(12);
+  double x = 0.0;
+  for (auto _ : state) {
+    xfci::integrals::boys(x, f);
+    benchmark::DoNotOptimize(f.data());
+    x += 0.1;
+    if (x > 60.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_Boys);
+
+namespace {
+const xs::PreparedSystem& bench_system() {
+  static const xs::PreparedSystem sys = [] {
+    xs::SpaceOptions o;
+    o.basis = "x-dz";
+    o.freeze_core = 1;
+    o.max_orbitals = 12;
+    return xs::oxygen_atom(o);
+  }();
+  return sys;
+}
+}  // namespace
+
+static void BM_SigmaDgemm(benchmark::State& state) {
+  const auto& sys = bench_system();
+  const xf::CiSpace space(sys.tables.norb, sys.nalpha, sys.nbeta,
+                          sys.tables.group, sys.tables.orbital_irreps, 0);
+  const xf::SigmaContext ctx(space, sys.tables);
+  xf::SigmaDgemm op(ctx);
+  xfci::Rng rng(5);
+  const auto c = rng.signed_vector(space.dimension());
+  std::vector<double> s(c.size());
+  for (auto _ : state) {
+    op.apply(c, s);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.counters["dets"] = static_cast<double>(space.dimension());
+}
+BENCHMARK(BM_SigmaDgemm);
+
+static void BM_SigmaMoc(benchmark::State& state) {
+  const auto& sys = bench_system();
+  const xf::CiSpace space(sys.tables.norb, sys.nalpha, sys.nbeta,
+                          sys.tables.group, sys.tables.orbital_irreps, 0);
+  const xf::SigmaContext ctx(space, sys.tables);
+  xf::SigmaMoc op(ctx);
+  xfci::Rng rng(5);
+  const auto c = rng.signed_vector(space.dimension());
+  std::vector<double> s(c.size());
+  for (auto _ : state) {
+    op.apply(c, s);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_SigmaMoc);
+
+static void BM_SigmaContextBuild(benchmark::State& state) {
+  const auto& sys = bench_system();
+  const xf::CiSpace space(sys.tables.norb, sys.nalpha, sys.nbeta,
+                          sys.tables.group, sys.tables.orbital_irreps, 0);
+  for (auto _ : state) {
+    xf::SigmaContext ctx(space, sys.tables);
+    benchmark::DoNotOptimize(&ctx);
+  }
+}
+BENCHMARK(BM_SigmaContextBuild);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#pragma once
+// Small shared helpers for the benchmark executables: aligned table
+// printing and duration formatting.  Each bench binary regenerates one
+// table or figure of the paper (see DESIGN.md section 4) and prints both
+// the measured values and the paper's reported shape for comparison.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace xfci::bench {
+
+/// Prints a row of fixed-width cells.
+inline void print_row(const std::vector<std::string>& cells,
+                      int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline void print_rule(std::size_t cells, int width = 14) {
+  for (std::size_t i = 0; i < cells * static_cast<std::size_t>(width); ++i)
+    std::printf("-");
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, const char* spec = "%.3g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+inline std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s < 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  else if (s < 1.0)
+    std::snprintf(buf, sizeof(buf), "%.1f ms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  return buf;
+}
+
+}  // namespace xfci::bench

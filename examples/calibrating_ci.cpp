@@ -1,0 +1,76 @@
+// "Calibrating quantum chemistry": the paper's title is the point of this
+// example.  FCI is the exact answer in a basis; truncated CI methods are
+// what production codes actually run.  With both in one library we can
+// measure exactly what each truncation misses -- the calibration role the
+// paper's introduction assigns to FCI.
+//
+// Part 1: the CI hierarchy on water -- correlation energy recovered per
+//         excitation level.
+// Part 2: the classic size-consistency failure -- CISD of two far-apart H2
+//         molecules vs twice CISD of one.
+
+#include <cmath>
+#include <cstdio>
+
+#include "fci/fci.hpp"
+#include "fci/selected_ci.hpp"
+#include "integrals/basis.hpp"
+#include "scf/scf.hpp"
+#include "systems/standard_systems.hpp"
+
+namespace xf = xfci::fci;
+namespace xs = xfci::systems;
+
+int main() {
+  // ---- Part 1: the hierarchy ---------------------------------------------
+  const auto sys = xs::water({});
+  const double e_hf = sys.scf_energy;
+  const double e_fci = xf::run_fci(sys.tables, 5, 5, 0).solve.energy;
+  const double e_corr = e_fci - e_hf;
+
+  std::printf("H2O / STO-3G:  E(HF) = %.6f,  E(FCI) = %.6f,  "
+              "E(corr) = %.6f Eh\n\n",
+              e_hf, e_fci, e_corr);
+  std::printf("%-8s %10s %14s %16s %12s\n", "method", "dets", "E / Eh",
+              "error vs FCI", "% corr");
+  std::printf("%-8s %10s %14.6f %16.6f %11.1f%%\n", "HF", "1", e_hf,
+              e_hf - e_fci, 0.0);
+  const char* names[] = {"CIS", "CISD", "CISDT", "CISDTQ", "CISDTQ5",
+                         "CISDTQ56"};
+  for (std::size_t level = 1; level <= 6; ++level) {
+    const auto res = xf::run_truncated_ci(sys.tables, 5, 5, 0, level, 1e-7);
+    std::printf("%-8s %10zu %14.6f %16.6f %11.1f%%\n", names[level - 1],
+                res.dimension, res.energy, res.energy - e_fci,
+                100.0 * (res.energy - e_hf) / e_corr);
+  }
+  const xf::CiSpace full(sys.tables.norb, 5, 5, sys.tables.group,
+                         sys.tables.orbital_irreps, 0);
+  std::printf("%-8s %10zu %14.6f %16.6f %11.1f%%\n", "FCI", full.dimension(),
+              e_fci, 0.0, 100.0);
+
+  // ---- Part 2: size consistency ------------------------------------------
+  std::printf("\nSize consistency (two H2 molecules, 60 bohr apart):\n");
+  const auto one = xs::h2(1.4, {});
+  const double e1 = xf::run_fci(one.tables, 1, 1, 0).solve.energy;
+
+  const auto dimer_mol = xfci::chem::Molecule::from_xyz_bohr(
+      "H 0 0 -0.7\nH 0 0 0.7\nH 0.3 0 59.3\nH 0.3 0 60.7\n");
+  const auto dimer_basis =
+      xfci::integrals::BasisSet::build("sto-3g", dimer_mol);
+  const auto dimer = xfci::scf::prepare_mo_system(dimer_mol, dimer_basis, 1);
+  const double e2_fci = xf::run_fci(dimer.tables, 2, 2, 0).solve.energy;
+  const auto e2_cisd =
+      xf::run_truncated_ci(dimer.tables, 2, 2, 0, 2, 1e-7).energy;
+
+  std::printf("  2 x E(FCI, H2)        = %14.8f Eh\n", 2.0 * e1);
+  std::printf("  E(FCI,  H2...H2)      = %14.8f Eh   (error %9.2e)\n",
+              e2_fci, e2_fci - 2.0 * e1);
+  std::printf("  E(CISD, H2...H2)      = %14.8f Eh   (error %9.2e)\n",
+              e2_cisd, e2_cisd - 2.0 * e1);
+  std::printf(
+      "\nFCI is size-consistent to round-off; CISD misses the simultaneous\n"
+      "double excitation on both monomers and lands ~%.0f mEh high -- the\n"
+      "kind of systematic error FCI benchmarks exist to expose.\n",
+      (e2_cisd - 2.0 * e1) * 1e3);
+  return 0;
+}

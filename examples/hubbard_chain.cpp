@@ -1,0 +1,53 @@
+// Half-filled Hubbard chains with the FCI machinery: correlation crossover
+// from the free-electron limit to the Mott (Heisenberg) limit.
+//
+// Everything the library does for molecules works unchanged on lattice
+// models: the U/t sweep below tracks the ground-state energy per site, the
+// double occupancy <n_up n_dn> from the 2-RDM diagonal, and the spin gap
+// E(S=1) - E(S=0).
+
+#include <cstdio>
+
+#include "fci/fci.hpp"
+#include "fci/rdm.hpp"
+#include "systems/model_systems.hpp"
+
+namespace xf = xfci::fci;
+namespace xs = xfci::systems;
+
+int main() {
+  const std::size_t sites = 8;
+  const std::size_t nup = 4, ndn = 4;
+  std::printf("Half-filled %zu-site Hubbard ring, FCI\n\n", sites);
+  std::printf("%8s %14s %14s %14s\n", "U/t", "E0/site", "<n.up n.dn>",
+              "spin gap");
+
+  for (const double u : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const auto tables = xs::hubbard_chain(sites, 1.0, u, /*periodic=*/true);
+
+    xf::FciOptions opt;
+    opt.solver.residual_tolerance = 1e-6;
+    opt.solver.max_iterations = 300;
+    const auto gs = xf::run_fci(tables, nup, ndn, 0, opt);
+
+    // Double occupancy from the symmetrized 2-RDM: d = <n_up n_dn> per
+    // site = Gamma_iiii / 2 averaged over sites.
+    const xf::CiSpace space(sites, nup, ndn, tables.group,
+                            tables.orbital_irreps, 0);
+    const auto g2 = xf::two_rdm(space, tables, gs.solve.vector);
+    double docc = 0.0;
+    for (std::size_t i = 0; i < sites; ++i) docc += g2(i, i, i, i) / 2.0;
+    docc /= static_cast<double>(sites);
+
+    // Spin gap: lowest Ms = 1 state (S >= 1) minus the singlet.
+    const auto tr = xf::run_fci(tables, nup + 1, ndn - 1, 0, opt);
+    std::printf("%8.1f %14.6f %14.6f %14.6f\n", u,
+                gs.solve.energy / static_cast<double>(sites), docc,
+                tr.solve.energy - gs.solve.energy);
+  }
+  std::printf(
+      "\nExpected physics: double occupancy falls from the uncorrelated\n"
+      "1/4 toward 0 (Mott localization); the energy per site rises toward\n"
+      "the Heisenberg value; the spin gap collapses as U grows.\n");
+  return 0;
+}

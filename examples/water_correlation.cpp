@@ -1,0 +1,55 @@
+// Water FCI: correlation energy, leading determinants, and excited states
+// per irrep -- a tour of the serial API on the classic test molecule.
+
+#include <cstdio>
+#include <algorithm>
+#include <vector>
+
+#include "fci/fci.hpp"
+#include "fci/slater_condon.hpp"
+#include "systems/standard_systems.hpp"
+
+namespace xs = xfci::systems;
+namespace xf = xfci::fci;
+
+int main() {
+  const auto sys = xs::water({});  // STO-3G water, C2v
+  std::printf("H2O / %s, point group %s, E(RHF) = %.8f Eh\n",
+              sys.tables.norb > 7 ? "x-dz" : "sto-3g",
+              sys.tables.group.name().c_str(), sys.scf_energy);
+
+  // Ground state.
+  const auto res = xf::run_fci(sys.tables, sys.nalpha, sys.nbeta, 0);
+  std::printf("E(FCI)  = %.8f Eh (%zu determinants, %zu iterations)\n",
+              res.solve.energy, res.dimension, res.solve.iterations);
+  std::printf("E(corr) = %.6f Eh, <S^2> = %.2e\n",
+              res.solve.energy - sys.scf_energy, res.s_squared);
+
+  // The leading determinants of the wavefunction.
+  const xf::CiSpace space(sys.tables.norb, sys.nalpha, sys.nbeta,
+                          sys.tables.group, sys.tables.orbital_irreps, 0);
+  std::vector<std::size_t> order(space.dimension());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(res.solve.vector[a]) > std::abs(res.solve.vector[b]);
+  });
+  std::printf("\nLeading determinants (alpha/beta occupation masks):\n");
+  for (std::size_t k = 0; k < 5; ++k) {
+    const auto det = xf::determinant_at(space, order[k]);
+    std::printf("  c = %+9.6f   alpha %03lx   beta %03lx\n",
+                res.solve.vector[order[k]],
+                static_cast<unsigned long>(det.alpha),
+                static_cast<unsigned long>(det.beta));
+  }
+
+  // Lowest state of every spatial symmetry (vertical excitations).
+  std::printf("\nLowest state per irrep:\n");
+  for (std::size_t h = 0; h < sys.tables.group.num_irreps(); ++h) {
+    const auto ex = xf::run_fci(sys.tables, sys.nalpha, sys.nbeta, h);
+    std::printf("  %-4s  E = %.6f Eh   dE = %6.2f eV   <S^2> = %.2f\n",
+                sys.tables.group.irrep_name(h).c_str(), ex.solve.energy,
+                (ex.solve.energy - res.solve.energy) * 27.211386,
+                ex.s_squared);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "chem/elements.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace xfci::chem {
+namespace {
+
+constexpr std::array<const char*, kMaxSupportedZ + 1> kSymbols = {
+    "X",  "H",  "He", "Li", "Be", "B",  "C",  "N",  "O", "F",
+    "Ne", "Na", "Mg", "Al", "Si", "P",  "S",  "Cl", "Ar"};
+
+std::string normalize(const std::string& s) {
+  XFCI_REQUIRE(!s.empty(), "empty element symbol");
+  std::string out;
+  out += static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  for (std::size_t i = 1; i < s.size(); ++i)
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(s[i])));
+  return out;
+}
+
+}  // namespace
+
+int atomic_number(const std::string& symbol) {
+  const std::string s = normalize(symbol);
+  for (int z = 1; z <= kMaxSupportedZ; ++z)
+    if (s == kSymbols[static_cast<std::size_t>(z)]) return z;
+  XFCI_REQUIRE(false, "unknown element symbol: " + symbol);
+  return 0;  // unreachable
+}
+
+std::string element_symbol(int z) {
+  XFCI_REQUIRE(z >= 1 && z <= kMaxSupportedZ, "atomic number out of range");
+  return kSymbols[static_cast<std::size_t>(z)];
+}
+
+}  // namespace xfci::chem

@@ -1,0 +1,19 @@
+#pragma once
+// Periodic-table data for the elements supported by the built-in basis
+// library (H through Ne covers every molecule in the paper's evaluation).
+
+#include <string>
+
+namespace xfci::chem {
+
+/// Atomic number for an element symbol ("H", "He", ..., case-insensitive
+/// first letter capitalization is normalized).  Throws on unknown symbols.
+int atomic_number(const std::string& symbol);
+
+/// Element symbol for an atomic number.  Throws if out of supported range.
+std::string element_symbol(int z);
+
+/// Largest atomic number with built-in data.
+constexpr int kMaxSupportedZ = 18;
+
+}  // namespace xfci::chem

@@ -1,0 +1,59 @@
+#include "chem/molecule.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "chem/elements.hpp"
+#include "common/error.hpp"
+
+namespace xfci::chem {
+
+Molecule Molecule::from_xyz_bohr(const std::string& text, int charge) {
+  std::vector<Atom> atoms;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string sym;
+    double x, y, z;
+    if (!(ls >> sym)) continue;  // blank line
+    XFCI_REQUIRE(static_cast<bool>(ls >> x >> y >> z),
+                 "malformed xyz line: " + line);
+    atoms.push_back(Atom{atomic_number(sym), {x, y, z}});
+  }
+  XFCI_REQUIRE(!atoms.empty(), "molecule has no atoms");
+  return Molecule(std::move(atoms), charge);
+}
+
+Molecule Molecule::from_xyz_angstrom(const std::string& text, int charge) {
+  Molecule m = from_xyz_bohr(text, charge);
+  for (auto& a : m.atoms_)
+    for (auto& c : a.xyz) c *= kAngstromToBohr;
+  return m;
+}
+
+int Molecule::num_electrons() const {
+  int n = -charge_;
+  for (const auto& a : atoms_) n += a.z;
+  XFCI_REQUIRE(n >= 0, "negative electron count");
+  return n;
+}
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      const auto& a = atoms_[i].xyz;
+      const auto& b = atoms_[j].xyz;
+      const double dx = a[0] - b[0];
+      const double dy = a[1] - b[1];
+      const double dz = a[2] - b[2];
+      const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+      XFCI_REQUIRE(r > 1e-8, "coincident nuclei");
+      e += atoms_[i].z * atoms_[j].z / r;
+    }
+  }
+  return e;
+}
+
+}  // namespace xfci::chem

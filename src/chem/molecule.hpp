@@ -1,0 +1,48 @@
+#pragma once
+// Molecular geometry: a list of nuclei with charges and positions (bohr).
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace xfci::chem {
+
+/// One nucleus.
+struct Atom {
+  int z = 0;                            ///< atomic number
+  std::array<double, 3> xyz = {0, 0, 0};  ///< position in bohr
+};
+
+/// A molecule: nuclei plus net charge.  Electron counts are derived from
+/// the nuclear charges and the net charge; the spin multiplicity is chosen
+/// by the SCF / FCI drivers.
+class Molecule {
+ public:
+  Molecule() = default;
+  Molecule(std::vector<Atom> atoms, int charge = 0)
+      : atoms_(std::move(atoms)), charge_(charge) {}
+
+  /// Builds a molecule from "symbol x y z" lines, coordinates in bohr.
+  static Molecule from_xyz_bohr(const std::string& text, int charge = 0);
+
+  /// Same, coordinates in angstrom (converted to bohr).
+  static Molecule from_xyz_angstrom(const std::string& text, int charge = 0);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  int charge() const { return charge_; }
+
+  /// Total number of electrons (sum of Z minus net charge).
+  int num_electrons() const;
+
+  /// Nuclear repulsion energy in hartree.
+  double nuclear_repulsion() const;
+
+  /// Bohr per angstrom (CODATA).
+  static constexpr double kAngstromToBohr = 1.8897261254578281;
+
+ private:
+  std::vector<Atom> atoms_;
+  int charge_ = 0;
+};
+
+}  // namespace xfci::chem

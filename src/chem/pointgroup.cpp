@@ -1,0 +1,279 @@
+#include "chem/pointgroup.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace xfci::chem {
+namespace {
+
+// Character of the (Z_2)^3 irrep labelled w on operation mask m.
+int chi(std::uint8_t w, std::uint8_t m) {
+  return (std::popcount(static_cast<unsigned>(w & m)) % 2 == 0) ? 1 : -1;
+}
+
+constexpr std::uint8_t kE = 0, kSyz = 1, kSxz = 2, kC2z = 3, kSxy = 4,
+                       kC2y = 5, kC2x = 6, kI = 7;
+
+// Mulliken labels for the full-D2h irrep labels w (see header encoding).
+const char* d2h_name(std::uint8_t w) {
+  switch (w) {
+    case 0: return "Ag";
+    case 1: return "B3u";
+    case 2: return "B2u";
+    case 3: return "B1g";
+    case 4: return "B1u";
+    case 5: return "B2g";
+    case 6: return "B3g";
+    case 7: return "Au";
+  }
+  return "?";
+}
+
+// Returns true if op maps every atom of m onto an identical atom.
+bool preserves(const Molecule& mol, SymOp op, double tol) {
+  for (const auto& a : mol.atoms()) {
+    const auto p = op.apply(a.xyz);
+    bool found = false;
+    for (const auto& b : mol.atoms()) {
+      if (b.z != a.z) continue;
+      const double d = std::abs(p[0] - b.xyz[0]) + std::abs(p[1] - b.xyz[1]) +
+                       std::abs(p[2] - b.xyz[2]);
+      if (d < tol) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SymOp::name() const {
+  switch (mask) {
+    case kE: return "E";
+    case kSyz: return "s_yz";
+    case kSxz: return "s_xz";
+    case kC2z: return "C2z";
+    case kSxy: return "s_xy";
+    case kC2y: return "C2y";
+    case kC2x: return "C2x";
+    case kI: return "i";
+  }
+  return "?";
+}
+
+PointGroup PointGroup::from_masks(std::string name,
+                                  std::vector<std::uint8_t> masks) {
+  // Verify closure under composition (XOR) and that E is present.
+  XFCI_REQUIRE(std::find(masks.begin(), masks.end(), kE) != masks.end(),
+               "group must contain the identity");
+  for (auto a : masks)
+    for (auto b : masks)
+      XFCI_REQUIRE(std::find(masks.begin(), masks.end(),
+                             static_cast<std::uint8_t>(a ^ b)) != masks.end(),
+                   "operation set not closed under composition");
+
+  PointGroup g;
+  g.name_ = std::move(name);
+  for (auto m : masks) g.ops_.push_back(SymOp{m});
+
+  // Distinct irreps: characters of w = 0..7 restricted to the subgroup,
+  // deduplicated keeping the smallest representative w.  w = 0 (totally
+  // symmetric) always sorts first.
+  std::vector<std::uint8_t> reps;
+  for (std::uint8_t w = 0; w < 8; ++w) {
+    bool dup = false;
+    for (auto r : reps) {
+      bool same = true;
+      for (auto m : masks)
+        if (chi(w, m) != chi(r, m)) {
+          same = false;
+          break;
+        }
+      if (same) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) reps.push_back(w);
+  }
+  XFCI_ASSERT(reps.size() == masks.size(),
+              "irrep count must equal group order");
+
+  const std::size_t nh = reps.size();
+  g.chars_.resize(nh * masks.size());
+  for (std::size_t h = 0; h < nh; ++h)
+    for (std::size_t o = 0; o < masks.size(); ++o)
+      g.chars_[h * masks.size() + o] = chi(reps[h], masks[o]);
+
+  // Irrep names.  For D2h the canonical Mulliken labels apply directly to
+  // the representatives; for subgroups we derive labels from characters.
+  const bool has_i = std::find(masks.begin(), masks.end(), kI) != masks.end();
+  for (std::size_t h = 0; h < nh; ++h) {
+    const std::uint8_t w = reps[h];
+    std::string label;
+    if (g.name_ == "D2h") {
+      label = d2h_name(w);
+    } else if (g.name_ == "C1") {
+      label = "A";
+    } else if (g.name_ == "Ci") {
+      label = (chi(w, kI) == 1) ? "Ag" : "Au";
+    } else if (g.name_ == "Cs") {
+      // Mirror is whichever reflection the group contains.
+      std::uint8_t s = kSxy;
+      for (auto m : masks)
+        if (m == kSxy || m == kSxz || m == kSyz) s = m;
+      label = (chi(w, s) == 1) ? "A'" : "A''";
+    } else if (g.name_ == "C2") {
+      std::uint8_t c = kC2z;
+      for (auto m : masks)
+        if (m == kC2z || m == kC2y || m == kC2x) c = m;
+      label = (chi(w, c) == 1) ? "A" : "B";
+    } else if (g.name_ == "C2v") {
+      // Ops: E, C2z, s_xz, s_yz.  A1/A2 by C2; 1/2 by s_xz.
+      const int cc = chi(w, kC2z);
+      const int cs = chi(w, kSxz);
+      if (cc == 1)
+        label = (cs == 1) ? "A1" : "A2";
+      else
+        label = (cs == 1) ? "B1" : "B2";
+    } else if (g.name_ == "C2h") {
+      const int cc = chi(w, kC2z);
+      const int ci = chi(w, kI);
+      if (cc == 1)
+        label = (ci == 1) ? "Ag" : "Au";
+      else
+        label = (ci == 1) ? "Bg" : "Bu";
+    } else if (g.name_ == "D2") {
+      if (chi(w, kC2z) == 1 && chi(w, kC2y) == 1)
+        label = "A";
+      else if (chi(w, kC2z) == 1)
+        label = "B1";
+      else if (chi(w, kC2y) == 1)
+        label = "B2";
+      else
+        label = "B3";
+    } else {
+      // Generic fallback: representative index with g/u when i is present.
+      label = "G" + std::to_string(h);
+      if (has_i) label += (chi(w, kI) == 1) ? "g" : "u";
+    }
+    g.irrep_names_.push_back(label);
+  }
+
+  // Product table via character multiplication.
+  g.product_.resize(nh * nh);
+  for (std::size_t a = 0; a < nh; ++a) {
+    for (std::size_t b = 0; b < nh; ++b) {
+      std::vector<int> prod(masks.size());
+      for (std::size_t o = 0; o < masks.size(); ++o)
+        prod[o] = g.chars_[a * masks.size() + o] *
+                  g.chars_[b * masks.size() + o];
+      g.product_[a * nh + b] = g.irrep_from_characters(prod);
+    }
+  }
+  return g;
+}
+
+std::size_t PointGroup::irrep_from_characters(
+    const std::vector<int>& chi_vec) const {
+  XFCI_REQUIRE(chi_vec.size() == ops_.size(),
+               "character vector length must equal group order");
+  for (std::size_t h = 0; h < num_irreps(); ++h) {
+    bool same = true;
+    for (std::size_t o = 0; o < ops_.size(); ++o)
+      if (chars_[h * ops_.size() + o] != chi_vec[o]) {
+        same = false;
+        break;
+      }
+    if (same) return h;
+  }
+  XFCI_REQUIRE(false, "character vector matches no irrep");
+  return 0;  // unreachable
+}
+
+PointGroup PointGroup::make(const std::string& name) {
+  static const std::map<std::string, std::vector<std::uint8_t>> kGroups = {
+      {"C1", {kE}},
+      {"Ci", {kE, kI}},
+      {"Cs", {kE, kSxy}},
+      {"C2", {kE, kC2z}},
+      {"C2v", {kE, kC2z, kSxz, kSyz}},
+      {"C2h", {kE, kC2z, kSxy, kI}},
+      {"D2", {kE, kC2z, kC2y, kC2x}},
+      {"D2h", {kE, kSyz, kSxz, kC2z, kSxy, kC2y, kC2x, kI}},
+  };
+  auto it = kGroups.find(name);
+  XFCI_REQUIRE(it != kGroups.end(), "unknown point group: " + name);
+  return from_masks(name, it->second);
+}
+
+PointGroup PointGroup::detect(const Molecule& m, double tol) {
+  std::vector<std::uint8_t> kept;
+  for (std::uint8_t mask = 0; mask < 8; ++mask)
+    if (preserves(m, SymOp{mask}, tol)) kept.push_back(mask);
+
+  // Identify the abstract group from the kept operation set.
+  const std::size_t n = kept.size();
+  auto has = [&](std::uint8_t x) {
+    return std::find(kept.begin(), kept.end(), x) != kept.end();
+  };
+  std::string name;
+  if (n == 8) {
+    name = "D2h";
+  } else if (n == 1) {
+    name = "C1";
+  } else if (n == 2) {
+    if (has(kI))
+      name = "Ci";
+    else if (has(kC2z) || has(kC2y) || has(kC2x))
+      name = "C2";
+    else
+      name = "Cs";
+  } else if (n == 4) {
+    const int nrot = (has(kC2z) ? 1 : 0) + (has(kC2y) ? 1 : 0) +
+                     (has(kC2x) ? 1 : 0);
+    if (nrot == 3)
+      name = "D2";
+    else if (has(kI))
+      name = "C2h";
+    else
+      name = "C2v";
+  } else {
+    XFCI_REQUIRE(false, "operation set is not a recognized group");
+  }
+  return from_masks(name, kept);
+}
+
+std::vector<std::size_t> PointGroup::atom_mapping(const Molecule& m,
+                                                  std::size_t o,
+                                                  double tol) const {
+  XFCI_REQUIRE(o < ops_.size(), "operation index out of range");
+  const SymOp op = ops_[o];
+  std::vector<std::size_t> map(m.atoms().size());
+  for (std::size_t i = 0; i < m.atoms().size(); ++i) {
+    const auto p = op.apply(m.atoms()[i].xyz);
+    bool found = false;
+    for (std::size_t j = 0; j < m.atoms().size(); ++j) {
+      if (m.atoms()[j].z != m.atoms()[i].z) continue;
+      const double d = std::abs(p[0] - m.atoms()[j].xyz[0]) +
+                       std::abs(p[1] - m.atoms()[j].xyz[1]) +
+                       std::abs(p[2] - m.atoms()[j].xyz[2]);
+      if (d < tol) {
+        map[i] = j;
+        found = true;
+        break;
+      }
+    }
+    XFCI_REQUIRE(found, "molecule is not invariant under " + op.name());
+  }
+  return map;
+}
+
+}  // namespace xfci::chem

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace xfci {
+
+void throw_error(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "xfci error: " << message << " [" << expr << " failed at " << file
+     << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace xfci

@@ -1,0 +1,35 @@
+#pragma once
+// Error handling for xfci.
+//
+// The library reports contract violations and unrecoverable runtime
+// conditions by throwing xfci::Error.  XFCI_REQUIRE is used for argument
+// checking in public interfaces; XFCI_ASSERT for internal invariants that
+// are cheap enough to keep enabled in release builds (string addressing,
+// sign bookkeeping, ... — all the places where a silent error would
+// corrupt physics rather than crash).
+
+#include <stdexcept>
+#include <string>
+
+namespace xfci {
+
+/// Exception type thrown on any xfci precondition or invariant failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace xfci
+
+/// Precondition check in public interfaces; always enabled.
+#define XFCI_REQUIRE(expr, message)                                   \
+  do {                                                                \
+    if (!(expr)) ::xfci::throw_error(__FILE__, __LINE__, #expr, (message)); \
+  } while (false)
+
+/// Internal invariant check; always enabled (cost is negligible at the
+/// granularity we use it).
+#define XFCI_ASSERT(expr, message) XFCI_REQUIRE(expr, message)

@@ -1,0 +1,14 @@
+#include "common/timer.hpp"
+
+namespace xfci {
+
+void PhaseTimer::add(const std::string& name, double seconds) {
+  phases_[name] += seconds;
+}
+
+double PhaseTimer::get(const std::string& name) const {
+  auto it = phases_.find(name);
+  return it == phases_.end() ? 0.0 : it->second;
+}
+
+}  // namespace xfci

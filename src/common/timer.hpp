@@ -1,0 +1,61 @@
+#pragma once
+// Wall-clock timing utilities used by the benchmark harnesses.
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace xfci {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named wall-clock phases ("beta-beta", "alpha-beta", ...).
+/// Used by drivers to produce Table-3 style breakdowns.
+class PhaseTimer {
+ public:
+  /// Add `seconds` to phase `name`.
+  void add(const std::string& name, double seconds);
+
+  /// Total accumulated for `name` (0 if never recorded).
+  double get(const std::string& name) const;
+
+  const std::map<std::string, double>& phases() const { return phases_; }
+
+  void clear() { phases_.clear(); }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+/// RAII guard: times a scope and adds it to a PhaseTimer on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& sink, std::string name)
+      : sink_(sink), name_(std::move(name)) {}
+  ~ScopedPhase() { sink_.add(name_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& sink_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace xfci

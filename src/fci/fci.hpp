@@ -1,0 +1,83 @@
+#pragma once
+// High-level FCI driver: ties together the CI space, the sigma operator and
+// the iterative eigensolver.  This is the library's primary entry point.
+//
+//   auto sys = scf::prepare_mo_system(mol, basis, multiplicity);
+//   fci::FciOptions opt;
+//   auto result = fci::run_fci(sys.tables, nalpha, nbeta, target, opt);
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fci/ci_space.hpp"
+#include "fci/sigma.hpp"
+#include "fci/solvers.hpp"
+#include "integrals/tables.hpp"
+
+namespace xfci::fci {
+
+enum class Algorithm {
+  kDgemm,  ///< the paper's DGEMM-based sigma
+  kMoc,    ///< minimum-operation-count baseline
+  kDense,  ///< explicit Hamiltonian (tiny spaces; validation)
+};
+
+std::string algorithm_name(Algorithm a);
+
+struct FciOptions {
+  Algorithm algorithm = Algorithm::kDgemm;
+  SolverOptions solver;
+  /// Exploit the Ms = 0 transpose symmetry (paper's "Vector Symm."
+  /// optimization): valid for nalpha == nbeta, DGEMM algorithm only.
+  bool ms0_transpose = false;
+};
+
+struct FciResult {
+  SolverResult solve;        ///< energy, vector, convergence history
+  std::size_t dimension = 0; ///< number of determinants
+  SigmaStats stats;          ///< accumulated sigma work counters
+  double s_squared = 0.0;    ///< <S^2> of the converged state
+};
+
+/// Builds the sigma operator of the requested algorithm over `space`.
+/// `context` must outlive the returned operator; pass the same context to
+/// build several operators cheaply.
+std::unique_ptr<SigmaOperator> make_sigma(Algorithm algorithm,
+                                          const SigmaContext& context,
+                                          bool ms0_transpose = false);
+
+/// Runs an FCI calculation for the lowest state of the given symmetry.
+FciResult run_fci(const integrals::IntegralTables& ints, std::size_t nalpha,
+                  std::size_t nbeta, std::size_t target_irrep = 0,
+                  const FciOptions& options = {});
+
+/// Restricts integral tables to the first `norb` orbitals (orbitals are
+/// energy-ordered after SCF, so this truncates the virtual space); use
+/// together with freeze_core for CAS-style FCI(n_elec, n_orb) spaces.
+integrals::IntegralTables truncate_orbitals(
+    const integrals::IntegralTables& full, std::size_t norb);
+
+/// Purifier projecting vectors onto their dominant transpose-parity sector
+/// (used by the Ms = 0 "Vector Symm." shortcut; installed automatically by
+/// run_fci / run_parallel_fci when ms0_transpose is set).
+std::function<void(std::vector<double>&)> make_parity_purifier(
+    const CiSpace& space);
+
+/// <S^2> expectation value of a CI vector.
+double s_squared_expectation(const CiSpace& space,
+                             std::span<const double> c);
+
+/// out = S^2 c.  S^2 commutes with H and with all spatial symmetries, so
+/// the result lives in the same blocked space.
+void apply_s_squared(const CiSpace& space, std::span<const double> c,
+                     std::span<double> out);
+
+/// Projects `c` onto the spin-S eigenspace by Loewdin projection
+///   P_S = prod_{S\' != S} (S^2 - S\'(S\'+1)) / (S(S+1) - S\'(S\'+1)),
+/// with S\' running over the spin values reachable from (nalpha, nbeta).
+/// Returns the norm of the projected vector (0 if `c` has no S component);
+/// the projection is NOT renormalized.
+double spin_project(const CiSpace& space, double s, std::span<double> c);
+
+}  // namespace xfci::fci

@@ -1,0 +1,64 @@
+#pragma once
+// Reduced density matrices and derived properties of a CI vector.
+//
+// The spin-summed one-particle RDM  gamma_pq = <Psi| E_pq |Psi>  gives
+// natural orbitals/occupations and one-electron properties (dipole
+// moments); together with the integrals it reconstructs the electronic
+// energy -- used as an independent consistency check on the sigma
+// algebra.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "fci/ci_space.hpp"
+#include "integrals/tables.hpp"
+#include "linalg/matrix.hpp"
+
+namespace xfci::fci {
+
+/// Spin-resolved one-particle RDMs: gamma^s_pq = <C| E^s_pq |C>.
+struct SpinRdm {
+  linalg::Matrix alpha;
+  linalg::Matrix beta;
+
+  /// Spin-summed gamma = alpha + beta.
+  linalg::Matrix total() const;
+};
+
+/// Computes the spin-resolved 1-RDM of a (normalized) CI vector.
+SpinRdm one_rdm(const CiSpace& space, std::span<const double> c);
+
+/// Natural occupation numbers (descending) and natural orbitals (columns,
+/// in the MO basis) of the spin-summed 1-RDM.
+struct NaturalOrbitals {
+  std::vector<double> occupations;
+  linalg::Matrix orbitals;
+};
+NaturalOrbitals natural_orbitals(const linalg::Matrix& gamma);
+
+/// Spin-summed two-particle RDM in chemists' ordering,
+///   Gamma_pqrs = <C| E_pq E_rs - delta_qr E_ps |C>,
+/// packed with the same 8-fold symmetry as the integrals.  O(dim * n^4)
+/// via sigma-style intermediate vectors -- intended for small/medium
+/// spaces (consistency checks, properties).
+integrals::EriTensor two_rdm(const CiSpace& space,
+                             const integrals::IntegralTables& ints,
+                             std::span<const double> c);
+
+/// Electronic energy from the RDMs:
+///   E = sum h_pq gamma_pq + 1/2 sum (pq|rs) Gamma_pqrs + E_core.
+/// Must equal <C|H|C> + E_core; used as an end-to-end algebra check.
+double energy_from_rdms(const integrals::IntegralTables& ints,
+                        const linalg::Matrix& gamma,
+                        const integrals::EriTensor& gamma2);
+
+/// Electric dipole moment (a.u.) of a CI state: electronic part from the
+/// 1-RDM contracted with MO-basis dipole integrals plus the nuclear part.
+/// `dipole_mo` holds the three MO-basis dipole operator matrices.
+std::array<double, 3> dipole_moment(
+    const linalg::Matrix& gamma,
+    const std::array<linalg::Matrix, 3>& dipole_mo,
+    const std::array<double, 3>& nuclear_dipole);
+
+}  // namespace xfci::fci

@@ -1,0 +1,267 @@
+#pragma once
+// Sigma operators: the matrix-vector product sigma = H * C evaluated
+// without ever forming H.
+//
+// Two families are provided, mirroring the paper's comparison:
+//  * SigmaDgemm  - the paper's contribution: the sparse product is
+//    reorganized into dense matrix-matrix multiplications through (N-1)-
+//    and (N-2)-electron intermediate string spaces (Eqs. 4-9).
+//  * SigmaMoc    - the classical "minimum operation count" baseline:
+//    precomputed excitation lists driving indexed multiply-add updates.
+//
+// Both decompose H as
+//   H = H1(alpha) + H1(beta) + Hss(alpha) + Hss(beta) + Hab
+// with
+//   Hss(s) = sum_{p>r, q>s} [(pq|rs) - (ps|rq)] a+p a+r a_s a_q   (spin s)
+//   Hab    = sum_{pqrs} (pq|rs) E^alpha_pq E^beta_rs.
+
+#include <array>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fci/ci_space.hpp"
+#include "fci/strings.hpp"
+#include "integrals/tables.hpp"
+#include "linalg/matrix.hpp"
+
+namespace xfci::fci {
+
+/// Counters describing the work of one sigma application; the X1 cost model
+/// and the Table-1 benchmark consume these.
+struct SigmaStats {
+  double dgemm_flops = 0.0;      ///< flops spent in dense DGEMMs
+  double indexed_ops = 0.0;      ///< indexed multiply-add operations
+  double gather_words = 0.0;     ///< words gathered from C columns
+  double scatter_words = 0.0;    ///< words accumulated into sigma columns
+  double element_count = 0.0;    ///< Hamiltonian elements generated (MOC)
+  /// Shapes (m, n, k) of every DGEMM issued since the last reset; the X1
+  /// cost model charges by shape (small/skinny multiplies starve the
+  /// vector pipes).
+  std::vector<std::array<std::size_t, 3>> dgemm_shapes;
+  void reset() { *this = SigmaStats{}; }
+};
+
+/// Shared precomputed data for the sigma routines over one CI space:
+/// intermediate string spaces, creation tables, and the symmetry-blocked
+/// integral matrices used as DGEMM operands.
+class SigmaContext {
+ public:
+  SigmaContext(const CiSpace& space, const integrals::IntegralTables& ints);
+
+  const CiSpace& space() const { return space_; }
+  const integrals::IntegralTables& ints() const { return ints_; }
+
+  // --- orbital symmetry helpers -------------------------------------------
+  std::size_t orbital_irrep(std::size_t p) const {
+    return space_.orbital_irreps()[p];
+  }
+  /// Orbitals of irrep h (ascending).
+  const std::vector<std::uint16_t>& orbitals_of(std::size_t h) const {
+    return orbs_of_irrep_[h];
+  }
+  /// Position of orbital p within orbitals_of(irrep(p)).
+  std::size_t orbital_position(std::size_t p) const { return orb_pos_[p]; }
+
+  // --- mixed-spin (alpha-beta) DGEMM operands ------------------------------
+  // For each "cross irrep" hX the column list enumerates pairs (s, q) with
+  // irrep(s) = hX x irrep(q), q-major; INT_hX[(s,q), (r,p)] = (pq|rs).
+  std::size_t ab_num_cols(std::size_t hx) const { return ab_cols_[hx]; }
+  /// Column base of orbital q within the hX list.
+  std::size_t ab_col_base(std::size_t hx, std::size_t q) const {
+    return ab_col_base_[hx * space_.norb() + q];
+  }
+  const linalg::Matrix& ab_integrals(std::size_t hx) const {
+    return ab_int_[hx];
+  }
+
+  // --- same-spin DGEMM operands --------------------------------------------
+  // Ordered pairs (hi > lo) grouped by pair irrep hP;
+  // G_hP[(p,r),(q,s)] = (pq|rs) - (ps|rq).
+  std::size_t ss_num_pairs(std::size_t hp) const {
+    return ss_pairs_[hp].size();
+  }
+  /// Index of the pair (hi, lo) within its irrep block.
+  std::size_t ss_pair_position(std::size_t hi, std::size_t lo) const {
+    return ss_pair_pos_[hi * space_.norb() + lo];
+  }
+  const linalg::Matrix& ss_integrals(std::size_t hp) const {
+    return ss_g_[hp];
+  }
+
+  // --- string tables --------------------------------------------------------
+  // Alpha-side tables over the space's own alpha strings (used by the
+  // column-oriented routines; the transposed context serves the beta side).
+  const StringSpace* alpha_m1() const { return alpha_m1_.get(); }
+  const StringSpace* beta_m1() const { return beta_m1_.get(); }
+  const StringSpace* alpha_m2() const { return alpha_m2_.get(); }
+  const CreationTable* alpha_create() const { return alpha_create_.get(); }
+  const CreationTable* beta_create() const { return beta_create_.get(); }
+  const PairCreationTable* alpha_pair() const { return alpha_pair_.get(); }
+
+  /// Context over the transposed space (alpha/beta swapped), built lazily;
+  /// shares the integral tables.
+  const SigmaContext& transposed() const;
+
+ private:
+  const CiSpace& space_;
+  const integrals::IntegralTables& ints_;
+
+  std::vector<std::vector<std::uint16_t>> orbs_of_irrep_;
+  std::vector<std::size_t> orb_pos_;
+
+  std::vector<std::size_t> ab_cols_;
+  std::vector<std::size_t> ab_col_base_;
+  std::vector<linalg::Matrix> ab_int_;
+
+  struct Pair {
+    std::uint16_t hi, lo;
+  };
+  std::vector<std::vector<Pair>> ss_pairs_;
+  std::vector<std::size_t> ss_pair_pos_;
+  std::vector<linalg::Matrix> ss_g_;
+
+  std::unique_ptr<StringSpace> alpha_m1_, beta_m1_, alpha_m2_;
+  std::unique_ptr<CreationTable> alpha_create_, beta_create_;
+  std::unique_ptr<PairCreationTable> alpha_pair_;
+
+  mutable std::unique_ptr<SigmaContext> transposed_;
+};
+
+/// Abstract sigma = H c (core energy excluded).
+class SigmaOperator {
+ public:
+  virtual ~SigmaOperator() = default;
+
+  /// sigma = H c; both vectors are flat blocked CI vectors of
+  /// space().dimension() elements.  sigma is overwritten.
+  virtual void apply(std::span<const double> c, std::span<double> sigma) = 0;
+
+  virtual const CiSpace& space() const = 0;
+
+  /// Work counters accumulated since the last reset.
+  const SigmaStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ protected:
+  SigmaStats stats_;
+};
+
+/// DGEMM-based sigma (the paper's algorithm).
+class SigmaDgemm : public SigmaOperator {
+ public:
+  /// `context` must outlive the operator.  With `ms0_transpose` set and
+  /// nalpha == nbeta, the alpha-side same-spin/one-electron work is
+  /// obtained from the beta-side result by transposition whenever the
+  /// input vector has definite transpose parity C(I_b, I_a) = +-C(I_a,
+  /// I_b) (Ms = 0 singlets/triplets stay in such a sector throughout the
+  /// solve) -- the paper's "Vector Symm." optimization for the C2
+  /// benchmark.  Vectors without definite parity silently fall back to the
+  /// full computation.
+  explicit SigmaDgemm(const SigmaContext& context,
+                      bool ms0_transpose = false);
+  void apply(std::span<const double> c, std::span<double> sigma) override;
+  const CiSpace& space() const override { return ctx_.space(); }
+
+  /// Number of apply() calls that used the transpose shortcut.
+  std::size_t ms0_hits() const { return ms0_hits_; }
+
+ private:
+  const SigmaContext& ctx_;
+  bool ms0_transpose_;
+  std::size_t ms0_hits_ = 0;
+  std::vector<double> ct_, st_;  // transposed work vectors
+};
+
+/// Transpose parity of a CI vector when nalpha == nbeta: +1 if P c = +c,
+/// -1 if P c = -c, 0 if neither (P exchanges the alpha and beta string
+/// indices).  Tolerance is relative to |c|.
+int transpose_parity(const CiSpace& space, std::span<const double> c,
+                     double tol = 1e-8);
+
+/// Minimum-operation-count sigma (indexed multiply-add baseline).
+class SigmaMoc : public SigmaOperator {
+ public:
+  explicit SigmaMoc(const SigmaContext& context);
+  void apply(std::span<const double> c, std::span<double> sigma) override;
+  const CiSpace& space() const override { return ctx_.space(); }
+
+ private:
+  const SigmaContext& ctx_;
+  std::vector<double> ct_, st_;
+};
+
+/// Dense reference sigma built from the explicit Hamiltonian (tiny spaces).
+class SigmaDense : public SigmaOperator {
+ public:
+  SigmaDense(const CiSpace& space, const integrals::IntegralTables& ints,
+             std::size_t max_dimension = 20000);
+  void apply(std::span<const double> c, std::span<double> sigma) override;
+  const CiSpace& space() const override { return space_; }
+
+ private:
+  const CiSpace& space_;
+  linalg::Matrix h_;
+};
+
+// --- building blocks shared by the serial and parallel drivers -------------
+
+/// A view of the CI block whose columns are the strings of irrep h (one
+/// entry per irrep): column j lives at c + j*nrows.  The row count is
+/// arbitrary -- the serial driver passes full blocks, the parallel driver
+/// passes locally transposed blocks whose rows are the rank's share of the
+/// spectator index (paper Fig. 2a).
+struct ColumnView {
+  const double* c = nullptr;  ///< input block (null if the block is absent)
+  double* sigma = nullptr;    ///< output block
+  std::size_t nrows = 0;
+  /// Writable column range (alpha addresses); the MOC kernels honour this
+  /// so the replicated parallel variant can read every column of a
+  /// replicated C while updating only the rank's own sigma columns.
+  std::size_t write_begin = 0;
+  std::size_t write_end = static_cast<std::size_t>(-1);
+};
+
+/// Column-oriented one-electron sigma over views: excitations act on the
+/// column string index of ctx.space().alpha().  sigma += H1(column) c.
+void sigma_one_electron_columns(const SigmaContext& ctx,
+                                std::span<const ColumnView> views,
+                                SigmaStats& stats);
+
+/// Column-oriented same-spin sigma over views (Eqs. 7-9).
+void sigma_same_spin_columns(const SigmaContext& ctx,
+                             std::span<const ColumnView> views,
+                             SigmaStats& stats);
+
+/// Convenience wrappers over full flat CI vectors (serial path): build the
+/// per-irrep views from the space's blocks and invoke the kernels above.
+std::vector<ColumnView> full_vector_views(const CiSpace& space,
+                                          std::span<const double> c,
+                                          std::span<double> sigma);
+
+/// Mixed-spin sigma core (Eqs. 4-6) for one alpha (N-1)-string task
+/// K' = (irrep hk, index ik).  `ccols` and `scols` hold one pointer per
+/// entry of alpha_create().list(hk, ik): the gathered C column for that
+/// orbital and the local accumulation buffer for the sigma column (null
+/// when the corresponding block is absent).  Column lengths are the beta
+/// row counts of the target blocks.  The caller owns gathering/accumulating
+/// (DDI in the parallel driver, plain pointers serially).
+void sigma_mixed_spin_core(const SigmaContext& ctx, std::size_t hk,
+                           std::size_t ik,
+                           std::span<const double* const> ccols,
+                           std::span<double* const> scols, SigmaStats& stats);
+
+/// Mixed-spin task over a full flat vector (serial path): wires
+/// sigma_mixed_spin_core to in-place column pointers.
+void sigma_mixed_spin_task(const SigmaContext& ctx, std::size_t hk,
+                           std::size_t ik, std::span<const double> c,
+                           std::span<double> sigma, SigmaStats& stats);
+
+/// MOC variants of the same decomposition (same operator, indexed kernels).
+void moc_same_spin_columns(const SigmaContext& ctx,
+                           std::span<const ColumnView> views,
+                           SigmaStats& stats);
+void moc_mixed_spin(const SigmaContext& ctx, std::span<const double> c,
+                    std::span<double> sigma, SigmaStats& stats);
+
+}  // namespace xfci::fci

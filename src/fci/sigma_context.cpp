@@ -1,0 +1,109 @@
+#include "fci/sigma.hpp"
+
+namespace xfci::fci {
+
+SigmaContext::SigmaContext(const CiSpace& space,
+                           const integrals::IntegralTables& ints)
+    : space_(space), ints_(ints) {
+  const std::size_t n = space.norb();
+  const auto& group = space.group();
+  const std::size_t nh = group.num_irreps();
+  XFCI_REQUIRE(ints.norb == n, "integral tables orbital count mismatch");
+
+  // Orbital lists per irrep.
+  orbs_of_irrep_.resize(nh);
+  orb_pos_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t h = orbital_irrep(p);
+    orb_pos_[p] = orbs_of_irrep_[h].size();
+    orbs_of_irrep_[h].push_back(static_cast<std::uint16_t>(p));
+  }
+
+  // Mixed-spin column lists and integral blocks.  For cross irrep hX the
+  // columns are (s, q) with irrep(s) = hX x irrep(q), q-major:
+  //   INT_hX[(s,q), (r,p)] = (pq|rs).
+  ab_cols_.assign(nh, 0);
+  ab_col_base_.assign(nh * n, 0);
+  ab_int_.resize(nh);
+  for (std::size_t hx = 0; hx < nh; ++hx) {
+    std::size_t ncols = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      ab_col_base_[hx * n + q] = ncols;
+      ncols += orbs_of_irrep_[group.product(hx, orbital_irrep(q))].size();
+    }
+    ab_cols_[hx] = ncols;
+    linalg::Matrix m(ncols, ncols);
+    for (std::size_t q = 0; q < n; ++q) {
+      const auto& s_list = orbs_of_irrep_[group.product(hx, orbital_irrep(q))];
+      for (std::size_t si = 0; si < s_list.size(); ++si) {
+        const std::size_t row = ab_col_base_[hx * n + q] + si;
+        const std::size_t s = s_list[si];
+        for (std::size_t p = 0; p < n; ++p) {
+          const auto& r_list =
+              orbs_of_irrep_[group.product(hx, orbital_irrep(p))];
+          for (std::size_t ri = 0; ri < r_list.size(); ++ri) {
+            const std::size_t col = ab_col_base_[hx * n + p] + ri;
+            const std::size_t r = r_list[ri];
+            m(row, col) = ints.eri(p, q, r, s);
+          }
+        }
+      }
+    }
+    ab_int_[hx] = std::move(m);
+  }
+
+  // Same-spin pair lists and antisymmetrized integral blocks:
+  //   G_hP[(p>r), (q>s)] = (pq|rs) - (ps|rq).
+  ss_pairs_.resize(nh);
+  ss_pair_pos_.assign(n * n, 0);
+  for (std::size_t lo = 0; lo < n; ++lo) {
+    for (std::size_t hi = lo + 1; hi < n; ++hi) {
+      const std::size_t hp =
+          group.product(orbital_irrep(hi), orbital_irrep(lo));
+      ss_pair_pos_[hi * n + lo] = ss_pairs_[hp].size();
+      ss_pairs_[hp].push_back(
+          Pair{static_cast<std::uint16_t>(hi), static_cast<std::uint16_t>(lo)});
+    }
+  }
+  ss_g_.resize(nh);
+  for (std::size_t hp = 0; hp < nh; ++hp) {
+    const auto& pairs = ss_pairs_[hp];
+    linalg::Matrix g(pairs.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const std::size_t p = pairs[i].hi, r = pairs[i].lo;
+      for (std::size_t j = 0; j < pairs.size(); ++j) {
+        const std::size_t q = pairs[j].hi, s = pairs[j].lo;
+        g(i, j) = ints.eri(p, q, r, s) - ints.eri(p, s, r, q);
+      }
+    }
+    ss_g_[hp] = std::move(g);
+  }
+
+  // Intermediate string spaces and coupling tables.
+  const auto& oi = space.orbital_irreps();
+  if (space.nalpha() >= 1) {
+    alpha_m1_ = std::make_unique<StringSpace>(n, space.nalpha() - 1, group, oi);
+    alpha_create_ =
+        std::make_unique<CreationTable>(*alpha_m1_, space.alpha(), oi);
+  }
+  if (space.nbeta() >= 1) {
+    beta_m1_ = std::make_unique<StringSpace>(n, space.nbeta() - 1, group, oi);
+    beta_create_ = std::make_unique<CreationTable>(*beta_m1_, space.beta(), oi);
+  }
+  if (space.nalpha() >= 2) {
+    alpha_m2_ = std::make_unique<StringSpace>(n, space.nalpha() - 2, group, oi);
+    alpha_pair_ =
+        std::make_unique<PairCreationTable>(*alpha_m2_, space.alpha(), oi);
+  }
+}
+
+const SigmaContext& SigmaContext::transposed() const {
+  if (!transposed_) {
+    transposed_ =
+        std::unique_ptr<SigmaContext>(new SigmaContext(space_.transposed(),
+                                                       ints_));
+  }
+  return *transposed_;
+}
+
+}  // namespace xfci::fci

@@ -1,0 +1,41 @@
+#pragma once
+// Explicit Hamiltonian matrix elements between determinants (Slater-Condon
+// rules).  This is the reference implementation the DGEMM and MOC sigma
+// routines are validated against, and it supplies the Hamiltonian diagonal
+// and the exact model-space blocks used by the diagonalization
+// preconditioner (paper section 4: "Inside the model space the exact
+// Hamiltonian is used").
+
+#include <vector>
+
+#include "fci/ci_space.hpp"
+#include "integrals/tables.hpp"
+#include "linalg/matrix.hpp"
+
+namespace xfci::fci {
+
+/// A determinant as an (alpha mask, beta mask) pair.
+struct Determinant {
+  StringMask alpha = 0;
+  StringMask beta = 0;
+};
+
+/// <bra| H |ket> by the Slater-Condon rules (excluding core energy).
+double hamiltonian_element(const integrals::IntegralTables& ints,
+                           const Determinant& bra, const Determinant& ket);
+
+/// Diagonal <D|H|D> for every determinant of the space, in flat CI order
+/// (excluding core energy).
+std::vector<double> hamiltonian_diagonal(const CiSpace& space,
+                                         const integrals::IntegralTables& ints);
+
+/// Dense Hamiltonian over the whole space (test / tiny systems only;
+/// throws above `max_dimension`).
+linalg::Matrix build_dense_hamiltonian(const CiSpace& space,
+                                       const integrals::IntegralTables& ints,
+                                       std::size_t max_dimension = 20000);
+
+/// The determinant at flat index `i` of the space.
+Determinant determinant_at(const CiSpace& space, std::size_t i);
+
+}  // namespace xfci::fci

@@ -1,0 +1,111 @@
+#pragma once
+// Iterative eigensolvers for the lowest FCI state (paper sections 2.2, 4 /
+// Table 2):
+//
+//  * kDavidson     - subspace (Davidson) method; the Olsen correction vector
+//                    enters the subspace, Rayleigh-Ritz picks the mixture.
+//  * kOlsen        - original Olsen single-vector update C <- C + t.
+//  * kModifiedOlsen- fixed step length, C <- C + lambda t (default 0.7).
+//  * kAutoAdjusted - the paper's method: lambda(n+1) = lambda_opt(n),
+//                    recovered from the previous iteration's 2x2 subspace
+//                    via <t|H|t> = (E(n+1)/S^2 - E(n) - 2 lambda <C|H|t>) /
+//                    lambda^2 (Eqs. 13-15).
+//
+// All methods share the Olsen correction vector
+//   t = (H0 - E)^-1 (H - E - eps) C,
+// where H0 equals the exact Hamiltonian inside a small model space (the
+// lowest-diagonal determinants) and diag(H) outside, and eps enforces
+// <C|t> = 0 (Eq. 12).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fci/sigma.hpp"
+#include "fci/slater_condon.hpp"
+
+namespace xfci::fci {
+
+enum class Method {
+  kDavidson,       ///< full Davidson subspace (library extra)
+  kSubspace2,      ///< the paper's "subspace" method: 2x2 {C, t} with the
+                   ///< exact optimal step each iteration (stores H t --
+                   ///< twice the memory of the auto-adjusted method)
+  kOlsen,
+  kModifiedOlsen,
+  kAutoAdjusted,
+};
+
+std::string method_name(Method m);
+
+struct SolverOptions {
+  Method method = Method::kAutoAdjusted;
+  double energy_tolerance = 1e-10;    ///< |dE| between iterations
+  double residual_tolerance = 1e-6;   ///< ||sigma - E C||
+  std::size_t max_iterations = 120;
+  std::size_t model_space = 50;       ///< exact-H preconditioner block size
+  std::size_t max_subspace = 20;      ///< Davidson subspace limit
+  std::size_t num_roots = 1;          ///< kDavidson only: lowest eigenpairs
+  double fixed_lambda = 0.7;          ///< step for kModifiedOlsen
+  bool verbose = false;
+  /// Optional per-iteration purifier applied to new trial vectors (e.g.
+  /// the transpose-parity projection backing the Ms = 0 "Vector Symm."
+  /// shortcut).  Must commute with H on the states of interest.
+  std::function<void(std::vector<double>&)> purify;
+};
+
+struct SolverResult {
+  bool converged = false;
+  std::size_t iterations = 0;         ///< sigma applications
+  double energy = 0.0;                ///< lowest root (electronic + core)
+  std::vector<double> vector;         ///< normalized lowest CI vector
+  std::vector<double> energy_history; ///< lowest-root energy per iteration
+  std::vector<double> residual_history;
+  /// All requested roots (size num_roots when kDavidson computed several;
+  /// size 1 otherwise).
+  std::vector<double> energies;
+  std::vector<std::vector<double>> vectors;
+};
+
+/// The Olsen preconditioner with an exact model-space block.
+class ModelSpacePreconditioner {
+ public:
+  /// Picks the `size` lowest-diagonal determinants as the model space and
+  /// stores the exact Hamiltonian over them.
+  ModelSpacePreconditioner(const CiSpace& space,
+                           const integrals::IntegralTables& ints,
+                           std::size_t size);
+
+  const std::vector<double>& diagonal() const { return diag_; }
+
+  /// y = (H0 - e)^-1 x:  exact solve inside the model space, diagonal
+  /// division outside.  Near-zero denominators are regularized.
+  void apply_inverse(double e, std::span<const double> x,
+                     std::span<double> y) const;
+
+  /// Index (into the flat CI vector) of the lowest-diagonal determinant.
+  std::size_t lowest_index() const { return lowest_; }
+
+  /// Ground eigenvector of the model-space Hamiltonian scattered into a
+  /// full CI vector: the solver's initial guess.
+  std::vector<double> initial_guess(std::size_t dimension) const;
+
+  /// The `count` lowest model-space eigenvectors (orthonormal), scattered
+  /// into full CI vectors: block-Davidson starting guesses.
+  std::vector<std::vector<double>> initial_guesses(std::size_t dimension,
+                                                   std::size_t count) const;
+
+ private:
+  std::vector<double> diag_;
+  std::vector<std::size_t> model_;   // flat indices of model determinants
+  std::vector<std::size_t> inv_;     // flat index -> model position or npos
+  linalg::Matrix hmm_;               // model-space Hamiltonian
+  std::size_t lowest_ = 0;
+};
+
+/// Solves for the lowest eigenpair of the sigma operator.
+SolverResult solve_lowest(SigmaOperator& sigma,
+                          const integrals::IntegralTables& ints,
+                          const SolverOptions& options = {});
+
+}  // namespace xfci::fci

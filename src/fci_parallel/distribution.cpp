@@ -1,0 +1,45 @@
+#include "fci_parallel/distribution.hpp"
+
+namespace xfci::fcp {
+
+ColumnDistribution::ColumnDistribution(const fci::CiSpace& space,
+                                       std::size_t num_ranks)
+    : space_(&space), num_ranks_(num_ranks) {
+  XFCI_REQUIRE(num_ranks >= 1, "distribution needs at least one rank");
+  const auto& blocks = space.blocks();
+  begins_.resize(blocks.size());
+  words_.assign(num_ranks, 0);
+  cols_.assign(num_ranks, 0);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    auto& splits = begins_[b];
+    splits.resize(num_ranks + 1);
+    const std::size_t na = blocks[b].na;
+    for (std::size_t r = 0; r <= num_ranks; ++r)
+      splits[r] = na * r / num_ranks;
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      const std::size_t ncols = splits[r + 1] - splits[r];
+      cols_[r] += ncols;
+      words_[r] += ncols * blocks[b].nb;
+    }
+  }
+}
+
+std::size_t ColumnDistribution::owner(std::size_t b, std::size_t col) const {
+  const auto& splits = begins_.at(b);
+  XFCI_ASSERT(col < splits.back(), "column out of range");
+  // Even split: invert the formula, then fix rounding.
+  std::size_t r = (splits.back() > 0)
+                      ? col * num_ranks_ / splits.back()
+                      : 0;
+  while (col < splits[r]) --r;
+  while (col >= splits[r + 1]) ++r;
+  return r;
+}
+
+std::pair<std::size_t, std::size_t> ColumnDistribution::columns(
+    std::size_t b, std::size_t r) const {
+  const auto& splits = begins_.at(b);
+  return {splits.at(r), splits.at(r + 1)};
+}
+
+}  // namespace xfci::fcp

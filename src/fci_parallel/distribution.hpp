@@ -1,0 +1,44 @@
+#pragma once
+// Column distribution of the CI coefficient matrix (paper section 3.1 and
+// Fig. 1): "The coefficients matrix is distributed by columns evenly among
+// all the processors.  In cases where the coefficients matrix is symmetry
+// blocked, each blocked matrix is distributed separately."
+
+#include <cstddef>
+#include <vector>
+
+#include "fci/ci_space.hpp"
+
+namespace xfci::fcp {
+
+/// Per-block even column split across ranks; answers ownership and local
+/// size queries for the simulator's communication accounting.
+class ColumnDistribution {
+ public:
+  ColumnDistribution(const fci::CiSpace& space, std::size_t num_ranks);
+
+  std::size_t num_ranks() const { return num_ranks_; }
+
+  /// Rank owning column `col` (alpha address) of block index `b`.
+  std::size_t owner(std::size_t b, std::size_t col) const;
+
+  /// Column range [begin, end) of rank r in block b.
+  std::pair<std::size_t, std::size_t> columns(std::size_t b,
+                                              std::size_t r) const;
+
+  /// Words of CI vector owned by rank r.
+  std::size_t local_words(std::size_t r) const { return words_.at(r); }
+
+  /// Number of alpha columns owned by rank r (across blocks).
+  std::size_t local_columns(std::size_t r) const { return cols_.at(r); }
+
+ private:
+  const fci::CiSpace* space_;
+  std::size_t num_ranks_;
+  // begins_[b] has num_ranks_+1 entries: the split points of block b.
+  std::vector<std::vector<std::size_t>> begins_;
+  std::vector<std::size_t> words_;
+  std::vector<std::size_t> cols_;
+};
+
+}  // namespace xfci::fcp

@@ -1,0 +1,541 @@
+#include "fci_parallel/parallel_fci.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfci::fcp {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Transposed local copies of one rank's column range of every block:
+// tc[b] is an (nb x width) matrix (column j = beta string j, rows = the
+// rank's alpha columns); ts[b] is the matching sigma buffer.
+struct TransposedLocal {
+  std::vector<std::vector<double>> tc, ts;
+  std::vector<fci::ColumnView> views;  // indexed by beta irrep
+  std::size_t words = 0;
+};
+
+TransposedLocal build_beta_local(const fci::CiSpace& space,
+                                 const ColumnDistribution& dist,
+                                 std::size_t rank,
+                                 std::span<const double> c) {
+  const auto& blocks = space.blocks();
+  TransposedLocal t;
+  t.tc.resize(blocks.size());
+  t.ts.resize(blocks.size());
+  t.views.assign(space.group().num_irreps(), fci::ColumnView{});
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto [c0, c1] = dist.columns(b, rank);
+    const std::size_t w = c1 - c0;
+    if (w == 0) continue;
+    const std::size_t nb = blocks[b].nb;
+    auto& tc = t.tc[b];
+    tc.resize(nb * w);
+    const double* src = c.data() + blocks[b].offset + c0 * nb;
+    for (std::size_t i = 0; i < w; ++i)
+      for (std::size_t j = 0; j < nb; ++j) tc[j * w + i] = src[i * nb + j];
+    t.ts[b].assign(nb * w, 0.0);
+    t.views[blocks[b].hbeta] =
+        fci::ColumnView{tc.data(), t.ts[b].data(), w};
+    t.words += nb * w;
+  }
+  return t;
+}
+
+void writeback_beta_local(const fci::CiSpace& space,
+                          const ColumnDistribution& dist, std::size_t rank,
+                          const TransposedLocal& t, std::span<double> sigma) {
+  const auto& blocks = space.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto [c0, c1] = dist.columns(b, rank);
+    const std::size_t w = c1 - c0;
+    if (w == 0 || t.ts[b].empty()) continue;
+    const std::size_t nb = blocks[b].nb;
+    double* dst = sigma.data() + blocks[b].offset + c0 * nb;
+    const auto& ts = t.ts[b];
+    for (std::size_t i = 0; i < w; ++i)
+      for (std::size_t j = 0; j < nb; ++j) dst[i * nb + j] += ts[j * w + i];
+  }
+}
+
+}  // namespace
+
+PhaseBreakdown PhaseBreakdown::averaged() const {
+  PhaseBreakdown a = *this;
+  if (count == 0) return a;
+  const double n = static_cast<double>(count);
+  a.beta_side /= n;
+  a.alpha_side /= n;
+  a.mixed /= n;
+  a.transpose /= n;
+  a.vector_ops /= n;
+  a.load_imbalance /= n;
+  a.total /= n;
+  a.comm_words /= n;
+  a.mixed_comm_words /= n;
+  a.flops /= n;
+  a.count = 1;
+  return a;
+}
+
+ParallelSigma::ParallelSigma(const fci::SigmaContext& context,
+                             const ParallelOptions& options)
+    : ctx_(context),
+      options_(options),
+      machine_(options.num_ranks, options.cost),
+      dist_(context.space(), options.num_ranks) {
+  const auto& space = context.space();
+  block_of_halpha_.assign(space.group().num_irreps(), kNone);
+  for (std::size_t b = 0; b < space.blocks().size(); ++b)
+    block_of_halpha_[space.blocks()[b].halpha] = b;
+}
+
+void ParallelSigma::charge_kernel_stats(std::size_t rank,
+                                        const fci::SigmaStats& stats) {
+  for (const auto& s : stats.dgemm_shapes)
+    machine_.charge_dgemm(rank, s[0], s[1], s[2]);
+  machine_.charge_indexed(rank, stats.gather_words + stats.scatter_words);
+  machine_.charge_daxpy_flops(rank, 2.0 * stats.indexed_ops);
+  machine_.charge(rank, options_.cost.moc_element * stats.element_count);
+}
+
+void ParallelSigma::beta_side_phase(const fci::SigmaContext& tctx,
+                                    std::span<const double> c,
+                                    std::span<double> sigma,
+                                    bool moc_kernel) {
+  const fci::CiSpace& space = ctx_.space();
+  const std::size_t nranks = machine_.num_ranks();
+
+  // Phase: local transposes in ("Vector Symm.").
+  double t0 = machine_.barrier();
+  std::vector<TransposedLocal> locals(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    locals[r] = build_beta_local(space, dist_, r, c);
+    machine_.charge_indexed(r, static_cast<double>(locals[r].words));
+  }
+  double t1 = machine_.barrier();
+  breakdown_.transpose += t1 - t0;
+
+  // Phase: beta-index same-spin + one-electron, zero communication
+  // (paper Fig. 2a, the "Beta-beta" row of Table 3).
+  for (std::size_t r = 0; r < nranks; ++r) {
+    fci::SigmaStats stats;
+    if (moc_kernel)
+      fci::moc_same_spin_columns(tctx, locals[r].views, stats);
+    else
+      fci::sigma_same_spin_columns(tctx, locals[r].views, stats);
+    fci::sigma_one_electron_columns(tctx, locals[r].views, stats);
+    charge_kernel_stats(r, stats);
+  }
+  double t2 = machine_.barrier();
+  breakdown_.beta_side += t2 - t1;
+
+  // Phase: transpose back.
+  for (std::size_t r = 0; r < nranks; ++r) {
+    writeback_beta_local(space, dist_, r, locals[r], sigma);
+    machine_.charge_indexed(r, static_cast<double>(locals[r].words));
+  }
+  double t3 = machine_.barrier();
+  breakdown_.transpose += t3 - t2;
+}
+
+void ParallelSigma::alpha_side_phase(std::span<const double> c,
+                                     std::span<double> sigma,
+                                     bool moc_kernel) {
+  const fci::CiSpace& space = ctx_.space();
+  const std::size_t nranks = machine_.num_ranks();
+
+  if (moc_kernel) {
+    // MOC: the whole vector is gathered onto every rank (collective
+    // gather) and the alpha-side element generation is replicated; each
+    // rank updates only its own sigma columns.
+    double t0 = machine_.barrier();
+    const double remote =
+        static_cast<double>(space.dimension()) *
+        static_cast<double>(nranks - 1) / static_cast<double>(nranks);
+    for (std::size_t r = 0; r < nranks; ++r)
+      machine_.record_alltoall(r, nranks - 1, remote);
+    double t1 = machine_.barrier();
+    breakdown_.transpose += t1 - t0;
+
+    for (std::size_t r = 0; r < nranks; ++r) {
+      std::vector<fci::ColumnView> views(space.group().num_irreps());
+      for (std::size_t b = 0; b < space.blocks().size(); ++b) {
+        const auto& blk = space.blocks()[b];
+        const auto [c0, c1] = dist_.columns(b, r);
+        views[blk.halpha] =
+            fci::ColumnView{c.data() + blk.offset, sigma.data() + blk.offset,
+                            blk.nb, c0, c1};
+      }
+      fci::SigmaStats stats;
+      fci::moc_same_spin_columns(ctx_, views, stats);
+      fci::sigma_one_electron_columns(ctx_, views, stats);
+      charge_kernel_stats(r, stats);
+    }
+    double t2 = machine_.barrier();
+    breakdown_.alpha_side += t2 - t1;
+    return;
+  }
+
+  // DGEMM path: all-to-all transpose into the beta-column layout, run the
+  // same static routine on the other spin, transpose back.
+  const fci::CiSpace& tspace = space.transposed();
+  const ColumnDistribution tdist(tspace, nranks);
+
+  double t0 = machine_.barrier();
+  std::vector<double> ct, st_back;
+  space.transpose_vector(std::vector<double>(c.begin(), c.end()), ct);
+  std::vector<double> sig_t(ct.size(), 0.0);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const double remote = static_cast<double>(tdist.local_words(r)) *
+                          static_cast<double>(nranks - 1) /
+                          static_cast<double>(nranks);
+    machine_.record_alltoall(r, nranks - 1, remote);
+    machine_.charge_indexed(r, static_cast<double>(tdist.local_words(r)));
+  }
+  double t1 = machine_.barrier();
+  breakdown_.transpose += t1 - t0;
+
+  // Static alpha-index work on the transposed layout: each rank owns a
+  // beta-column range, so it holds every alpha string for its rows.
+  std::vector<TransposedLocal> locals(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    locals[r] = build_beta_local(tspace, tdist, r, ct);
+    machine_.charge_indexed(r, static_cast<double>(locals[r].words));
+    fci::SigmaStats stats;
+    fci::sigma_same_spin_columns(ctx_, locals[r].views, stats);
+    fci::sigma_one_electron_columns(ctx_, locals[r].views, stats);
+    charge_kernel_stats(r, stats);
+    writeback_beta_local(tspace, tdist, r, locals[r], sig_t);
+    machine_.charge_indexed(r, static_cast<double>(locals[r].words));
+  }
+  double t2 = machine_.barrier();
+  breakdown_.alpha_side += t2 - t1;
+
+  // Transpose back and accumulate.
+  tspace.transpose_vector(sig_t, st_back);
+  for (std::size_t i = 0; i < sigma.size(); ++i) sigma[i] += st_back[i];
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const double remote = static_cast<double>(dist_.local_words(r)) *
+                          static_cast<double>(nranks - 1) /
+                          static_cast<double>(nranks);
+    machine_.record_alltoall(r, nranks - 1, remote);
+    machine_.charge_indexed(r, static_cast<double>(dist_.local_words(r)));
+  }
+  double t3 = machine_.barrier();
+  breakdown_.transpose += t3 - t2;
+}
+
+namespace {
+double total_comm_words(const pv::Machine& m) {
+  double w = 0.0;
+  for (std::size_t r = 0; r < m.num_ranks(); ++r) {
+    const auto& cc = m.counters(r);
+    w += cc.get_words + 2.0 * cc.acc_words + cc.put_words;
+  }
+  return w;
+}
+}  // namespace
+
+void ParallelSigma::mixed_phase_dgemm(std::span<const double> c,
+                                      std::span<double> sigma) {
+  const fci::CiSpace& space = ctx_.space();
+  if (space.nalpha() < 1 || space.nbeta() < 1) return;
+  const fci::StringSpace& am1 = *ctx_.alpha_m1();
+  const std::size_t nranks = machine_.num_ranks();
+
+  // Flatten the alpha (N-1)-string tasks.
+  std::vector<std::pair<std::size_t, std::size_t>> items;
+  for (std::size_t hk = 0; hk < am1.num_irreps(); ++hk)
+    for (std::size_t ik = 0; ik < am1.count(hk); ++ik)
+      items.emplace_back(hk, ik);
+  const pv::TaskPool pool(items.size(), nranks, options_.lb);
+
+  const double t0 = machine_.barrier();
+  const double comm0 = total_comm_words(machine_);
+
+  std::vector<double> gather_buf;
+  std::vector<double> acc_buf;
+  std::vector<const double*> ccols;
+  std::vector<double*> scols;
+
+  for (std::size_t chunk = 0; chunk < pool.num_chunks(); ++chunk) {
+    // Dynamic load balancing: the next chunk goes to the earliest rank.
+    const std::size_t r = machine_.earliest_rank();
+    machine_.record_dlb_request(r);
+    const auto [ibegin, iend] = pool.chunk(chunk);
+    for (std::size_t it = ibegin; it < iend; ++it) {
+      const auto [hk, ik] = items[it];
+      const auto& alist = ctx_.alpha_create()->list(hk, ik);
+
+      // Layout of the gathered / accumulation buffers.
+      std::size_t total = 0;
+      std::vector<std::size_t> offs(alist.size(), kNone);
+      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+        const std::size_t b = block_of_halpha_[alist[ai].irrep];
+        if (b == kNone) continue;
+        offs[ai] = total;
+        total += space.blocks()[b].nb;
+      }
+      gather_buf.resize(total);
+      acc_buf.assign(total, 0.0);
+      ccols.assign(alist.size(), nullptr);
+      scols.assign(alist.size(), nullptr);
+
+      // One-sided gather of the reachable C columns (DDI_GET).
+      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+        if (offs[ai] == kNone) continue;
+        const std::size_t b = block_of_halpha_[alist[ai].irrep];
+        const auto& blk = space.blocks()[b];
+        const std::size_t col = alist[ai].address;
+        machine_.record_get(r, dist_.owner(b, col), double(blk.nb));
+        const double* src = c.data() + blk.offset + col * blk.nb;
+        std::copy(src, src + blk.nb, gather_buf.begin() + offs[ai]);
+        ccols[ai] = gather_buf.data() + offs[ai];
+        scols[ai] = acc_buf.data() + offs[ai];
+      }
+
+      // Local dense work (Eqs. 4-6).
+      fci::SigmaStats stats;
+      fci::sigma_mixed_spin_core(ctx_, hk, ik, ccols, scols, stats);
+      for (const auto& s : stats.dgemm_shapes) {
+        machine_.charge_dgemm(r, s[0], s[1], s[2]);
+        // D build + E scatter: one gather and one scatter pass over each
+        // intermediate matrix.
+        machine_.charge_indexed(r, 2.0 * static_cast<double>(s[0] * s[1]));
+      }
+
+      // One-sided accumulate of the sigma columns (DDI_ACC).
+      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+        if (scols[ai] == nullptr) continue;
+        const std::size_t b = block_of_halpha_[alist[ai].irrep];
+        const auto& blk = space.blocks()[b];
+        const std::size_t col = alist[ai].address;
+        machine_.record_acc(r, dist_.owner(b, col), double(blk.nb));
+        double* dst = sigma.data() + blk.offset + col * blk.nb;
+        for (std::size_t j = 0; j < blk.nb; ++j) dst[j] += scols[ai][j];
+      }
+    }
+  }
+  const double t1 = machine_.barrier();
+  breakdown_.mixed += t1 - t0;
+  breakdown_.load_imbalance += machine_.last_imbalance();
+  breakdown_.mixed_comm_words += total_comm_words(machine_) - comm0;
+}
+
+void ParallelSigma::mixed_phase_moc(std::span<const double> c,
+                                    std::span<double> sigma) {
+  const fci::CiSpace& space = ctx_.space();
+  if (space.nalpha() < 1 || space.nbeta() < 1) return;
+  const std::size_t nranks = machine_.num_ranks();
+  const fci::StringSpace& sa = space.alpha();
+  const fci::StringSpace& bm1 = *ctx_.beta_m1();
+  const auto& btable = *ctx_.beta_create();
+  const auto& eri = ctx_.ints().eri;
+  const std::size_t n = space.norb();
+
+  const double t0 = machine_.barrier();
+  const double comm0 = total_comm_words(machine_);
+
+  // Each rank computes its local sigma columns: for every alpha single
+  // excitation J_a -> I_a it gathers the remote J_a column (no reuse across
+  // excitations -- the Table-1 communication count Nci * Na * (n - Na)),
+  // then applies every beta single excitation as an indexed multiply-add.
+  for (std::size_t r = 0; r < nranks; ++r) {
+    fci::SigmaStats stats;
+    for (std::size_t b = 0; b < space.blocks().size(); ++b) {
+      const auto& blk = space.blocks()[b];
+      const auto [c0, c1] = dist_.columns(b, r);
+      for (std::size_t col = c0; col < c1; ++col) {
+        const fci::StringMask ia = sa.mask(blk.halpha, col);
+        double* scol = sigma.data() + blk.offset + col * blk.nb;
+        // Enumerate E_pq with p occupied in I_a.
+        fci::StringMask occ = ia;
+        while (occ) {
+          const int p = __builtin_ctzll(occ);
+          occ &= occ - 1;
+          const int s1 = fci::annihilate_sign(ia, p);
+          const fci::StringMask mid = ia & ~(fci::StringMask{1} << p);
+          for (std::size_t q = 0; q < n; ++q) {
+            if (mid & (fci::StringMask{1} << q)) continue;
+            const int s2 = fci::create_sign(mid, static_cast<int>(q));
+            const fci::StringMask ja = mid | (fci::StringMask{1} << q);
+            const std::size_t hja = sa.irrep_of(ja);
+            const std::size_t bj = block_of_halpha_[hja];
+            if (bj == kNone) continue;
+            const auto& blkj = space.blocks()[bj];
+            const std::size_t colj = sa.address(ja);
+            machine_.record_get(r, dist_.owner(bj, colj),
+                                double(blkj.nb));
+            const double* ccol = c.data() + blkj.offset + colj * blkj.nb;
+            const double sa_sign = s1 * s2;
+            // Beta part: sigma(I_b) += (pq|rs) * signs * C(J_b).
+            for (std::size_t hkb = 0; hkb < bm1.num_irreps(); ++hkb) {
+              for (std::size_t ikb = 0; ikb < bm1.count(hkb); ++ikb) {
+                const auto& blist = btable.list(hkb, ikb);
+                for (const fci::Creation& cs : blist) {
+                  if (cs.irrep != blkj.hbeta) continue;
+                  const double cj = ccol[cs.address];
+                  if (cj == 0.0) continue;
+                  for (const fci::Creation& cr : blist) {
+                    if (cr.irrep != blk.hbeta) continue;
+                    scol[cr.address] +=
+                        sa_sign * cr.sign * cs.sign *
+                        eri(static_cast<std::size_t>(p), q, cr.orbital,
+                            cs.orbital) *
+                        cj;
+                    stats.indexed_ops += 1.0;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    machine_.charge_indexed(r, stats.indexed_ops);
+  }
+  const double t1 = machine_.barrier();
+  breakdown_.mixed += t1 - t0;
+  breakdown_.load_imbalance += machine_.last_imbalance();
+  breakdown_.mixed_comm_words += total_comm_words(machine_) - comm0;
+}
+
+void ParallelSigma::charge_solver_vector_ops() {
+  // Per iteration the single-vector solvers touch the distributed vectors a
+  // handful of times: ~5 dot products, ~4 axpy/scale passes, and one
+  // preconditioner application (indexed divide), plus reductions.
+  const double t0 = machine_.barrier();
+  const std::size_t nranks = machine_.num_ranks();
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const double local = static_cast<double>(dist_.local_words(r));
+    machine_.charge_daxpy_flops(r, 18.0 * local);
+    machine_.charge_indexed(r, 2.0 * local);
+  }
+  const double t1 = machine_.barrier();
+  breakdown_.vector_ops += t1 - t0;
+}
+
+void ParallelSigma::apply_dgemm(std::span<const double> c,
+                                std::span<double> sigma) {
+  const fci::CiSpace& space = ctx_.space();
+  const int parity =
+      options_.ms0_transpose ? fci::transpose_parity(space, c) : 0;
+
+  // Parity purification (see SigmaDgemm::apply).
+  std::vector<double> cproj;
+  if (parity != 0) {
+    std::vector<double> pc;
+    space.transpose_vector(std::vector<double>(c.begin(), c.end()), pc);
+    cproj.resize(c.size());
+    const double eps = static_cast<double>(parity);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      cproj[i] = 0.5 * (c[i] + eps * pc[i]);
+    c = cproj;
+  }
+
+  if (parity == 0) {
+    beta_side_phase(ctx_.transposed(), c, sigma, /*moc_kernel=*/false);
+    if (space.nalpha() >= 1) alpha_side_phase(c, sigma, false);
+  } else {
+    // "Vector Symm." shortcut (paper Table 3): run the beta-side routine
+    // into a scratch vector z, then sigma += z + parity * P z -- one
+    // distributed transpose replaces the whole alpha-side phase.
+    std::vector<double> z(sigma.size(), 0.0);
+    beta_side_phase(ctx_.transposed(), c, z, /*moc_kernel=*/false);
+    const double t0 = machine_.barrier();
+    std::vector<double> pz;
+    space.transpose_vector(z, pz);
+    const std::size_t nranks = machine_.num_ranks();
+    for (std::size_t r = 0; r < nranks; ++r) {
+      const double remote = static_cast<double>(dist_.local_words(r)) *
+                            static_cast<double>(nranks - 1) /
+                            static_cast<double>(nranks);
+      machine_.record_alltoall(r, nranks - 1, remote);
+      machine_.charge_indexed(r, 2.0 * static_cast<double>(
+                                           dist_.local_words(r)));
+    }
+    const double eps = static_cast<double>(parity);
+    for (std::size_t i = 0; i < sigma.size(); ++i)
+      sigma[i] += z[i] + eps * pz[i];
+    const double t1 = machine_.barrier();
+    breakdown_.transpose += t1 - t0;
+  }
+  mixed_phase_dgemm(c, sigma);
+}
+
+void ParallelSigma::apply_moc(std::span<const double> c,
+                              std::span<double> sigma) {
+  beta_side_phase(ctx_.transposed(), c, sigma, /*moc_kernel=*/true);
+  if (ctx_.space().nalpha() >= 1) alpha_side_phase(c, sigma, true);
+  mixed_phase_moc(c, sigma);
+}
+
+void ParallelSigma::apply(std::span<const double> c,
+                          std::span<double> sigma) {
+  const fci::CiSpace& space = ctx_.space();
+  XFCI_REQUIRE(c.size() == space.dimension(), "parallel sigma size mismatch");
+  XFCI_REQUIRE(sigma.size() == c.size(), "parallel sigma size mismatch");
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+
+  const double start = machine_.elapsed();
+  double comm0 = 0.0, flop0 = 0.0;
+  for (std::size_t r = 0; r < machine_.num_ranks(); ++r) {
+    const auto& cc = machine_.counters(r);
+    comm0 += cc.get_words + 2.0 * cc.acc_words + cc.put_words;
+    flop0 += machine_.flops(r);
+  }
+
+  if (options_.algorithm == fci::Algorithm::kMoc)
+    apply_moc(c, sigma);
+  else
+    apply_dgemm(c, sigma);
+  charge_solver_vector_ops();
+
+  double comm1 = 0.0, flop1 = 0.0;
+  for (std::size_t r = 0; r < machine_.num_ranks(); ++r) {
+    const auto& cc = machine_.counters(r);
+    comm1 += cc.get_words + 2.0 * cc.acc_words + cc.put_words;
+    flop1 += machine_.flops(r);
+  }
+  breakdown_.total += machine_.elapsed() - start;
+  breakdown_.comm_words += comm1 - comm0;
+  breakdown_.flops += flop1 - flop0;
+  breakdown_.count += 1;
+
+  stats_.dgemm_flops += flop1 - flop0;
+}
+
+ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
+                                   std::size_t nalpha, std::size_t nbeta,
+                                   std::size_t target_irrep,
+                                   const ParallelOptions& options,
+                                   const fci::SolverOptions& solver) {
+  XFCI_REQUIRE(options.algorithm != fci::Algorithm::kDense,
+               "parallel driver supports dgemm and moc algorithms");
+  const fci::CiSpace space(ints.norb, nalpha, nbeta, ints.group,
+                           ints.orbital_irreps, target_irrep);
+  const fci::SigmaContext context(space, ints);
+  ParallelSigma op(context, options);
+
+  ParallelFciResult res;
+  res.dimension = space.dimension();
+  fci::SolverOptions sopt = solver;
+  if (options.ms0_transpose && nalpha == nbeta && !sopt.purify)
+    sopt.purify = fci::make_parity_purifier(space);
+  res.solve = fci::solve_lowest(op, ints, sopt);
+  res.per_sigma = op.breakdown().averaged();
+  res.total_seconds = op.machine().elapsed();
+  double flops = 0.0;
+  for (std::size_t r = 0; r < options.num_ranks; ++r)
+    flops += op.machine().flops(r);
+  res.gflops_per_rank =
+      flops / static_cast<double>(options.num_ranks) /
+      std::max(res.total_seconds, 1e-30) / 1e9;
+  res.comm_words_per_sigma = op.breakdown().averaged().comm_words;
+  return res;
+}
+
+}  // namespace xfci::fcp

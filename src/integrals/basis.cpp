@@ -1,0 +1,150 @@
+#include "integrals/basis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace xfci::integrals {
+
+std::array<int, 3> cartesian_component(int l, std::size_t c) {
+  // x-major canonical ordering.
+  std::size_t idx = 0;
+  for (int lx = l; lx >= 0; --lx) {
+    for (int ly = l - lx; ly >= 0; --ly) {
+      if (idx == c) return {lx, ly, l - lx - ly};
+      ++idx;
+    }
+  }
+  XFCI_REQUIRE(false, "cartesian component index out of range");
+  return {0, 0, 0};
+}
+
+namespace {
+
+double double_factorial(int n) {
+  double r = 1.0;
+  for (int k = n; k > 1; k -= 2) r *= k;
+  return r;
+}
+
+// Self-overlap of the contracted (l,0,0) component assuming coefficients
+// already carry the radial primitive normalization (see normalize_shell).
+double contracted_self_overlap(const Shell& sh) {
+  using std::numbers::pi;
+  double s = 0.0;
+  for (const auto& p : sh.primitives) {
+    for (const auto& q : sh.primitives) {
+      const double gamma = p.exponent + q.exponent;
+      // Primitive overlap of x^l gaussians on the same center:
+      //   (2l-1)!! / (2 gamma)^l * (pi/gamma)^(3/2)
+      const double s_pq = double_factorial(2 * sh.l - 1) /
+                          std::pow(2.0 * gamma, sh.l) *
+                          std::pow(pi / gamma, 1.5);
+      s += p.coefficient * q.coefficient * s_pq;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+BasisSet BasisSet::from_shells(std::vector<Shell> shells, std::string name) {
+  BasisSet basis;
+  basis.name_ = std::move(name);
+  basis.shells_ = std::move(shells);
+  basis.finalize();
+  return basis;
+}
+
+void BasisSet::finalize() {
+  using std::numbers::pi;
+  nao_ = 0;
+  ao_atom_.clear();
+  ao_shell_.clear();
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    Shell& sh = shells_[s];
+    XFCI_REQUIRE(!sh.primitives.empty(), "shell without primitives");
+    XFCI_REQUIRE(sh.l >= 0 && sh.l <= 4, "angular momentum out of range");
+
+    // Radial primitive normalization for the (l,0,0) component, folded into
+    // the contraction coefficients:
+    //   N = (2a/pi)^(3/4) * (4a)^(l/2) / sqrt((2l-1)!!)
+    for (auto& p : sh.primitives) {
+      const double a = p.exponent;
+      XFCI_REQUIRE(a > 0.0, "non-positive primitive exponent");
+      const double norm = std::pow(2.0 * a / pi, 0.75) *
+                          std::pow(4.0 * a, 0.5 * sh.l) /
+                          std::sqrt(double_factorial(2 * sh.l - 1));
+      p.coefficient *= norm;
+    }
+    // Contracted normalization (unit self-overlap of the (l,0,0) component;
+    // the engine's per-component double-factorial factor normalizes the
+    // remaining components).
+    const double s_self = contracted_self_overlap(sh);
+    XFCI_REQUIRE(s_self > 0.0, "non-positive contracted self overlap");
+    const double scale = 1.0 / std::sqrt(s_self);
+    for (auto& p : sh.primitives) p.coefficient *= scale;
+
+    sh.ao_offset = nao_;
+    for (std::size_t c = 0; c < sh.num_components(); ++c) {
+      ao_atom_.push_back(sh.atom);
+      ao_shell_.push_back(s);
+      ++nao_;
+    }
+  }
+}
+
+std::array<int, 3> BasisSet::ao_cartesian(std::size_t ao) const {
+  const Shell& sh = shells_.at(ao_shell(ao));
+  return cartesian_component(sh.l, ao - sh.ao_offset);
+}
+
+BasisSet::AoMap BasisSet::ao_mapping(const chem::Molecule& mol,
+                                     const chem::PointGroup& group,
+                                     std::size_t op_index) const {
+  const auto atom_map = group.atom_mapping(mol, op_index);
+  const chem::SymOp op = group.ops().at(op_index);
+
+  AoMap map;
+  map.image.resize(nao_);
+  map.sign.resize(nao_);
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    const Shell& sh = shells_[s];
+    const std::size_t target_atom = atom_map.at(sh.atom);
+    // Find the matching shell on the image atom: same l and same primitive
+    // set (basis sets are atom-type uniform so exponent match suffices).
+    std::size_t target_shell = shells_.size();
+    for (std::size_t t = 0; t < shells_.size(); ++t) {
+      if (shells_[t].atom != target_atom || shells_[t].l != sh.l) continue;
+      if (shells_[t].primitives.size() != sh.primitives.size()) continue;
+      bool same = true;
+      for (std::size_t p = 0; p < sh.primitives.size(); ++p)
+        if (std::abs(shells_[t].primitives[p].exponent -
+                     sh.primitives[p].exponent) > 1e-12) {
+          same = false;
+          break;
+        }
+      if (same) {
+        target_shell = t;
+        break;
+      }
+    }
+    XFCI_REQUIRE(target_shell < shells_.size(),
+                 "no image shell under symmetry operation");
+    const Shell& tsh = shells_[target_shell];
+    for (std::size_t c = 0; c < sh.num_components(); ++c) {
+      const auto lmn = cartesian_component(sh.l, c);
+      // Sign: each negated axis contributes (-1)^exponent.
+      double sign = 1.0;
+      if (op.mask & 1) sign *= (lmn[0] % 2 == 0) ? 1.0 : -1.0;
+      if (op.mask & 2) sign *= (lmn[1] % 2 == 0) ? 1.0 : -1.0;
+      if (op.mask & 4) sign *= (lmn[2] % 2 == 0) ? 1.0 : -1.0;
+      map.image[sh.ao_offset + c] = tsh.ao_offset + c;
+      map.sign[sh.ao_offset + c] = sign;
+    }
+  }
+  return map;
+}
+
+}  // namespace xfci::integrals

@@ -1,0 +1,52 @@
+#include "integrals/boys.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xfci::integrals {
+
+void boys(double x, std::span<double> out) {
+  XFCI_REQUIRE(!out.empty(), "boys: empty output span");
+  XFCI_REQUIRE(x >= 0.0, "boys: negative argument");
+  const int mmax = static_cast<int>(out.size()) - 1;
+
+  if (x < 35.0) {
+    // Series for the highest order, then downward recursion.
+    const double emx = std::exp(-x);
+    double term = 1.0 / (2.0 * mmax + 1.0);
+    double sum = term;
+    for (int k = 1; k < 500; ++k) {
+      term *= 2.0 * x / (2.0 * mmax + 2.0 * k + 1.0);
+      sum += term;
+      if (term < 1e-17 * sum) break;
+    }
+    out[static_cast<std::size_t>(mmax)] = emx * sum;
+    for (int m = mmax - 1; m >= 0; --m)
+      out[static_cast<std::size_t>(m)] =
+          (2.0 * x * out[static_cast<std::size_t>(m) + 1] + emx) /
+          (2.0 * m + 1.0);
+  } else {
+    // Asymptotic regime: F_0 = sqrt(pi/x)/2 to machine precision, and the
+    // exp(-x) terms vanish; use the upward recursion
+    //   F_{m+1}(x) = ((2m+1) F_m(x) - exp(-x)) / (2x),
+    // which is stable here because exp(-x) is negligible.
+    const double emx = std::exp(-x);
+    out[0] = 0.5 * std::sqrt(std::numbers::pi / x);
+    for (int m = 0; m < mmax; ++m)
+      out[static_cast<std::size_t>(m) + 1] =
+          ((2.0 * m + 1.0) * out[static_cast<std::size_t>(m)] - emx) /
+          (2.0 * x);
+  }
+}
+
+double boys_single(int m, double x) {
+  std::vector<double> buf(static_cast<std::size_t>(m) + 1);
+  boys(x, buf);
+  return buf[static_cast<std::size_t>(m)];
+}
+
+}  // namespace xfci::integrals

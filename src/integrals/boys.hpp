@@ -1,0 +1,20 @@
+#pragma once
+// The Boys function F_m(x) = Int_0^1 t^(2m) exp(-x t^2) dt.
+//
+// Every Coulomb-type Gaussian integral (nuclear attraction, electron
+// repulsion) reduces to Boys functions of the interelectronic/internuclear
+// Gaussian argument.  We evaluate the highest order by a Taylor/asymptotic
+// split and fill lower orders by the stable downward recursion
+//   F_m(x) = (2x F_{m+1}(x) + exp(-x)) / (2m + 1).
+
+#include <span>
+
+namespace xfci::integrals {
+
+/// Fills out[m] = F_m(x) for m = 0..out.size()-1.  x >= 0.
+void boys(double x, std::span<double> out);
+
+/// Single-order convenience wrapper.
+double boys_single(int m, double x);
+
+}  // namespace xfci::integrals

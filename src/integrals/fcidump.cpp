@@ -1,0 +1,175 @@
+#include "integrals/fcidump.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace xfci::integrals {
+
+void write_fcidump(const std::string& path, const IntegralTables& tables,
+                   std::size_t nalpha, std::size_t nbeta, double threshold) {
+  std::ofstream os(path);
+  XFCI_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  const std::size_t n = tables.norb;
+
+  os << "&FCI NORB=" << n << ",NELEC=" << (nalpha + nbeta)
+     << ",MS2=" << (static_cast<long>(nalpha) - static_cast<long>(nbeta))
+     << ",\n  ORBSYM=";
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t h =
+        tables.orbital_irreps.empty() ? 0 : tables.orbital_irreps[p];
+    os << (h + 1) << ",";
+  }
+  os << "\n  ISYM=1,\n &END\n";
+
+  char line[128];
+  // Two-electron integrals, canonical 8-fold-unique quadruples.
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q <= p; ++q)
+      for (std::size_t r = 0; r <= p; ++r)
+        for (std::size_t s = 0; s <= r; ++s) {
+          const std::size_t pq = p * (p + 1) / 2 + q;
+          const std::size_t rs = r * (r + 1) / 2 + s;
+          if (rs > pq) continue;
+          const double v = tables.eri(p, q, r, s);
+          if (std::abs(v) < threshold) continue;
+          std::snprintf(line, sizeof(line), "%23.16e %3zu %3zu %3zu %3zu\n",
+                        v, p + 1, q + 1, r + 1, s + 1);
+          os << line;
+        }
+  // One-electron integrals.
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q <= p; ++q) {
+      const double v = tables.h(p, q);
+      if (std::abs(v) < threshold) continue;
+      std::snprintf(line, sizeof(line), "%23.16e %3zu %3zu   0   0\n", v,
+                    p + 1, q + 1);
+      os << line;
+    }
+  // Core energy.
+  std::snprintf(line, sizeof(line), "%23.16e   0   0   0   0\n",
+                tables.core_energy);
+  os << line;
+  XFCI_REQUIRE(os.good(), "write error on " + path);
+}
+
+namespace {
+
+// Extracts "KEY=<integers>" from the namelist header (comma separated).
+std::vector<long> namelist_values(const std::string& header,
+                                  const std::string& key) {
+  const auto pos = header.find(key + "=");
+  XFCI_REQUIRE(pos != std::string::npos,
+               "FCIDUMP header missing " + key);
+  std::vector<long> out;
+  std::size_t i = pos + key.size() + 1;
+  while (i < header.size()) {
+    while (i < header.size() &&
+           std::isspace(static_cast<unsigned char>(header[i])))
+      ++i;
+    std::size_t j = i;
+    if (j < header.size() && (header[j] == '-' || header[j] == '+')) ++j;
+    const std::size_t digits_begin = j;
+    while (j < header.size() &&
+           std::isdigit(static_cast<unsigned char>(header[j])))
+      ++j;
+    if (j == digits_begin) break;  // no further integer
+    out.push_back(std::stol(header.substr(i, j - i)));
+    while (j < header.size() &&
+           std::isspace(static_cast<unsigned char>(header[j])))
+      ++j;
+    if (j < header.size() && header[j] == ',')
+      i = j + 1;
+    else
+      break;
+  }
+  XFCI_REQUIRE(!out.empty(), "empty value list for " + key);
+  return out;
+}
+
+}  // namespace
+
+FcidumpData read_fcidump(const std::string& path,
+                         const std::string& group_name) {
+  std::ifstream is(path);
+  XFCI_REQUIRE(is.good(), "cannot open " + path);
+
+  // Header: everything up to &END (case-insensitive variants /, &END).
+  std::string header, lineStr;
+  bool header_done = false;
+  while (!header_done && std::getline(is, lineStr)) {
+    header += lineStr + " ";
+    if (lineStr.find("&END") != std::string::npos ||
+        lineStr.find("&end") != std::string::npos ||
+        lineStr.find('/') != std::string::npos)
+      header_done = true;
+  }
+  XFCI_REQUIRE(header_done, "FCIDUMP header not terminated");
+
+  const long norb = namelist_values(header, "NORB").at(0);
+  const long nelec = namelist_values(header, "NELEC").at(0);
+  long ms2 = 0;
+  if (header.find("MS2=") != std::string::npos)
+    ms2 = namelist_values(header, "MS2").at(0);
+  XFCI_REQUIRE(norb > 0 && norb <= 63, "invalid NORB");
+  XFCI_REQUIRE(nelec >= 0 && nelec <= 2 * norb, "invalid NELEC");
+  XFCI_REQUIRE((nelec + ms2) % 2 == 0 && nelec + ms2 >= 0 &&
+                   nelec - ms2 >= 0,
+               "invalid NELEC/MS2 combination");
+
+  FcidumpData data;
+  data.tables = IntegralTables::empty(static_cast<std::size_t>(norb));
+  data.nalpha = static_cast<std::size_t>((nelec + ms2) / 2);
+  data.nbeta = static_cast<std::size_t>((nelec - ms2) / 2);
+  data.tables.group = chem::PointGroup::make(group_name);
+
+  if (header.find("ORBSYM=") != std::string::npos &&
+      data.tables.group.num_irreps() > 1) {
+    const auto syms = namelist_values(header, "ORBSYM");
+    XFCI_REQUIRE(syms.size() == static_cast<std::size_t>(norb),
+                 "ORBSYM length mismatch");
+    for (std::size_t p = 0; p < static_cast<std::size_t>(norb); ++p) {
+      XFCI_REQUIRE(syms[p] >= 1 && static_cast<std::size_t>(syms[p]) <=
+                                       data.tables.group.num_irreps(),
+                   "ORBSYM irrep out of range for " + group_name);
+      data.tables.orbital_irreps[p] = static_cast<std::size_t>(syms[p] - 1);
+    }
+  }
+  if (header.find("ISYM=") != std::string::npos) {
+    const long isym = namelist_values(header, "ISYM").at(0);
+    XFCI_REQUIRE(isym >= 1, "invalid ISYM");
+    data.isym = static_cast<std::size_t>(isym - 1);
+  }
+
+  // Integral records.
+  double v;
+  long i, j, k, l;
+  while (is >> v >> i >> j >> k >> l) {
+    XFCI_REQUIRE(i >= 0 && i <= norb && j >= 0 && j <= norb && k >= 0 &&
+                     k <= norb && l >= 0 && l <= norb,
+                 "FCIDUMP index out of range");
+    if (i == 0 && j == 0 && k == 0 && l == 0) {
+      data.tables.core_energy = v;
+    } else if (k == 0 && l == 0) {
+      XFCI_REQUIRE(i >= 1 && j >= 1, "malformed one-electron record");
+      data.tables.h(static_cast<std::size_t>(i - 1),
+                    static_cast<std::size_t>(j - 1)) = v;
+      data.tables.h(static_cast<std::size_t>(j - 1),
+                    static_cast<std::size_t>(i - 1)) = v;
+    } else {
+      XFCI_REQUIRE(i >= 1 && j >= 1 && k >= 1 && l >= 1,
+                   "malformed two-electron record");
+      data.tables.eri.set(
+          static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j - 1),
+          static_cast<std::size_t>(k - 1), static_cast<std::size_t>(l - 1),
+          v);
+    }
+  }
+  return data;
+}
+
+}  // namespace xfci::integrals

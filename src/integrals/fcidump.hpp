@@ -1,0 +1,44 @@
+#pragma once
+// FCIDUMP: the de-facto interchange format for MO-basis Hamiltonians
+// (Knowles & Handy, Comput. Phys. Commun. 54, 75 (1989)).  Lets xfci
+// consume integrals produced by MOLPRO / PySCF / OpenMolcas and export its
+// own, so the FCI core can be validated against external packages.
+//
+// Format: a &FCI namelist header (NORB, NELEC, MS2, ORBSYM, ISYM) followed
+// by "value i j k l" records, 1-based indices, chemists' notation:
+//   value i j k l   -> (ij|kl)
+//   value i j 0 0   -> h_ij
+//   value 0 0 0 0   -> core energy
+//
+// ORBSYM stores each orbital's irrep as 1-based index.  The format does
+// not name the point group; pass the group when reading symmetry-labelled
+// dumps (irreps are this library's own indexing, written by write_fcidump;
+// dumps from other packages using a different irrep convention should be
+// read as C1 or relabelled by the caller).
+
+#include <string>
+
+#include "integrals/tables.hpp"
+
+namespace xfci::integrals {
+
+/// Writes `tables` plus the electron counts as an FCIDUMP file.
+/// Only unique (8-fold) integrals above `threshold` are written.
+void write_fcidump(const std::string& path, const IntegralTables& tables,
+                   std::size_t nalpha, std::size_t nbeta,
+                   double threshold = 1e-14);
+
+/// Parsed FCIDUMP contents.
+struct FcidumpData {
+  IntegralTables tables;
+  std::size_t nalpha = 0;
+  std::size_t nbeta = 0;
+  std::size_t isym = 0;  ///< declared wavefunction irrep (0-based)
+};
+
+/// Reads an FCIDUMP file.  `group_name` interprets the ORBSYM labels
+/// ("C1" ignores them).  Throws on malformed input.
+FcidumpData read_fcidump(const std::string& path,
+                         const std::string& group_name = "C1");
+
+}  // namespace xfci::integrals

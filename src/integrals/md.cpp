@@ -1,0 +1,92 @@
+#include "integrals/md.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "integrals/boys.hpp"
+
+namespace xfci::integrals {
+
+void HermiteE::build(int imax, int jmax, double a, double b, double ab) {
+  imax_ = imax;
+  jmax_ = jmax;
+  tmax_ = imax + jmax;
+  e_.assign(static_cast<std::size_t>(imax + 1) *
+                static_cast<std::size_t>(jmax + 1) *
+                static_cast<std::size_t>(tmax_ + 1),
+            0.0);
+
+  const double p = a + b;
+  const double mu = a * b / p;
+  const double pa = -b * ab / p;  // P - A along this axis
+  const double pb = a * ab / p;   // P - B
+
+  e_[index(0, 0, 0)] = std::exp(-mu * ab * ab);
+
+  // Raise i first (j = 0), then raise j for every i.
+  auto get = [&](int i, int j, int t) -> double {
+    if (t < 0 || t > i + j || i < 0 || j < 0) return 0.0;
+    return e_[index(i, j, t)];
+  };
+  for (int i = 1; i <= imax; ++i)
+    for (int t = 0; t <= i; ++t)
+      e_[index(i, 0, t)] = get(i - 1, 0, t - 1) / (2.0 * p) +
+                           pa * get(i - 1, 0, t) +
+                           (t + 1) * get(i - 1, 0, t + 1);
+  for (int j = 1; j <= jmax; ++j)
+    for (int i = 0; i <= imax; ++i)
+      for (int t = 0; t <= i + j; ++t)
+        e_[index(i, j, t)] = get(i, j - 1, t - 1) / (2.0 * p) +
+                             pb * get(i, j - 1, t) +
+                             (t + 1) * get(i, j - 1, t + 1);
+}
+
+void HermiteR::build(int order, double p, const std::array<double, 3>& pc) {
+  order_ = order;
+  const std::size_t n = static_cast<std::size_t>(order) + 1;
+  r_.assign(n * n * n, 0.0);
+
+  const double r2 = pc[0] * pc[0] + pc[1] * pc[1] + pc[2] * pc[2];
+  std::vector<double> f(n);
+  boys(p * r2, f);
+
+  // Auxiliary R^{(m)}_{tuv}; we iterate m downward keeping two planes.
+  // Memory is tiny (order <= ~16), so store the full (m, t, u, v) table.
+  std::vector<double> aux(n * n * n * n, 0.0);
+  auto at = [&](std::size_t m, std::size_t t, std::size_t u,
+                std::size_t v) -> double& {
+    return aux[((m * n + t) * n + u) * n + v];
+  };
+  for (std::size_t m = 0; m < n; ++m)
+    at(m, 0, 0, 0) = std::pow(-2.0 * p, static_cast<double>(m)) * f[m];
+
+  // R^{(m)}_{t+1,u,v} = t R^{(m+1)}_{t-1,u,v} + PCx R^{(m+1)}_{t,u,v}, etc.
+  for (std::size_t total = 1; total < n; ++total) {
+    for (std::size_t m = 0; m + total < n; ++m) {
+      for (std::size_t t = 0; t <= total; ++t) {
+        for (std::size_t u = 0; t + u <= total; ++u) {
+          const std::size_t v = total - t - u;
+          double val = 0.0;
+          if (t > 0) {
+            val = pc[0] * at(m + 1, t - 1, u, v);
+            if (t > 1) val += (t - 1) * at(m + 1, t - 2, u, v);
+          } else if (u > 0) {
+            val = pc[1] * at(m + 1, t, u - 1, v);
+            if (u > 1) val += (u - 1) * at(m + 1, t, u - 2, v);
+          } else {
+            val = pc[2] * at(m + 1, t, u, v - 1);
+            if (v > 1) val += (v - 1) * at(m + 1, t, u, v - 2);
+          }
+          at(m, t, u, v) = val;
+        }
+      }
+    }
+  }
+  for (std::size_t t = 0; t < n; ++t)
+    for (std::size_t u = 0; t + u < n; ++u)
+      for (std::size_t v = 0; t + u + v < n; ++v)
+        r_[index(static_cast<int>(t), static_cast<int>(u),
+                 static_cast<int>(v))] = at(0, t, u, v);
+}
+
+}  // namespace xfci::integrals

@@ -1,0 +1,66 @@
+#pragma once
+// McMurchie-Davidson machinery: Hermite expansion coefficients E_t^{ij}
+// and Hermite Coulomb integrals R_{tuv}.
+//
+// A product of two 1D Cartesian Gaussians x_A^i exp(-a x_A^2) *
+// x_B^j exp(-b x_B^2) expands in Hermite Gaussians Lambda_t centered at the
+// Gaussian product center P:  G_i G_j = sum_t E_t^{ij} Lambda_t(x_P; p).
+// E_0^{00} carries the Gaussian product prefactor exp(-mu X_AB^2).
+//
+// Coulomb-type integrals over Hermite Gaussians reduce to the tensor
+// R_{tuv}(p, PC) = (d/dPx)^t (d/dPy)^u (d/dPz)^v F_0-chain, built from Boys
+// functions by the standard downward angular recursion.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace xfci::integrals {
+
+/// Table of Hermite expansion coefficients for one Cartesian direction.
+/// After build(), e(i, j, t) = E_t^{ij} for i <= imax, j <= jmax,
+/// t <= i + j.
+class HermiteE {
+ public:
+  /// Builds the table for primitives with exponents a (on A) and b (on B),
+  /// for angular momenta up to imax/jmax, with AB = A - B along this axis.
+  void build(int imax, int jmax, double a, double b, double ab);
+
+  double operator()(int i, int j, int t) const {
+    if (t < 0 || t > i + j) return 0.0;
+    return e_[index(i, j, t)];
+  }
+
+ private:
+  std::size_t index(int i, int j, int t) const {
+    return (static_cast<std::size_t>(i) * (jmax_ + 1) +
+            static_cast<std::size_t>(j)) *
+               (tmax_ + 1) +
+           static_cast<std::size_t>(t);
+  }
+  int imax_ = 0, jmax_ = 0, tmax_ = 0;
+  std::vector<double> e_;
+};
+
+/// Hermite Coulomb tensor R_{tuv} with total order up to `order`, for
+/// exponent p and vector pc = P - C.  r(t, u, v) returns R^{(0)}_{tuv}.
+class HermiteR {
+ public:
+  void build(int order, double p, const std::array<double, 3>& pc);
+
+  double operator()(int t, int u, int v) const {
+    return r_[index(t, u, v)];
+  }
+
+ private:
+  std::size_t index(int t, int u, int v) const {
+    const std::size_t n = static_cast<std::size_t>(order_) + 1;
+    return (static_cast<std::size_t>(t) * n + static_cast<std::size_t>(u)) *
+               n +
+           static_cast<std::size_t>(v);
+  }
+  int order_ = 0;
+  std::vector<double> r_;
+};
+
+}  // namespace xfci::integrals

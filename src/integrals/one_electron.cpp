@@ -1,0 +1,245 @@
+#include "integrals/one_electron.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "integrals/md.hpp"
+
+namespace xfci::integrals {
+namespace {
+
+using std::numbers::pi;
+
+double double_factorial(int n) {
+  double r = 1.0;
+  for (int k = n; k > 1; k -= 2) r *= k;
+  return r;
+}
+
+// Per-Cartesian-component normalization correction: the contraction
+// coefficients are normalized for the (l,0,0) component, so a component
+// (lx,ly,lz) needs sqrt((2l-1)!! / ((2lx-1)!!(2ly-1)!!(2lz-1)!!)).
+double component_norm(int l, const std::array<int, 3>& lmn) {
+  return std::sqrt(double_factorial(2 * l - 1) /
+                   (double_factorial(2 * lmn[0] - 1) *
+                    double_factorial(2 * lmn[1] - 1) *
+                    double_factorial(2 * lmn[2] - 1)));
+}
+
+// 1D primitive overlap <x^i | x^j> from Hermite coefficients:
+// S_ij = E_0^{ij} sqrt(pi/p).
+struct ShellPairPrimitive {
+  HermiteE ex, ey, ez;
+  double p;                       // a + b
+  std::array<double, 3> centerP;  // Gaussian product center
+  double cc;                      // product of contraction coefficients
+};
+
+// Builds the Hermite tables for a primitive pair; extra raises i/j limits
+// (kinetic needs j+2).
+ShellPairPrimitive make_pair(const Shell& sa, const Shell& sb, double a,
+                             double b, double ca, double cb, int extra_a,
+                             int extra_b) {
+  ShellPairPrimitive sp;
+  sp.p = a + b;
+  for (int d = 0; d < 3; ++d)
+    sp.centerP[d] = (a * sa.center[d] + b * sb.center[d]) / sp.p;
+  sp.ex.build(sa.l + extra_a, sb.l + extra_b, a, b,
+              sa.center[0] - sb.center[0]);
+  sp.ey.build(sa.l + extra_a, sb.l + extra_b, a, b,
+              sa.center[1] - sb.center[1]);
+  sp.ez.build(sa.l + extra_a, sb.l + extra_b, a, b,
+              sa.center[2] - sb.center[2]);
+  sp.cc = ca * cb;
+  return sp;
+}
+
+template <typename Body>
+void for_each_shell_pair(const BasisSet& basis, Body&& body) {
+  const auto& shells = basis.shells();
+  for (std::size_t i = 0; i < shells.size(); ++i)
+    for (std::size_t j = 0; j <= i; ++j) body(i, j);
+}
+
+}  // namespace
+
+linalg::Matrix overlap_matrix(const BasisSet& basis) {
+  linalg::Matrix s(basis.num_ao(), basis.num_ao());
+  for_each_shell_pair(basis, [&](std::size_t si, std::size_t sj) {
+    const Shell& sa = basis.shells()[si];
+    const Shell& sb = basis.shells()[sj];
+    for (const auto& pa : sa.primitives) {
+      for (const auto& pb : sb.primitives) {
+        const auto sp = make_pair(sa, sb, pa.exponent, pb.exponent,
+                                  pa.coefficient, pb.coefficient, 0, 0);
+        const double pref = sp.cc * std::pow(pi / sp.p, 1.5);
+        for (std::size_t ca = 0; ca < sa.num_components(); ++ca) {
+          const auto la = cartesian_component(sa.l, ca);
+          for (std::size_t cb = 0; cb < sb.num_components(); ++cb) {
+            const auto lb = cartesian_component(sb.l, cb);
+            const double val = pref * sp.ex(la[0], lb[0], 0) *
+                               sp.ey(la[1], lb[1], 0) *
+                               sp.ez(la[2], lb[2], 0) *
+                               component_norm(sa.l, la) *
+                               component_norm(sb.l, lb);
+            s(sa.ao_offset + ca, sb.ao_offset + cb) += val;
+            if (si != sj) s(sb.ao_offset + cb, sa.ao_offset + ca) += val;
+          }
+        }
+      }
+    }
+  });
+  return s;
+}
+
+linalg::Matrix kinetic_matrix(const BasisSet& basis) {
+  linalg::Matrix t(basis.num_ao(), basis.num_ao());
+  for_each_shell_pair(basis, [&](std::size_t si, std::size_t sj) {
+    const Shell& sa = basis.shells()[si];
+    const Shell& sb = basis.shells()[sj];
+    for (const auto& pa : sa.primitives) {
+      for (const auto& pb : sb.primitives) {
+        const double b = pb.exponent;
+        const auto sp = make_pair(sa, sb, pa.exponent, pb.exponent,
+                                  pa.coefficient, pb.coefficient, 0, 2);
+        const double pref = sp.cc * std::pow(pi / sp.p, 1.5);
+        // 1D kinetic from overlaps with shifted j:
+        //   t_ij = -2 b^2 S_{i,j+2} + b (2j+1) S_{ij} - j(j-1)/2 S_{i,j-2}
+        auto s1 = [&](const HermiteE& e, int i, int j) -> double {
+          if (i < 0 || j < 0) return 0.0;
+          return e(i, j, 0);
+        };
+        auto t1 = [&](const HermiteE& e, int i, int j) -> double {
+          double v = -2.0 * b * b * s1(e, i, j + 2) +
+                     b * (2.0 * j + 1.0) * s1(e, i, j);
+          if (j >= 2) v -= 0.5 * j * (j - 1) * s1(e, i, j - 2);
+          return v;
+        };
+        for (std::size_t ca = 0; ca < sa.num_components(); ++ca) {
+          const auto la = cartesian_component(sa.l, ca);
+          for (std::size_t cb = 0; cb < sb.num_components(); ++cb) {
+            const auto lb = cartesian_component(sb.l, cb);
+            const double sx = s1(sp.ex, la[0], lb[0]);
+            const double sy = s1(sp.ey, la[1], lb[1]);
+            const double sz = s1(sp.ez, la[2], lb[2]);
+            const double val =
+                pref *
+                (t1(sp.ex, la[0], lb[0]) * sy * sz +
+                 sx * t1(sp.ey, la[1], lb[1]) * sz +
+                 sx * sy * t1(sp.ez, la[2], lb[2])) *
+                component_norm(sa.l, la) * component_norm(sb.l, lb);
+            t(sa.ao_offset + ca, sb.ao_offset + cb) += val;
+            if (si != sj) t(sb.ao_offset + cb, sa.ao_offset + ca) += val;
+          }
+        }
+      }
+    }
+  });
+  return t;
+}
+
+linalg::Matrix nuclear_matrix(const BasisSet& basis,
+                              const chem::Molecule& mol) {
+  linalg::Matrix v(basis.num_ao(), basis.num_ao());
+  for_each_shell_pair(basis, [&](std::size_t si, std::size_t sj) {
+    const Shell& sa = basis.shells()[si];
+    const Shell& sb = basis.shells()[sj];
+    const int ltot = sa.l + sb.l;
+    for (const auto& pa : sa.primitives) {
+      for (const auto& pb : sb.primitives) {
+        const auto sp = make_pair(sa, sb, pa.exponent, pb.exponent,
+                                  pa.coefficient, pb.coefficient, 0, 0);
+        const double pref = sp.cc * 2.0 * pi / sp.p;
+        for (const auto& atom : mol.atoms()) {
+          HermiteR r;
+          r.build(ltot, sp.p,
+                  {sp.centerP[0] - atom.xyz[0], sp.centerP[1] - atom.xyz[1],
+                   sp.centerP[2] - atom.xyz[2]});
+          for (std::size_t ca = 0; ca < sa.num_components(); ++ca) {
+            const auto la = cartesian_component(sa.l, ca);
+            for (std::size_t cb = 0; cb < sb.num_components(); ++cb) {
+              const auto lb = cartesian_component(sb.l, cb);
+              double sum = 0.0;
+              for (int tt = 0; tt <= la[0] + lb[0]; ++tt)
+                for (int uu = 0; uu <= la[1] + lb[1]; ++uu)
+                  for (int vv = 0; vv <= la[2] + lb[2]; ++vv)
+                    sum += sp.ex(la[0], lb[0], tt) * sp.ey(la[1], lb[1], uu) *
+                           sp.ez(la[2], lb[2], vv) * r(tt, uu, vv);
+              const double val = -atom.z * pref * sum *
+                                 component_norm(sa.l, la) *
+                                 component_norm(sb.l, lb);
+              v(sa.ao_offset + ca, sb.ao_offset + cb) += val;
+              if (si != sj) v(sb.ao_offset + cb, sa.ao_offset + ca) += val;
+            }
+          }
+        }
+      }
+    }
+  });
+  return v;
+}
+
+std::array<linalg::Matrix, 3> dipole_matrices(
+    const BasisSet& basis, const std::array<double, 3>& origin) {
+  std::array<linalg::Matrix, 3> d;
+  for (auto& m : d) m.resize(basis.num_ao(), basis.num_ao());
+  for_each_shell_pair(basis, [&](std::size_t si, std::size_t sj) {
+    const Shell& sa = basis.shells()[si];
+    const Shell& sb = basis.shells()[sj];
+    for (const auto& pa : sa.primitives) {
+      for (const auto& pb : sb.primitives) {
+        // Extra unit of angular momentum on B: the moment integral is
+        //   <i| x - Ox |j> = S(i, j+1) + (Bx - Ox) S(i, j)
+        // per Cartesian direction (x = x_B + B_x exactly).
+        const auto sp = make_pair(sa, sb, pa.exponent, pb.exponent,
+                                  pa.coefficient, pb.coefficient, 0, 1);
+        const double pref = sp.cc * std::pow(pi / sp.p, 1.5);
+        const HermiteE* e3[3] = {&sp.ex, &sp.ey, &sp.ez};
+        for (std::size_t ca = 0; ca < sa.num_components(); ++ca) {
+          const auto la = cartesian_component(sa.l, ca);
+          for (std::size_t cb = 0; cb < sb.num_components(); ++cb) {
+            const auto lb = cartesian_component(sb.l, cb);
+            const double norm = component_norm(sa.l, la) *
+                                component_norm(sb.l, lb);
+            double s0[3], m1[3];
+            for (int dim = 0; dim < 3; ++dim) {
+              s0[dim] = (*e3[dim])(la[dim], lb[dim], 0);
+              m1[dim] = (*e3[dim])(la[dim], lb[dim] + 1, 0) +
+                        (sb.center[dim] - origin[dim]) * s0[dim];
+            }
+            for (int dim = 0; dim < 3; ++dim) {
+              double val = pref * norm;
+              for (int k = 0; k < 3; ++k)
+                val *= (k == dim) ? m1[k] : s0[k];
+              d[dim](sa.ao_offset + ca, sb.ao_offset + cb) += val;
+              if (si != sj)
+                d[dim](sb.ao_offset + cb, sa.ao_offset + ca) += val;
+            }
+          }
+        }
+      }
+    }
+  });
+  return d;
+}
+
+std::array<double, 3> nuclear_dipole(const chem::Molecule& mol,
+                                     const std::array<double, 3>& origin) {
+  std::array<double, 3> mu = {0, 0, 0};
+  for (const auto& atom : mol.atoms())
+    for (int d = 0; d < 3; ++d)
+      mu[d] += atom.z * (atom.xyz[d] - origin[d]);
+  return mu;
+}
+
+linalg::Matrix core_hamiltonian(const BasisSet& basis,
+                                const chem::Molecule& mol) {
+  linalg::Matrix h = kinetic_matrix(basis);
+  const linalg::Matrix v = nuclear_matrix(basis, mol);
+  for (std::size_t i = 0; i < h.rows(); ++i)
+    for (std::size_t j = 0; j < h.cols(); ++j) h(i, j) += v(i, j);
+  return h;
+}
+
+}  // namespace xfci::integrals

@@ -1,0 +1,36 @@
+#pragma once
+// One-electron integral matrices: overlap S, kinetic T, nuclear attraction V.
+
+#include <array>
+
+#include "chem/molecule.hpp"
+#include "integrals/basis.hpp"
+#include "linalg/matrix.hpp"
+
+namespace xfci::integrals {
+
+/// Overlap matrix S_{mn} = <m|n> over all AOs.
+linalg::Matrix overlap_matrix(const BasisSet& basis);
+
+/// Kinetic energy matrix T_{mn} = <m| -1/2 nabla^2 |n>.
+linalg::Matrix kinetic_matrix(const BasisSet& basis);
+
+/// Nuclear attraction matrix V_{mn} = <m| -sum_A Z_A / r_A |n>.
+linalg::Matrix nuclear_matrix(const BasisSet& basis,
+                              const chem::Molecule& mol);
+
+/// Core Hamiltonian T + V.
+linalg::Matrix core_hamiltonian(const BasisSet& basis,
+                                const chem::Molecule& mol);
+
+/// Electric dipole operator matrices <m| (r - origin)_d |n> for
+/// d = x, y, z.
+std::array<linalg::Matrix, 3> dipole_matrices(
+    const BasisSet& basis, const std::array<double, 3>& origin = {0, 0, 0});
+
+/// Nuclear dipole sum_A Z_A (R_A - origin).
+std::array<double, 3> nuclear_dipole(
+    const chem::Molecule& mol, const std::array<double, 3>& origin = {0, 0,
+                                                                      0});
+
+}  // namespace xfci::integrals

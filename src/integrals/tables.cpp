@@ -1,0 +1,120 @@
+#include "integrals/tables.hpp"
+
+#include "common/error.hpp"
+
+namespace xfci::integrals {
+
+IntegralTables IntegralTables::empty(std::size_t n) {
+  IntegralTables t;
+  t.norb = n;
+  t.h = linalg::Matrix(n, n);
+  t.eri = EriTensor(n);
+  t.orbital_irreps.assign(n, 0);
+  return t;
+}
+
+IntegralTables transform_to_mo(const linalg::Matrix& h_ao,
+                               const EriTensor& eri_ao,
+                               const linalg::Matrix& c) {
+  const std::size_t nao = h_ao.rows();
+  const std::size_t nmo = c.cols();
+  XFCI_REQUIRE(h_ao.cols() == nao, "h_ao must be square");
+  XFCI_REQUIRE(c.rows() == nao, "C row count must match AO count");
+  XFCI_REQUIRE(eri_ao.n() == nao, "eri_ao dimension mismatch");
+
+  IntegralTables t = IntegralTables::empty(nmo);
+
+  // One-electron: h_MO = C^T h C.
+  const linalg::Matrix tmp = h_ao * c;
+  const linalg::Matrix hmo = c.transposed() * tmp;
+  t.h = hmo;
+
+  // Two-electron: four quarter transformations.  We expand the packed AO
+  // tensor pairwise to keep the code simple; nao is modest (< ~100).
+  const std::size_t nao2 = nao * nao;
+  // Step 1+2: (pq|rs) -> (ij|rs) for MO pairs i >= j, stored packed:
+  // half(i(i+1)/2 + j, r*nao + s).
+  linalg::Matrix half(nmo * (nmo + 1) / 2, nao2);
+  {
+    // For each AO pair (r,s), transform the (..|rs) matrix over (p,q).
+    linalg::Matrix g(nao, nao);
+    for (std::size_t r = 0; r < nao; ++r) {
+      for (std::size_t s = 0; s <= r; ++s) {
+        for (std::size_t p = 0; p < nao; ++p)
+          for (std::size_t q = 0; q < nao; ++q)
+            g(p, q) = eri_ao(p, q, r, s);
+        const linalg::Matrix gc = c.transposed() * (g * c);  // nmo x nmo
+        for (std::size_t i = 0; i < nmo; ++i)
+          for (std::size_t j = 0; j <= i; ++j) {
+            half(i * (i + 1) / 2 + j, r * nao + s) = gc(i, j);
+            if (s != r) half(i * (i + 1) / 2 + j, s * nao + r) = gc(i, j);
+          }
+      }
+    }
+  }
+  // Step 3+4: (ij|rs) -> (ij|kl).
+  {
+    linalg::Matrix g(nao, nao);
+    for (std::size_t i = 0; i < nmo; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const std::size_t ij = i * (i + 1) / 2 + j;
+        for (std::size_t r = 0; r < nao; ++r)
+          for (std::size_t s = 0; s < nao; ++s)
+            g(r, s) = half(ij, r * nao + s);
+        const linalg::Matrix gc = c.transposed() * (g * c);
+        for (std::size_t k = 0; k < nmo; ++k)
+          for (std::size_t l = 0; l <= k; ++l) {
+            const std::size_t kl = k * (k + 1) / 2 + l;
+            if (kl > ij) continue;
+            t.eri.set(i, j, k, l, gc(k, l));
+          }
+      }
+    }
+  }
+  return t;
+}
+
+IntegralTables freeze_core(const IntegralTables& full, std::size_t ncore) {
+  XFCI_REQUIRE(ncore <= full.norb, "freeze_core: too many core orbitals");
+  const std::size_t nact = full.norb - ncore;
+  IntegralTables t = IntegralTables::empty(nact);
+  t.group = full.group;
+  t.orbital_irreps.resize(nact);
+  for (std::size_t p = 0; p < nact; ++p)
+    t.orbital_irreps[p] = full.orbital_irreps.empty()
+                              ? 0
+                              : full.orbital_irreps[ncore + p];
+
+  // Core energy: E_core += 2 sum_i h_ii + sum_ij [2 (ii|jj) - (ij|ji)].
+  double ecore = full.core_energy;
+  for (std::size_t i = 0; i < ncore; ++i) {
+    ecore += 2.0 * full.h(i, i);
+    for (std::size_t j = 0; j < ncore; ++j)
+      ecore += 2.0 * full.eri(i, i, j, j) - full.eri(i, j, j, i);
+  }
+  t.core_energy = ecore;
+
+  // Effective one-electron operator and copied active-space ERIs.
+  for (std::size_t p = 0; p < nact; ++p) {
+    for (std::size_t q = 0; q < nact; ++q) {
+      double v = full.h(ncore + p, ncore + q);
+      for (std::size_t i = 0; i < ncore; ++i)
+        v += 2.0 * full.eri(ncore + p, ncore + q, i, i) -
+             full.eri(ncore + p, i, i, ncore + q);
+      t.h(p, q) = v;
+    }
+  }
+  for (std::size_t p = 0; p < nact; ++p)
+    for (std::size_t q = 0; q <= p; ++q)
+      for (std::size_t r = 0; r <= p; ++r)
+        for (std::size_t s = 0; s <= r; ++s) {
+          const std::size_t pq = p * (p + 1) / 2 + q;
+          const std::size_t rs = r * (r + 1) / 2 + s;
+          if (rs > pq) continue;
+          t.eri.set(p, q, r, s,
+                    full.eri(ncore + p, ncore + q, ncore + r, ncore + s));
+        }
+  return t;
+}
+
+}  // namespace xfci::integrals

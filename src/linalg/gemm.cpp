@@ -1,0 +1,135 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xfci::linalg {
+namespace {
+
+// Cache-blocking parameters.  MC x KC panel of A lives in L2; KC x NC panel
+// of B in L3; the micro-kernel updates an MR x NR register tile.
+constexpr std::size_t kMc = 128;
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kNc = 2048;
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+// Packs an mc x kc block of op(A) into column-panel-major order:
+// consecutive MR-row strips, each strip stored kc-major so the micro-kernel
+// streams it linearly.
+void pack_a(bool trans, const double* a, std::size_t lda, std::size_t row0,
+            std::size_t col0, std::size_t mc, std::size_t kc, double* pa) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
+    const std::size_t mr = std::min(kMr, mc - i0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t i = 0; i < mr; ++i) {
+        const std::size_t r = row0 + i0 + i;
+        const std::size_t c = col0 + p;
+        *pa++ = trans ? a[c * lda + r] : a[r * lda + c];
+      }
+      for (std::size_t i = mr; i < kMr; ++i) *pa++ = 0.0;
+    }
+  }
+}
+
+// Packs a kc x nc block of op(B) into row-panel-major order: consecutive
+// NR-column strips, each strip stored kc-major.
+void pack_b(bool trans, const double* b, std::size_t ldb, std::size_t row0,
+            std::size_t col0, std::size_t kc, std::size_t nc, double* pb) {
+  for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
+    const std::size_t nr = std::min(kNr, nc - j0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        const std::size_t r = row0 + p;
+        const std::size_t c = col0 + j0 + j;
+        *pb++ = trans ? b[c * ldb + r] : b[r * ldb + c];
+      }
+      for (std::size_t j = nr; j < kNr; ++j) *pb++ = 0.0;
+    }
+  }
+}
+
+// MR x NR micro-kernel: acc += PA-strip * PB-strip over kc.  Written so GCC
+// keeps `acc` in vector registers.
+inline void micro_kernel(std::size_t kc, const double* pa, const double* pb,
+                         double acc[kMr][kNr]) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* apos = pa + p * kMr;
+    const double* bpos = pb + p * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const double av = apos[i];
+      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += av * bpos[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
+          std::size_t k, double alpha, const double* a, std::size_t lda,
+          const double* b, std::size_t ldb, double beta, double* c,
+          std::size_t ldc) {
+  XFCI_REQUIRE(ldc >= n, "gemm: ldc too small");
+  // Scale C by beta first (handles alpha == 0 / k == 0 uniformly).
+  if (beta == 0.0) {
+    for (std::size_t i = 0; i < m; ++i)
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0);
+  } else if (beta != 1.0) {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+  thread_local std::vector<double> pa_buf;
+  thread_local std::vector<double> pb_buf;
+  pa_buf.resize(kMc * kKc + kMr * kKc);
+  pb_buf.resize(kKc * kNc + kNr * kKc);
+
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      pack_b(transb, b, ldb, pc, jc, kc, nc, pb_buf.data());
+      for (std::size_t ic = 0; ic < m; ic += kMc) {
+        const std::size_t mc = std::min(kMc, m - ic);
+        pack_a(transa, a, lda, ic, pc, mc, kc, pa_buf.data());
+        // Macro-kernel over the packed panels.
+        for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
+          const std::size_t nr = std::min(kNr, nc - j0);
+          const double* pb = pb_buf.data() + (j0 / kNr) * (kc * kNr);
+          for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
+            const std::size_t mr = std::min(kMr, mc - i0);
+            const double* pa = pa_buf.data() + (i0 / kMr) * (kc * kMr);
+            double acc[kMr][kNr] = {};
+            micro_kernel(kc, pa, pb, acc);
+            double* cblk = c + (ic + i0) * ldc + jc + j0;
+            for (std::size_t i = 0; i < mr; ++i)
+              for (std::size_t j = 0; j < nr; ++j)
+                cblk[i * ldc + j] += alpha * acc[i][j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_reference(bool transa, bool transb, std::size_t m, std::size_t n,
+                    std::size_t k, double alpha, const double* a,
+                    std::size_t lda, const double* b, std::size_t ldb,
+                    double beta, double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = transa ? a[p * lda + i] : a[i * lda + p];
+        const double bv = transb ? b[j * ldb + p] : b[p * ldb + j];
+        s += av * bv;
+      }
+      c[i * ldc + j] = alpha * s + (beta == 0.0 ? 0.0 : beta * c[i * ldc + j]);
+    }
+  }
+}
+
+}  // namespace xfci::linalg

@@ -1,0 +1,101 @@
+#include "parallel/machine.hpp"
+
+#include <algorithm>
+
+namespace xfci::pv {
+
+Machine::Machine(std::size_t num_ranks, x1::CostModel model)
+    : model_(model),
+      clocks_(num_ranks, 0.0),
+      flops_(num_ranks, 0.0),
+      recv_busy_(num_ranks, 0.0),
+      counters_(num_ranks) {
+  XFCI_REQUIRE(num_ranks >= 1, "machine needs at least one rank");
+}
+
+std::size_t Machine::earliest_rank() const {
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < clocks_.size(); ++r)
+    if (clocks_[r] < clocks_[best]) best = r;
+  return best;
+}
+
+void Machine::record_get(std::size_t rank, std::size_t owner, double words) {
+  if (rank != owner) {
+    charge(rank, model_.get_seconds(words));
+    counters_.at(rank).get_words += words;
+  } else {
+    charge(rank, model_.indexed_seconds(words));
+  }
+  ++counters_.at(rank).get_calls;
+}
+
+void Machine::record_acc(std::size_t rank, std::size_t owner, double words) {
+  if (rank != owner) {
+    charge(rank, model_.acc_seconds(words));
+    counters_.at(rank).acc_words += words;
+    recv_busy_.at(owner) += model_.acc_target_seconds(words);
+  } else {
+    charge(rank, model_.indexed_seconds(words));
+  }
+  ++counters_.at(rank).acc_calls;
+}
+
+void Machine::record_put(std::size_t rank, std::size_t owner, double words) {
+  if (rank != owner) {
+    charge(rank, model_.get_seconds(words));
+    counters_.at(rank).put_words += words;
+  } else {
+    charge(rank, model_.indexed_seconds(words));
+  }
+  ++counters_.at(rank).put_calls;
+}
+
+void Machine::record_alltoall(std::size_t rank, std::size_t peers,
+                              double remote_words) {
+  if (peers == 0 || remote_words <= 0.0) return;
+  charge(rank, static_cast<double>(peers) * model_.get_latency +
+                   8.0 * remote_words / model_.get_bandwidth);
+  counters_.at(rank).get_words += remote_words;
+  counters_.at(rank).get_calls += peers;
+}
+
+void Machine::record_dlb_request(std::size_t rank) {
+  // Serialized at the server: the request starts when both the rank and
+  // the server are free.
+  const double start = std::max(clocks_.at(rank), server_free_);
+  server_free_ = start + model_.dlb_latency;
+  clocks_.at(rank) = server_free_;
+  ++counters_.at(rank).dlb_calls;
+}
+
+double Machine::barrier() {
+  const auto [lo_it, hi_it] =
+      std::minmax_element(clocks_.begin(), clocks_.end());
+  double t = *hi_it;
+  last_imbalance_ = *hi_it - *lo_it;
+  // Receiver congestion: a node cannot have absorbed accumulates faster
+  // than its receive bandwidth allows.
+  for (double b : recv_busy_) t = std::max(t, b);
+  t = std::max(t, server_free_);
+  t += model_.barrier_cost;
+  std::fill(clocks_.begin(), clocks_.end(), t);
+  std::fill(recv_busy_.begin(), recv_busy_.end(), t);
+  server_free_ = t;
+  return t;
+}
+
+double Machine::elapsed() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+void Machine::reset() {
+  std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  std::fill(flops_.begin(), flops_.end(), 0.0);
+  std::fill(recv_busy_.begin(), recv_busy_.end(), 0.0);
+  server_free_ = 0.0;
+  last_imbalance_ = 0.0;
+  for (auto& c : counters_) c = CommCounters{};
+}
+
+}  // namespace xfci::pv

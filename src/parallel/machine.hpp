@@ -1,0 +1,118 @@
+#pragma once
+// A deterministic virtual parallel machine.
+//
+// The paper's implementation runs on P Cray-X1 MSPs communicating through
+// one-sided DDI/SHMEM operations.  This host is a single core, so xfci
+// reproduces the parallel behaviour with a discrete-event simulation: the
+// P ranks are logical entities with individual simulated clocks; all rank
+// work is executed for real (the numerics are exact), and every kernel and
+// communication event charges simulated time from the x1::CostModel.
+//
+// Determinism: scheduling decisions (e.g. which rank receives the next
+// dynamic-load-balancing task) are made on simulated time with rank-id tie
+// breaking, so a run is a pure function of its inputs -- no OS-thread
+// nondeterminism.  Receiver-side congestion of accumulates and of the DLB
+// server is modeled with per-target busy-time accounting.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "x1/cost_model.hpp"
+
+namespace xfci::pv {
+
+/// Per-rank communication counters (words are doubles).
+struct CommCounters {
+  double get_words = 0.0;
+  double acc_words = 0.0;  ///< logical payload words (wire traffic is 2x)
+  double put_words = 0.0;
+  std::size_t get_calls = 0;
+  std::size_t acc_calls = 0;
+  std::size_t put_calls = 0;
+  std::size_t dlb_calls = 0;
+};
+
+class Machine {
+ public:
+  Machine(std::size_t num_ranks, x1::CostModel model = {});
+
+  std::size_t num_ranks() const { return clocks_.size(); }
+  const x1::CostModel& model() const { return model_; }
+
+  // --- simulated clocks -----------------------------------------------------
+  double clock(std::size_t rank) const { return clocks_.at(rank); }
+  void charge(std::size_t rank, double seconds) {
+    XFCI_ASSERT(seconds >= 0.0, "negative time charge");
+    clocks_.at(rank) += seconds;
+  }
+  void charge_dgemm(std::size_t rank, std::size_t m, std::size_t n,
+                    std::size_t k) {
+    charge(rank, model_.dgemm_seconds(m, n, k));
+    flops_.at(rank) += 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+  }
+  void charge_daxpy_flops(std::size_t rank, double flops) {
+    charge(rank, model_.daxpy_seconds(flops));
+    flops_.at(rank) += flops;
+  }
+  void charge_indexed(std::size_t rank, double words) {
+    charge(rank, model_.indexed_seconds(words));
+  }
+
+  /// Rank with the smallest clock (ties broken by rank id); used by the
+  /// dynamic-load-balance scheduler.
+  std::size_t earliest_rank() const;
+
+  // --- one-sided communication accounting ------------------------------------
+  // Data movement itself is performed by the caller (the DistVector layer);
+  // the machine charges time and tracks congestion.
+  void record_get(std::size_t rank, std::size_t owner, double words);
+  void record_acc(std::size_t rank, std::size_t owner, double words);
+  void record_put(std::size_t rank, std::size_t owner, double words);
+
+  /// One dynamic-load-balancing request (SHMEM_SWAP on the server rank):
+  /// serialized at the server; returns nothing, the task id is managed by
+  /// the TaskPool.
+  void record_dlb_request(std::size_t rank);
+
+  /// All-to-all participation of one rank: `remote_words` spread over
+  /// `peers` messages (used by the distributed transpose and the MOC
+  /// collective gather).
+  void record_alltoall(std::size_t rank, std::size_t peers,
+                       double remote_words);
+
+  const CommCounters& counters(std::size_t rank) const {
+    return counters_.at(rank);
+  }
+
+  /// Flops charged on a rank since construction / last reset.
+  double flops(std::size_t rank) const { return flops_.at(rank); }
+
+  // --- synchronization --------------------------------------------------------
+  /// Barrier: every clock advances to the same value -- the maximum of all
+  /// rank clocks and all receiver busy times -- plus the barrier cost.
+  /// Returns the synchronized time.
+  double barrier();
+
+  /// Spread between the latest and the earliest rank at the last barrier:
+  /// the "Load Imbalance" row of Table 3.
+  double last_imbalance() const { return last_imbalance_; }
+
+  /// Maximum clock over ranks (current makespan).
+  double elapsed() const;
+
+  /// Zeroes clocks, counters and congestion state.
+  void reset();
+
+ private:
+  x1::CostModel model_;
+  std::vector<double> clocks_;
+  std::vector<double> flops_;
+  std::vector<double> recv_busy_;  // receiver congestion accumulators
+  double server_free_ = 0.0;       // DLB server availability
+  double last_imbalance_ = 0.0;
+  std::vector<CommCounters> counters_;
+};
+
+}  // namespace xfci::pv

@@ -1,0 +1,72 @@
+#include "parallel/task_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xfci::pv {
+
+TaskPool::TaskPool(std::size_t num_items, std::size_t num_ranks,
+                   const TaskPoolParams& params) {
+  XFCI_REQUIRE(num_ranks >= 1, "task pool needs at least one rank");
+  if (num_items == 0) return;
+
+  // Fine granularity: NFineTask_proc tasks per rank.
+  const std::size_t nfine =
+      std::max<std::size_t>(1, params.nfine_per_rank * num_ranks);
+  const std::size_t fine_size =
+      std::max<std::size_t>(1, num_items / nfine);
+
+  if (!params.aggregate) {
+    for (std::size_t b = 0; b < num_items; b += fine_size)
+      chunks_.emplace_back(b, std::min(b + fine_size, num_items));
+    return;
+  }
+
+  // Tail: NStask_proc fine tasks per rank (or less if the pool is small).
+  const std::size_t nsmall = params.nsmall_per_rank * num_ranks;
+  const std::size_t tail_items =
+      std::min(num_items, nsmall * fine_size);
+  const std::size_t head_items = num_items - tail_items;
+
+  // Head: NLtask_proc large tasks per rank with linearly decreasing sizes
+  // (task i gets weight NL - i).
+  const std::size_t nlarge =
+      std::max<std::size_t>(1, params.nlarge_per_rank * num_ranks);
+  if (head_items > 0) {
+    const double total_weight =
+        0.5 * static_cast<double>(nlarge) * static_cast<double>(nlarge + 1);
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < nlarge && begin < head_items; ++i) {
+      const double w = static_cast<double>(nlarge - i) / total_weight;
+      std::size_t size = static_cast<std::size_t>(
+          w * static_cast<double>(head_items) + 0.5);
+      size = std::max<std::size_t>(size, 1);
+      const std::size_t end = std::min(begin + size, head_items);
+      chunks_.emplace_back(begin, end);
+      begin = end;
+    }
+    // Rounding remainder goes to the tail region boundary.
+    if (begin < head_items) chunks_.emplace_back(begin, head_items);
+  }
+
+  // Fine-grained tail.
+  for (std::size_t b = head_items; b < num_items; b += fine_size)
+    chunks_.emplace_back(b, std::min(b + fine_size, num_items));
+
+  // Sanity: the chunks tile [0, num_items).
+  std::size_t covered = 0;
+  for (const auto& [b, e] : chunks_) {
+    XFCI_ASSERT(b == covered && e > b, "task pool chunks must tile the range");
+    covered = e;
+  }
+  XFCI_ASSERT(covered == num_items, "task pool must cover all items");
+}
+
+std::size_t TaskPool::max_chunk_size() const {
+  std::size_t m = 0;
+  for (const auto& [b, e] : chunks_) m = std::max(m, e - b);
+  return m;
+}
+
+}  // namespace xfci::pv

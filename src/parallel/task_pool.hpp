@@ -1,0 +1,48 @@
+#pragma once
+// Dynamic-load-balancing task pool with aggregation (paper section 3.3 and
+// Fig. 3).
+//
+// The mixed-spin work is a long list of fine-grained items (one per alpha
+// (N-1)-electron string).  Issuing them one by one gives the best balance
+// but hammers the DLB server; issuing huge blocks starves it.  The paper's
+// compromise: aggregate the front of the pool into large tasks of
+// *decreasing* size, and keep a short tail of fine-grained tasks so the
+// worst-case imbalance is bounded by the fine granularity.
+//
+// Three parameters (exactly the paper's): NFineTask_proc fine tasks per
+// processor define the granularity; NLtask_proc aggregated large tasks per
+// processor; NStask_proc small tail tasks per processor.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace xfci::pv {
+
+struct TaskPoolParams {
+  std::size_t nfine_per_rank = 16;  ///< NFineTask_proc
+  std::size_t nlarge_per_rank = 4;  ///< NLtask_proc
+  std::size_t nsmall_per_rank = 8;  ///< NStask_proc
+  bool aggregate = true;  ///< false: issue raw fine tasks (ablation)
+};
+
+/// Splits `num_items` work items into an ordered list of [begin, end)
+/// chunks: large chunks of decreasing size first, then the fine tail.
+class TaskPool {
+ public:
+  TaskPool(std::size_t num_items, std::size_t num_ranks,
+           const TaskPoolParams& params = {});
+
+  std::size_t num_chunks() const { return chunks_.size(); }
+  std::pair<std::size_t, std::size_t> chunk(std::size_t i) const {
+    return chunks_.at(i);
+  }
+
+  /// Size of the largest chunk (bounds the tail-end imbalance).
+  std::size_t max_chunk_size() const;
+
+ private:
+  std::vector<std::pair<std::size_t, std::size_t>> chunks_;
+};
+
+}  // namespace xfci::pv

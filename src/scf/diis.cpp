@@ -1,0 +1,45 @@
+#include "scf/diis.hpp"
+
+#include "common/error.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/solve.hpp"
+
+namespace xfci::scf {
+
+linalg::Matrix Diis::extrapolate(const linalg::Matrix& fock,
+                                 const linalg::Matrix& error) {
+  focks_.push_back(fock);
+  errors_.push_back(error);
+  if (focks_.size() > max_history_) {
+    focks_.pop_front();
+    errors_.pop_front();
+  }
+  const std::size_t m = focks_.size();
+  if (m < 2) return fock;
+
+  // B_ij = <e_i | e_j>, bordered by the -1 constraint row/column.
+  linalg::Matrix b(m + 1, m + 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = linalg::dot(errors_[i].span(), errors_[j].span());
+      b(i, j) = v;
+      b(j, i) = v;
+    }
+    b(i, m) = -1.0;
+    b(m, i) = -1.0;
+  }
+  b(m, m) = 0.0;
+  std::vector<double> rhs(m + 1, 0.0);
+  rhs[m] = -1.0;
+
+  // The bordered system can be nearly singular late in the SCF; the
+  // pseudo-inverse solve keeps it stable.
+  const std::vector<double> c = linalg::sym_solve_pinv(b, rhs, 1e-14);
+
+  linalg::Matrix out(fock.rows(), fock.cols());
+  for (std::size_t i = 0; i < m; ++i)
+    linalg::daxpy(c[i], focks_[i].span(), out.span());
+  return out;
+}
+
+}  // namespace xfci::scf

@@ -1,0 +1,35 @@
+#pragma once
+// DIIS (direct inversion in the iterative subspace) convergence acceleration
+// for the SCF.  Standard Pulay formulation: extrapolate the Fock matrix from
+// the stored history with coefficients minimizing the norm of the
+// extrapolated error vector subject to sum(c) = 1.
+
+#include <deque>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace xfci::scf {
+
+class Diis {
+ public:
+  /// `max_history`: number of (F, error) pairs retained.
+  explicit Diis(std::size_t max_history = 8) : max_history_(max_history) {}
+
+  /// Stores a new Fock/error pair and returns the extrapolated Fock matrix.
+  /// With fewer than 2 stored pairs, returns `fock` unchanged.
+  linalg::Matrix extrapolate(const linalg::Matrix& fock,
+                             const linalg::Matrix& error);
+
+  void clear() {
+    focks_.clear();
+    errors_.clear();
+  }
+
+ private:
+  std::size_t max_history_;
+  std::deque<linalg::Matrix> focks_;
+  std::deque<linalg::Matrix> errors_;
+};
+
+}  // namespace xfci::scf

@@ -1,0 +1,114 @@
+#include "scf/mosym.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+
+namespace xfci::scf {
+namespace {
+
+// Applies the AO representation of operation `map` to MO column k of c:
+// out[image[mu]] = sign[mu] * c(mu, k).
+std::vector<double> apply_op(const integrals::BasisSet::AoMap& map,
+                             const linalg::Matrix& c, std::size_t k) {
+  std::vector<double> out(c.rows(), 0.0);
+  for (std::size_t mu = 0; mu < c.rows(); ++mu)
+    out[map.image[mu]] += map.sign[mu] * c(mu, k);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> symmetrize_orbitals(
+    linalg::Matrix& c, const std::vector<double>& orbital_energies,
+    const linalg::Matrix& s, const integrals::BasisSet& basis,
+    const chem::Molecule& mol, const chem::PointGroup& group,
+    double degeneracy_tol, double character_tol) {
+  const std::size_t nmo = c.cols();
+  XFCI_REQUIRE(orbital_energies.size() == nmo,
+               "orbital energy count mismatch");
+  const std::size_t nops = group.order();
+
+  std::vector<integrals::BasisSet::AoMap> maps;
+  maps.reserve(nops);
+  for (std::size_t o = 0; o < nops; ++o)
+    maps.push_back(basis.ao_mapping(mol, group, o));
+
+  const linalg::Matrix sc_all = s * c;  // nao x nmo; (S C) columns
+
+  // M_o(k, l) = <mo_k | R_o | mo_l> = (S C)_k . (R_o C)_l.
+  // Build all operator matrices once.
+  std::vector<linalg::Matrix> m_ops(nops, linalg::Matrix(nmo, nmo));
+  for (std::size_t o = 0; o < nops; ++o) {
+    for (std::size_t l = 0; l < nmo; ++l) {
+      const auto rc = apply_op(maps[o], c, l);
+      for (std::size_t k = 0; k < nmo; ++k) {
+        double v = 0.0;
+        for (std::size_t mu = 0; mu < c.rows(); ++mu)
+          v += sc_all(mu, k) * rc[mu];
+        m_ops[o](k, l) = v;
+      }
+    }
+  }
+
+  // Rotate each degenerate cluster onto eigenvectors of a generic weighted
+  // sum of the commuting operator matrices; distinct character vectors get
+  // distinct eigenvalues because the weights are rationally independent.
+  std::vector<double> weights(nops);
+  for (std::size_t o = 0; o < nops; ++o)
+    weights[o] = std::sqrt(2.0 + static_cast<double>(o));
+
+  std::size_t start = 0;
+  while (start < nmo) {
+    std::size_t end = start + 1;
+    while (end < nmo && std::abs(orbital_energies[end] -
+                                 orbital_energies[end - 1]) < degeneracy_tol)
+      ++end;
+    const std::size_t nd = end - start;
+    if (nd > 1) {
+      linalg::Matrix a(nd, nd);
+      for (std::size_t i = 0; i < nd; ++i)
+        for (std::size_t j = 0; j < nd; ++j) {
+          double v = 0.0;
+          for (std::size_t o = 0; o < nops; ++o)
+            v += weights[o] * m_ops[o](start + i, start + j);
+          a(i, j) = v;
+        }
+      const auto eig = linalg::eigh(a);
+      // C_cluster <- C_cluster * V.
+      linalg::Matrix newcols(c.rows(), nd);
+      for (std::size_t mu = 0; mu < c.rows(); ++mu)
+        for (std::size_t j = 0; j < nd; ++j) {
+          double v = 0.0;
+          for (std::size_t i = 0; i < nd; ++i)
+            v += c(mu, start + i) * eig.vectors(i, j);
+          newcols(mu, j) = v;
+        }
+      for (std::size_t mu = 0; mu < c.rows(); ++mu)
+        for (std::size_t j = 0; j < nd; ++j) c(mu, start + j) = newcols(mu, j);
+    }
+    start = end;
+  }
+
+  // Measure characters of the (now pure) orbitals and assign irreps.
+  const linalg::Matrix sc2 = s * c;
+  std::vector<std::size_t> irreps(nmo);
+  for (std::size_t k = 0; k < nmo; ++k) {
+    std::vector<int> chi(nops);
+    for (std::size_t o = 0; o < nops; ++o) {
+      const auto rc = apply_op(maps[o], c, k);
+      double v = 0.0;
+      for (std::size_t mu = 0; mu < c.rows(); ++mu) v += sc2(mu, k) * rc[mu];
+      XFCI_REQUIRE(std::abs(std::abs(v) - 1.0) < character_tol,
+                   "orbital " + std::to_string(k) +
+                       " has impure character under " +
+                       group.ops()[o].name());
+      chi[o] = (v > 0.0) ? 1 : -1;
+    }
+    irreps[k] = group.irrep_from_characters(chi);
+  }
+  return irreps;
+}
+
+}  // namespace xfci::scf

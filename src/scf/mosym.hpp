@@ -1,0 +1,30 @@
+#pragma once
+// Molecular-orbital symmetry: rotates degenerate SCF orbitals onto symmetry
+// eigenvectors of the abelian point group and assigns an irrep label to
+// every orbital.  The FCI layer uses these labels to block the CI vector
+// (paper section 3.1: "In cases where the coefficients matrix is symmetry
+// blocked, each blocked matrix is distributed separately").
+
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "chem/pointgroup.hpp"
+#include "integrals/basis.hpp"
+#include "linalg/matrix.hpp"
+
+namespace xfci::scf {
+
+/// In-place symmetry cleanup of the MO coefficients `c` (AO x MO):
+/// orbitals within each degenerate cluster (|de| < degeneracy_tol) are
+/// rotated so each carries a pure irrep, then every orbital's character
+/// vector is measured and matched.  Returns the irrep index of each MO.
+///
+/// Throws if an orbital cannot be assigned a pure irrep (molecule/basis not
+/// actually symmetric under `group`).
+std::vector<std::size_t> symmetrize_orbitals(
+    linalg::Matrix& c, const std::vector<double>& orbital_energies,
+    const linalg::Matrix& s, const integrals::BasisSet& basis,
+    const chem::Molecule& mol, const chem::PointGroup& group,
+    double degeneracy_tol = 1e-6, double character_tol = 1e-4);
+
+}  // namespace xfci::scf

@@ -1,0 +1,69 @@
+#pragma once
+// Self-consistent field: restricted (RHF) and restricted open-shell (ROHF)
+// Hartree-Fock.  Provides the molecular orbitals and the reference energy
+// from which the FCI integral tables are built.
+
+#include <array>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "integrals/basis.hpp"
+#include "integrals/tables.hpp"
+#include "integrals/two_electron.hpp"
+#include "linalg/matrix.hpp"
+
+namespace xfci::scf {
+
+struct ScfOptions {
+  std::size_t max_iterations = 200;
+  double energy_tolerance = 1e-11;   ///< |dE| between iterations
+  double density_tolerance = 1e-8;   ///< max |dD|
+  std::size_t diis_history = 8;
+  double level_shift = 0.0;          ///< virtual-orbital shift (hartree)
+};
+
+struct ScfResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double energy = 0.0;               ///< total energy incl. nuclear repulsion
+  linalg::Matrix coefficients;       ///< AO x MO
+  std::vector<double> orbital_energies;
+  std::size_t num_alpha = 0;
+  std::size_t num_beta = 0;
+};
+
+/// Closed-shell RHF.  Electron count must be even.
+ScfResult rhf(const chem::Molecule& mol, const integrals::BasisSet& basis,
+              const ScfOptions& options = {});
+
+/// Restricted open-shell HF with `multiplicity` = 2S+1 (Guest-Saunders
+/// effective Fock).  multiplicity = 1 reduces to RHF.
+ScfResult rohf(const chem::Molecule& mol, const integrals::BasisSet& basis,
+               std::size_t multiplicity, const ScfOptions& options = {});
+
+/// Convenience driver: SCF, orbital symmetry cleanup and labelling under
+/// the detected (or given) point group, then AO->MO transformation.
+/// Returns MO integral tables ready for FCI, with orbital_irreps filled.
+struct MoSystem {
+  ScfResult scf;
+  integrals::IntegralTables tables;
+};
+MoSystem prepare_mo_system(const chem::Molecule& mol,
+                           const integrals::BasisSet& basis,
+                           std::size_t multiplicity,
+                           const std::string& group_name = "auto",
+                           const ScfOptions& options = {});
+
+/// MO-basis dipole operator matrices C^T D_ao C for d = x, y, z.
+std::array<linalg::Matrix, 3> mo_dipole_matrices(
+    const integrals::BasisSet& basis, const linalg::Matrix& c,
+    const std::array<double, 3>& origin = {0, 0, 0});
+
+/// Fock-matrix builders (exposed for tests).
+/// J_pq = sum_rs D_rs (pq|rs);  K_pq = sum_rs D_rs (pr|qs).
+linalg::Matrix coulomb_matrix(const integrals::EriTensor& eri,
+                              const linalg::Matrix& d);
+linalg::Matrix exchange_matrix(const integrals::EriTensor& eri,
+                               const linalg::Matrix& d);
+
+}  // namespace xfci::scf

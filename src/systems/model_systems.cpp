@@ -1,0 +1,39 @@
+#include "systems/model_systems.hpp"
+
+#include "common/error.hpp"
+
+namespace xfci::systems {
+
+integrals::IntegralTables hubbard_chain(std::size_t nsites, double t,
+                                        double u, bool periodic) {
+  XFCI_REQUIRE(nsites >= 2, "hubbard chain needs at least two sites");
+  auto tables = integrals::IntegralTables::empty(nsites);
+  for (std::size_t i = 0; i + 1 < nsites; ++i) {
+    tables.h(i, i + 1) = -t;
+    tables.h(i + 1, i) = -t;
+  }
+  if (periodic && nsites > 2) {
+    tables.h(0, nsites - 1) = -t;
+    tables.h(nsites - 1, 0) = -t;
+  }
+  // On-site repulsion: (ii|ii) = U gives exactly U n_up n_dn per site.
+  for (std::size_t i = 0; i < nsites; ++i) tables.eri.set(i, i, i, i, u);
+  return tables;
+}
+
+integrals::IntegralTables pairing_model(std::size_t nlevels, double spacing,
+                                        double g) {
+  XFCI_REQUIRE(nlevels >= 2, "pairing model needs at least two levels");
+  auto tables = integrals::IntegralTables::empty(nlevels);
+  for (std::size_t p = 0; p < nlevels; ++p)
+    tables.h(p, p) = spacing * static_cast<double>(p);
+  // (pq|pq) = -g produces the pair-scattering -g P+_p P-_q (including the
+  // diagonal p = q attraction); no other operator terms arise from these
+  // packed elements.
+  for (std::size_t p = 0; p < nlevels; ++p)
+    for (std::size_t q = 0; q < nlevels; ++q)
+      tables.eri.set(p, q, p, q, -g);
+  return tables;
+}
+
+}  // namespace xfci::systems

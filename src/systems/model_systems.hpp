@@ -1,0 +1,28 @@
+#pragma once
+// Model Hamiltonians expressed as IntegralTables: lattice models whose FCI
+// solutions are textbook material.  They exercise the same sigma/solver
+// machinery as the molecular systems with none of the integral machinery,
+// and give the benchmarks arbitrarily scalable, perfectly reproducible
+// inputs.
+
+#include <cstddef>
+
+#include "integrals/tables.hpp"
+
+namespace xfci::systems {
+
+/// One-dimensional Hubbard model,
+///   H = -t sum_{<ij>, sigma} (a+_i a_j + h.c.) + U sum_i n_i^up n_i^dn,
+/// on `nsites` sites, open or periodic boundary.  Site basis: h_ij = -t on
+/// bonds, (ii|ii) = U.
+integrals::IntegralTables hubbard_chain(std::size_t nsites, double t,
+                                        double u, bool periodic = false);
+
+/// Pairing (reduced BCS) model: h_pp = level spacing * p,
+/// (p q) pair-scattering element -g for all level pairs -- a minimal
+/// strongly correlated closed-shell test case:
+///   H = sum_p eps_p (n_p^up + n_p^dn) - g sum_{pq} P+_p P-_q.
+integrals::IntegralTables pairing_model(std::size_t nlevels, double spacing,
+                                        double g);
+
+}  // namespace xfci::systems

@@ -1,0 +1,154 @@
+#include "systems/standard_systems.hpp"
+
+#include "fci/fci.hpp"
+#include "chem/pointgroup.hpp"
+#include "integrals/basis.hpp"
+#include "scf/scf.hpp"
+
+namespace xfci::systems {
+namespace {
+
+PreparedSystem prepare(std::string name, const chem::Molecule& mol,
+                       std::size_t multiplicity, const SpaceOptions& opt) {
+  const auto basis = integrals::BasisSet::build(opt.basis, mol);
+  // Plain DIIS first; on failure (e.g. stretched bonds) retry with
+  // increasing level shifts.
+  scf::MoSystem sys;
+  bool done = false;
+  std::string last_error;
+  for (const double shift : {0.0, 0.3, 1.0}) {
+    scf::ScfOptions scf_opt;
+    scf_opt.level_shift = shift;
+    scf_opt.max_iterations = 400;
+    try {
+      sys = scf::prepare_mo_system(mol, basis, multiplicity, "auto",
+                                   scf_opt);
+      done = true;
+      break;
+    } catch (const Error& e) {
+      last_error = e.what();
+    }
+  }
+  XFCI_REQUIRE(done, "SCF failed for " + name + ": " + last_error);
+
+  integrals::IntegralTables tables = sys.tables;
+  std::size_t nalpha = sys.scf.num_alpha;
+  std::size_t nbeta = sys.scf.num_beta;
+  if (opt.freeze_core > 0) {
+    XFCI_REQUIRE(opt.freeze_core <= nbeta,
+                 "cannot freeze more orbitals than doubly occupied");
+    tables = integrals::freeze_core(tables, opt.freeze_core);
+    nalpha -= opt.freeze_core;
+    nbeta -= opt.freeze_core;
+  }
+  if (opt.max_orbitals > 0 && opt.max_orbitals < tables.norb)
+    tables = fci::truncate_orbitals(tables, opt.max_orbitals);
+  if (!opt.use_symmetry) {
+    tables.group = chem::PointGroup::make("C1");
+    tables.orbital_irreps.assign(tables.norb, 0);
+  }
+
+  PreparedSystem out;
+  out.name = std::move(name);
+  out.tables = std::move(tables);
+  out.nalpha = nalpha;
+  out.nbeta = nbeta;
+  out.scf_energy = sys.scf.energy;
+  out.ground_irrep = 0;  // totally symmetric unless overridden by caller
+  return out;
+}
+
+}  // namespace
+
+PreparedSystem h2(double r, const SpaceOptions& opt) {
+  const auto mol = chem::Molecule::from_xyz_bohr(
+      "H 0 0 " + std::to_string(-0.5 * r) + "\nH 0 0 " +
+      std::to_string(0.5 * r) + "\n");
+  return prepare("H2", mol, 1, opt);
+}
+
+PreparedSystem water(const SpaceOptions& opt) {
+  const auto mol = chem::Molecule::from_xyz_bohr(
+      "O 0.0 0.0 -0.143225816552\n"
+      "H 1.638036840407 0.0 1.136548822547\n"
+      "H -1.638036840407 0.0 1.136548822547\n");
+  return prepare("H2O", mol, 1, opt);
+}
+
+PreparedSystem methanol(const SpaceOptions& opt) {
+  // C-O along z; staggered methyl; generic C1 geometry (angstrom).
+  const auto mol = chem::Molecule::from_xyz_angstrom(
+      "C 0.0000 0.0000 0.0000\n"
+      "O 0.0000 0.0000 1.4280\n"
+      "H 0.9300 0.3100 1.7460\n"
+      "H 1.0270 0.0000 -0.3730\n"
+      "H -0.5135 -0.8894 -0.3730\n"
+      "H -0.5135 0.8894 -0.3730\n");
+  return prepare("H3COH", mol, 1, opt);
+}
+
+PreparedSystem hydrogen_peroxide(const SpaceOptions& opt) {
+  // O-O along x, C2 axis along z (angstrom): O-O 1.475, O-H 0.95,
+  // <OOH 94.8 deg, dihedral 111.5 deg.
+  const auto mol = chem::Molecule::from_xyz_angstrom(
+      "O 0.7375 0.0 0.0\n"
+      "O -0.7375 0.0 0.0\n"
+      "H 0.8170 0.5328 0.7825\n"
+      "H -0.8170 -0.5328 0.7825\n");
+  return prepare("H2O2", mol, 1, opt);
+}
+
+PreparedSystem cn_cation(const SpaceOptions& opt) {
+  // CN+ X 1Sigma+; strong multireference character at equilibrium.
+  const auto mol = chem::Molecule::from_xyz_angstrom(
+      "C 0 0 0\nN 0 0 1.25\n", +1);
+  return prepare("CN+", mol, 1, opt);
+}
+
+PreparedSystem oxygen_atom(const SpaceOptions& opt) {
+  const auto mol = chem::Molecule::from_xyz_bohr("O 0 0 0\n");
+  auto sys = prepare("O", mol, 3, opt);
+  return sys;
+}
+
+PreparedSystem oxygen_anion(const SpaceOptions& opt) {
+  const auto mol = chem::Molecule::from_xyz_bohr("O 0 0 0\n", -1);
+  return prepare("O-", mol, 2, opt);
+}
+
+PreparedSystem carbon_dimer(const SpaceOptions& opt) {
+  const auto mol = chem::Molecule::from_xyz_angstrom(
+      "C 0 0 -0.62125\nC 0 0 0.62125\n");
+  return prepare("C2", mol, 1, opt);
+}
+
+std::size_t find_ground_irrep(const PreparedSystem& sys,
+                              std::size_t max_iterations) {
+  double best = 1e300;
+  std::size_t best_h = 0;
+  for (std::size_t h = 0; h < sys.tables.group.num_irreps(); ++h) {
+    const fci::CiSpace probe(sys.tables.norb, sys.nalpha, sys.nbeta,
+                             sys.tables.group, sys.tables.orbital_irreps, h);
+    if (probe.dimension() == 0) continue;
+    fci::FciOptions opt;
+    opt.solver.method = fci::Method::kDavidson;
+    opt.solver.max_iterations = max_iterations;
+    opt.solver.residual_tolerance = 1e-4;
+    opt.solver.energy_tolerance = 1e-7;
+    const auto res = fci::run_fci(sys.tables, sys.nalpha, sys.nbeta, h, opt);
+    if (res.solve.energy < best) {
+      best = res.solve.energy;
+      best_h = h;
+    }
+  }
+  return best_h;
+}
+
+std::size_t scf_determinant_irrep(const PreparedSystem& sys) {
+  std::size_t h = 0;
+  for (std::size_t p = sys.nbeta; p < sys.nalpha; ++p)
+    h = sys.tables.group.product(h, sys.tables.orbital_irreps.at(p));
+  return h;
+}
+
+}  // namespace xfci::systems

@@ -1,0 +1,77 @@
+#pragma once
+// The paper's benchmark systems, prepared end-to-end: geometry -> basis ->
+// SCF -> symmetry-labelled MO integrals -> (optional) frozen core and
+// virtual truncation.  Shared by the benchmark harnesses and the examples.
+//
+// The paper ran these molecules in large correlation-consistent bases on
+// 16-432 Cray-X1 MSPs (CI dimensions 18 million - 65 billion).  Here the
+// same molecules run in bases scaled to a single node; every code path
+// (symmetry blocking, open shells, multireference character) is preserved.
+// DESIGN.md section 2 documents the substitution.
+
+#include <string>
+
+#include "chem/molecule.hpp"
+#include "integrals/tables.hpp"
+
+namespace xfci::systems {
+
+/// A fully prepared correlated system.
+struct PreparedSystem {
+  std::string name;
+  integrals::IntegralTables tables;  ///< active-space MO integrals
+  std::size_t nalpha = 0;            ///< active alpha electrons
+  std::size_t nbeta = 0;             ///< active beta electrons
+  std::size_t ground_irrep = 0;      ///< irrep of the target ground state
+  double scf_energy = 0.0;
+};
+
+/// Options controlling the correlated space.
+struct SpaceOptions {
+  std::string basis = "sto-3g";
+  std::size_t freeze_core = 0;    ///< doubly occupied orbitals dropped
+  std::size_t max_orbitals = 0;   ///< 0 = keep all; else truncate virtuals
+  /// false: relabel everything C1 (no symmetry blocking).  The performance
+  /// figures run unblocked -- at our scaled orbital counts the per-irrep
+  /// DGEMM operands would be far smaller relative to the paper's 66-80
+  /// orbital runs (see EXPERIMENTS.md).
+  bool use_symmetry = true;
+};
+
+// --- the paper's molecules ---------------------------------------------------
+
+/// H2 at bond length r (bohr), D2h.  (Quickstart system.)
+PreparedSystem h2(double r = 1.4, const SpaceOptions& opt = {});
+
+/// Water at the standard near-equilibrium geometry, C2v.
+PreparedSystem water(const SpaceOptions& opt = {});
+
+/// Methanol H3COH, C1 (Table 2 row 1).
+PreparedSystem methanol(const SpaceOptions& opt = {});
+
+/// Hydrogen peroxide H2O2, C2 (Table 2 row 2).
+PreparedSystem hydrogen_peroxide(const SpaceOptions& opt = {});
+
+/// CN+ cation, strong multireference character, C2v (Table 2 row 3).
+PreparedSystem cn_cation(const SpaceOptions& opt = {});
+
+/// Oxygen atom, 3P ground state, D2h (Table 2 row 4; Fig. 4).
+PreparedSystem oxygen_atom(const SpaceOptions& opt = {});
+
+/// Oxygen anion O-, 2P, D2h (Fig. 5 scaling system).
+PreparedSystem oxygen_anion(const SpaceOptions& opt = {});
+
+/// C2 at its equilibrium bond length, X 1Sigma_g+ target, D2h (Table 3).
+PreparedSystem carbon_dimer(const SpaceOptions& opt = {});
+
+/// Finds the irrep of the lowest FCI state by probing every irrep with a
+/// cheap Davidson run (used where the ground-state symmetry is not Ag).
+std::size_t find_ground_irrep(const PreparedSystem& sys,
+                              std::size_t max_iterations = 60);
+
+/// Irrep of the SCF determinant (product of the singly occupied orbital
+/// irreps): the exact ground irrep whenever the SCF determinant dominates.
+/// O(1), used by the large scaling benchmarks.
+std::size_t scf_determinant_irrep(const PreparedSystem& sys);
+
+}  // namespace xfci::systems

@@ -1,0 +1,58 @@
+#include "x1/cost_model.hpp"
+
+#include <algorithm>
+
+namespace xfci::x1 {
+
+double CostModel::dgemm_seconds(std::size_t m, std::size_t n,
+                                std::size_t k) const {
+  if (m == 0 || n == 0 || k == 0) return 0.0;
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+  const double dmin =
+      static_cast<double>(std::min(m, std::min(n, k)));
+  // Efficiency ramp: rate = asymptotic * dmin / (dmin + half_dim), matching
+  // "10-11 GFlops/MSP for matrices beyond 300x300" while penalizing the
+  // small blocks that dominate naive implementations.
+  const double rate = dgemm_asymptotic * dmin / (dmin + dgemm_half_dim);
+  return kernel_startup + flops / rate;
+}
+
+double CostModel::daxpy_seconds(double flops) const {
+  if (flops <= 0.0) return 0.0;
+  return kernel_startup + flops / daxpy_flops;
+}
+
+double CostModel::indexed_seconds(double words) const {
+  if (words <= 0.0) return 0.0;
+  return kernel_startup + words / indexed_words;
+}
+
+double CostModel::get_seconds(double words) const {
+  if (words <= 0.0) return 0.0;
+  return get_latency + 8.0 * words / get_bandwidth;
+}
+
+double CostModel::acc_seconds(double words) const {
+  if (words <= 0.0) return 0.0;
+  // DDI_ACC: lock, SHMEM_GET the target data, add locally, SHMEM_PUT back,
+  // SHMEM_QUIET, unlock -- twice the get traffic plus overheads.
+  return acc_lock_overhead + 2.0 * (get_latency + 8.0 * words / get_bandwidth);
+}
+
+double CostModel::acc_target_seconds(double words) const {
+  if (words <= 0.0) return 0.0;
+  return 2.0 * 8.0 * words / node_bandwidth;
+}
+
+CostModel CostModel::with_overhead_scale(double factor) const {
+  CostModel m = *this;
+  m.kernel_startup *= factor;
+  m.get_latency *= factor;
+  m.acc_lock_overhead *= factor;
+  m.dlb_latency *= factor;
+  m.barrier_cost *= factor;
+  return m;
+}
+
+}  // namespace xfci::x1

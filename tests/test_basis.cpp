@@ -1,0 +1,158 @@
+// Tests for the basis-set library: STO-3G generation against published
+// tabulated exponents, normalization, AO bookkeeping and symmetry mappings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/molecule.hpp"
+#include "chem/pointgroup.hpp"
+#include "common/error.hpp"
+#include "integrals/basis.hpp"
+#include "integrals/one_electron.hpp"
+
+namespace xi = xfci::integrals;
+namespace xc = xfci::chem;
+
+namespace {
+
+xc::Molecule atom(const char* sym) {
+  return xc::Molecule::from_xyz_bohr(std::string(sym) + " 0 0 0\n");
+}
+
+}  // namespace
+
+TEST(CartesianComponents, CanonicalOrder) {
+  // p shell: x, y, z.
+  EXPECT_EQ(xi::cartesian_component(1, 0), (std::array<int, 3>{1, 0, 0}));
+  EXPECT_EQ(xi::cartesian_component(1, 1), (std::array<int, 3>{0, 1, 0}));
+  EXPECT_EQ(xi::cartesian_component(1, 2), (std::array<int, 3>{0, 0, 1}));
+  // d shell: xx, xy, xz, yy, yz, zz.
+  EXPECT_EQ(xi::cartesian_component(2, 0), (std::array<int, 3>{2, 0, 0}));
+  EXPECT_EQ(xi::cartesian_component(2, 1), (std::array<int, 3>{1, 1, 0}));
+  EXPECT_EQ(xi::cartesian_component(2, 5), (std::array<int, 3>{0, 0, 2}));
+}
+
+TEST(Sto3g, HydrogenExponentsMatchLiterature) {
+  const auto basis = xi::BasisSet::build("sto-3g", atom("H"));
+  ASSERT_EQ(basis.shells().size(), 1u);
+  const auto& sh = basis.shells()[0];
+  ASSERT_EQ(sh.primitives.size(), 3u);
+  // Published STO-3G H exponents (EMSL): 3.42525091, 0.62391373, 0.16885540.
+  EXPECT_NEAR(sh.primitives[0].exponent, 3.42525091, 1e-6);
+  EXPECT_NEAR(sh.primitives[1].exponent, 0.62391373, 1e-6);
+  EXPECT_NEAR(sh.primitives[2].exponent, 0.16885540, 1e-6);
+}
+
+TEST(Sto3g, OxygenExponentsMatchLiterature) {
+  const auto basis = xi::BasisSet::build("sto-3g", atom("O"));
+  ASSERT_EQ(basis.shells().size(), 3u);  // 1s, 2s, 2p
+  // Published O 1s: 130.70932, 23.808861, 6.4436083.
+  EXPECT_NEAR(basis.shells()[0].primitives[0].exponent, 130.70932, 1e-3);
+  EXPECT_NEAR(basis.shells()[0].primitives[1].exponent, 23.808861, 1e-4);
+  EXPECT_NEAR(basis.shells()[0].primitives[2].exponent, 6.4436083, 1e-5);
+  // Published O 2sp: 5.0331513, 1.1695961, 0.3803890.
+  EXPECT_NEAR(basis.shells()[1].primitives[0].exponent, 5.0331513, 1e-5);
+  EXPECT_NEAR(basis.shells()[1].primitives[1].exponent, 1.1695961, 1e-6);
+  EXPECT_NEAR(basis.shells()[1].primitives[2].exponent, 0.3803890, 1e-6);
+  // 2s and 2p share exponents.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(basis.shells()[1].primitives[i].exponent,
+                     basis.shells()[2].primitives[i].exponent);
+}
+
+TEST(Sto3g, AoCounts) {
+  EXPECT_EQ(xi::BasisSet::build("sto-3g", atom("H")).num_ao(), 1u);
+  EXPECT_EQ(xi::BasisSet::build("sto-3g", atom("He")).num_ao(), 1u);
+  EXPECT_EQ(xi::BasisSet::build("sto-3g", atom("C")).num_ao(), 5u);
+  const auto water = xc::Molecule::from_xyz_bohr(
+      "O 0 0 0\nH 1.43 0 1.108\nH -1.43 0 1.108\n");
+  EXPECT_EQ(xi::BasisSet::build("sto-3g", water).num_ao(), 7u);
+}
+
+TEST(Basis, UnknownNameOrElementThrows) {
+  EXPECT_THROW(xi::BasisSet::build("nonsense", atom("H")), xfci::Error);
+  const auto ar = xc::Molecule::from_xyz_bohr("Ar 0 0 0\n");
+  EXPECT_THROW(xi::BasisSet::build("sto-3g", ar), xfci::Error);
+}
+
+class NormalizationTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NormalizationTest, DiagonalOverlapIsUnity) {
+  // Every AO (including every Cartesian d component) must be normalized.
+  const auto mol = xc::Molecule::from_xyz_bohr("O 0 0 0\nH 0 0 1.8\n");
+  const auto basis = xi::BasisSet::build(GetParam(), mol);
+  const auto s = xi::overlap_matrix(basis);
+  for (std::size_t i = 0; i < basis.num_ao(); ++i)
+    EXPECT_NEAR(s(i, i), 1.0, 1e-12) << "ao " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBases, NormalizationTest,
+                         ::testing::Values("sto-3g", "x-dz", "x-dzp",
+                                           "x-tz"));
+
+TEST(Basis, XdzLargerThanSto3g) {
+  const auto mol = atom("O");
+  const auto a = xi::BasisSet::build("sto-3g", mol);
+  const auto b = xi::BasisSet::build("x-dz", mol);
+  const auto c = xi::BasisSet::build("x-dzp", mol);
+  const auto d = xi::BasisSet::build("x-tz", mol);
+  EXPECT_GT(b.num_ao(), a.num_ao());
+  EXPECT_GT(c.num_ao(), b.num_ao());
+  EXPECT_GT(d.num_ao(), c.num_ao());
+}
+
+TEST(Basis, AoBookkeepingConsistent) {
+  const auto mol = xc::Molecule::from_xyz_bohr("C 0 0 0\nO 0 0 2.1\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < basis.shells().size(); ++s) {
+    const auto& sh = basis.shells()[s];
+    EXPECT_EQ(sh.ao_offset, count);
+    for (std::size_t c = 0; c < sh.num_components(); ++c) {
+      EXPECT_EQ(basis.ao_shell(count), s);
+      EXPECT_EQ(basis.ao_atom(count), sh.atom);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, basis.num_ao());
+}
+
+TEST(AoMapping, InversionOnHomonuclearDimer) {
+  const auto mol = xc::Molecule::from_xyz_bohr(
+      "C 0 0 1.2\n"
+      "C 0 0 -1.2\n");
+  const auto group = xc::PointGroup::detect(mol);
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  // Find inversion.
+  for (std::size_t o = 0; o < group.order(); ++o) {
+    if (group.ops()[o].name() != "i") continue;
+    const auto map = basis.ao_mapping(mol, group, o);
+    for (std::size_t ao = 0; ao < basis.num_ao(); ++ao) {
+      // Image must live on the other atom, and mapping is an involution.
+      EXPECT_NE(basis.ao_atom(map.image[ao]), basis.ao_atom(ao));
+      EXPECT_EQ(map.image[map.image[ao]], ao);
+      // s functions keep sign, p functions flip.
+      const auto lmn = basis.ao_cartesian(ao);
+      const int l = lmn[0] + lmn[1] + lmn[2];
+      EXPECT_DOUBLE_EQ(map.sign[ao], l == 0 ? 1.0 : -1.0);
+    }
+    return;
+  }
+  FAIL() << "no inversion in detected group";
+}
+
+TEST(AoMapping, SignsSquareToIdentity) {
+  // Applying any operation twice must give the identity map with sign +1.
+  const auto mol = xc::Molecule::from_xyz_bohr(
+      "O 0 0 0\nH 1.43 0 1.108\nH -1.43 0 1.108\n");
+  const auto group = xc::PointGroup::detect(mol);
+  const auto basis = xi::BasisSet::build("x-dzp", mol);
+  for (std::size_t o = 0; o < group.order(); ++o) {
+    const auto map = basis.ao_mapping(mol, group, o);
+    for (std::size_t ao = 0; ao < basis.num_ao(); ++ao) {
+      EXPECT_EQ(map.image[map.image[ao]], ao);
+      EXPECT_DOUBLE_EQ(map.sign[ao] * map.sign[map.image[ao]], 1.0);
+    }
+  }
+}

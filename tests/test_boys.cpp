@@ -1,0 +1,104 @@
+// Tests for the Boys function: exact special values, recursion identities,
+// asymptotics, and continuity across the series/asymptotic crossover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "integrals/boys.hpp"
+
+using xfci::integrals::boys;
+using xfci::integrals::boys_single;
+
+TEST(Boys, ZeroArgument) {
+  // F_m(0) = 1 / (2m + 1).
+  std::vector<double> f(8);
+  boys(0.0, f);
+  for (int m = 0; m < 8; ++m)
+    EXPECT_NEAR(f[static_cast<std::size_t>(m)], 1.0 / (2.0 * m + 1.0), 1e-15);
+}
+
+TEST(Boys, F0ClosedForm) {
+  // F_0(x) = sqrt(pi/x)/2 * erf(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0, 30.0, 50.0, 200.0}) {
+    const double expected =
+        0.5 * std::sqrt(std::numbers::pi / x) * std::erf(std::sqrt(x));
+    EXPECT_NEAR(boys_single(0, x), expected, 1e-14) << "x=" << x;
+  }
+}
+
+TEST(Boys, DownwardRecursionIdentity) {
+  // (2m+1) F_m(x) = 2x F_{m+1}(x) + exp(-x) must hold for all stored orders.
+  for (double x : {0.0, 0.2, 1.7, 8.0, 20.0, 34.9, 35.1, 80.0}) {
+    std::vector<double> f(12);
+    boys(x, f);
+    for (int m = 0; m < 11; ++m) {
+      const double lhs = (2.0 * m + 1.0) * f[static_cast<std::size_t>(m)];
+      const double rhs =
+          2.0 * x * f[static_cast<std::size_t>(m) + 1] + std::exp(-x);
+      EXPECT_NEAR(lhs, rhs, 1e-13 * std::max(1.0, lhs)) << "x=" << x
+                                                        << " m=" << m;
+    }
+  }
+}
+
+TEST(Boys, MonotoneDecreasingInOrder) {
+  // F_{m+1}(x) < F_m(x) for x > 0 (integrand shrinks with t^(2m)).
+  std::vector<double> f(10);
+  for (double x : {0.5, 5.0, 40.0}) {
+    boys(x, f);
+    for (std::size_t m = 1; m < f.size(); ++m) EXPECT_LT(f[m], f[m - 1]);
+  }
+}
+
+TEST(Boys, MonotoneDecreasingInArgument) {
+  for (int m : {0, 2, 5}) {
+    double prev = boys_single(m, 0.0);
+    for (double x = 0.5; x < 60.0; x += 0.5) {
+      const double cur = boys_single(m, x);
+      EXPECT_LT(cur, prev) << "m=" << m << " x=" << x;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Boys, LargeArgumentAsymptotics) {
+  // F_m(x) -> (2m-1)!! / (2x)^m * sqrt(pi/x)/2 for large x.
+  const double x = 500.0;
+  double dfact = 1.0;
+  for (int m = 0; m < 6; ++m) {
+    if (m > 0) dfact *= 2 * m - 1;
+    const double expected =
+        dfact / std::pow(2.0 * x, m) * 0.5 * std::sqrt(std::numbers::pi / x);
+    EXPECT_NEAR(boys_single(m, x) / expected, 1.0, 1e-10) << "m=" << m;
+  }
+}
+
+TEST(Boys, ContinuityAtCrossover) {
+  // The series (< 35) and asymptotic (>= 35) branches must agree across the
+  // switch.  F itself varies across the 2e-6 gap in x by about
+  // dF_m/dx * dx = -F_{m+1} * 2e-6 (relative ~ 5e-7), so the tolerance sits
+  // just above that genuine variation.
+  std::vector<double> lo(10), hi(10);
+  boys(34.999999, lo);
+  boys(35.000001, hi);
+  for (std::size_t m = 0; m < 10; ++m)
+    EXPECT_NEAR(lo[m], hi[m], 2e-6 * lo[m]) << "m=" << m;
+}
+
+TEST(Boys, KnownReferenceValues) {
+  // F_0(1) = sqrt(pi)/2 * erf(1) = 0.746824132812427...
+  EXPECT_NEAR(boys_single(0, 1.0), 0.7468241328124270, 1e-12);
+  // F_1(1) = (F_0(1) - exp(-1)) / 2 = 0.189472345820492...
+  EXPECT_NEAR(boys_single(1, 1.0), 0.1894723458204923, 1e-12);
+  // F_0(10) = 0.2802473905066427... (erf closed form).
+  EXPECT_NEAR(boys_single(0, 10.0), 0.2802473905066427, 1e-12);
+}
+
+TEST(Boys, NegativeArgumentThrows) {
+  std::vector<double> f(2);
+  EXPECT_THROW(boys(-1.0, f), xfci::Error);
+}

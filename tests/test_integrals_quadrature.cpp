@@ -1,0 +1,205 @@
+// Property tests of the McMurchie-Davidson engine against an independent
+// numerical reference: all one-electron integrals factorize into 1D
+// Cartesian integrals, which we evaluate by Gauss-Hermite quadrature and
+// compare for randomized shells up to l = 3.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "integrals/basis.hpp"
+#include "integrals/one_electron.hpp"
+
+namespace xi = xfci::integrals;
+
+namespace {
+
+// 40-point Gauss-Hermite quadrature via Newton iteration on the Hermite
+// polynomial (independent of the MD machinery).
+struct GaussHermite {
+  std::vector<double> x, w;
+  explicit GaussHermite(int n) {
+    x.resize(n);
+    w.resize(n);
+    const double pi14 = std::pow(M_PI, -0.25);
+    for (int i = 0; i < (n + 1) / 2; ++i) {
+      // Initial guesses (standard recipes).
+      double z;
+      if (i == 0)
+        z = std::sqrt(2.0 * n + 1.0) - 1.85575 * std::pow(2.0 * n + 1.0,
+                                                          -1.0 / 6.0);
+      else if (i == 1)
+        z = x[0] - 1.14 * std::pow(n, 0.426) / x[0];
+      else if (i == 2)
+        z = 1.86 * x[1] - 0.86 * x[0];
+      else if (i == 3)
+        z = 1.91 * x[2] - 0.91 * x[1];
+      else
+        z = 2.0 * x[i - 1] - x[i - 2];
+      double pp = 0.0;
+      for (int iter = 0; iter < 100; ++iter) {
+        double p1 = pi14, p2 = 0.0;
+        for (int j = 0; j < n; ++j) {
+          const double p3 = p2;
+          p2 = p1;
+          p1 = z * std::sqrt(2.0 / (j + 1)) * p2 -
+               std::sqrt(static_cast<double>(j) / (j + 1)) * p3;
+        }
+        pp = std::sqrt(2.0 * n) * p2;
+        const double z1 = z;
+        z = z1 - p1 / pp;
+        if (std::abs(z - z1) < 1e-15) break;
+      }
+      x[i] = z;
+      x[n - 1 - i] = -z;
+      w[i] = 2.0 / (pp * pp);
+      w[n - 1 - i] = w[i];
+    }
+  }
+};
+
+// Numerical 1D integral of x^i (x-A)^... : computes
+//   I = int (x-A)^la (x-B)^lb exp(-a (x-A)^2 - b (x-B)^2) * extra(x) dx
+// by Gauss-Hermite about the product center.
+template <typename Extra>
+double quad1d(int la, int lb, double a, double b, double A, double B,
+              Extra&& extra) {
+  static const GaussHermite gh(48);
+  const double p = a + b;
+  const double P = (a * A + b * B) / p;
+  const double pref = std::exp(-a * b / p * (A - B) * (A - B));
+  double sum = 0.0;
+  for (std::size_t k = 0; k < gh.x.size(); ++k) {
+    const double x = P + gh.x[k] / std::sqrt(p);
+    sum += gh.w[k] * std::pow(x - A, la) * std::pow(x - B, lb) * extra(x);
+  }
+  return pref * sum / std::sqrt(p);
+}
+
+double component_norm_ref(double alpha, int l) {
+  // Normalization of a 1D Cartesian factor is folded into the engine's
+  // shell coefficients; reproduce the full 3D primitive norm here.
+  auto dfact = [](int n) {
+    double r = 1;
+    for (int k = n; k > 1; k -= 2) r *= k;
+    return r;
+  };
+  return std::pow(2.0 * alpha / M_PI, 0.75) *
+         std::pow(4.0 * alpha, 0.5 * l) / std::sqrt(dfact(2 * l - 1));
+}
+
+}  // namespace
+
+class QuadratureTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadratureTest, OverlapMatchesGaussHermite) {
+  xfci::Rng rng(100 + GetParam());
+  // Two random primitive shells with l up to 3.
+  const int la = GetParam() % 4;
+  const int lb = (GetParam() / 4) % 4;
+  xi::Shell sa, sb;
+  sa.l = la;
+  sb.l = lb;
+  sa.atom = 0;
+  sb.atom = 1;
+  for (int d = 0; d < 3; ++d) {
+    sa.center[d] = rng.uniform(-1.0, 1.0);
+    sb.center[d] = rng.uniform(-1.0, 1.0);
+  }
+  const double ea = rng.uniform(0.3, 2.5);
+  const double eb = rng.uniform(0.3, 2.5);
+  sa.primitives.push_back(xi::Primitive{ea, 1.0});
+  sb.primitives.push_back(xi::Primitive{eb, 1.0});
+  const auto basis = xi::BasisSet::from_shells({sa, sb});
+  const auto s = xi::overlap_matrix(basis);
+
+  // Compare every component pair against the 1D quadrature product.
+  const std::size_t nb_off = basis.shells()[1].ao_offset;
+  for (std::size_t ca = 0; ca < sa.num_components(); ++ca) {
+    const auto lmna = xi::cartesian_component(la, ca);
+    for (std::size_t cb = 0; cb < sb.num_components(); ++cb) {
+      const auto lmnb = xi::cartesian_component(lb, cb);
+      double ref = 1.0;
+      for (int d = 0; d < 3; ++d)
+        ref *= quad1d(lmna[d], lmnb[d], ea, eb, sa.center[d], sb.center[d],
+                      [](double) { return 1.0; });
+      // The engine normalizes each component; undo via the reference norms
+      // for (l,0,0) plus the per-component double-factorial correction.
+      auto comp_norm = [](int l, const std::array<int, 3>& lmn) {
+        auto dfact = [](int n) {
+          double r = 1;
+          for (int k = n; k > 1; k -= 2) r *= k;
+          return r;
+        };
+        return std::sqrt(dfact(2 * l - 1) /
+                         (dfact(2 * lmn[0] - 1) * dfact(2 * lmn[1] - 1) *
+                          dfact(2 * lmn[2] - 1)));
+      };
+      ref *= component_norm_ref(ea, la) * component_norm_ref(eb, lb);
+      ref *= comp_norm(la, lmna) * comp_norm(lb, lmnb);
+      EXPECT_NEAR(s(ca, nb_off + cb), ref, 1e-10)
+          << "la=" << la << " lb=" << lb << " ca=" << ca << " cb=" << cb;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShells, QuadratureTest,
+                         ::testing::Range(0, 16));
+
+TEST(QuadratureKinetic, RandomPrimitivePairs) {
+  // Kinetic: T = -(1/2) <da/dx^2 + ...>; use the identity
+  // <i|T|j> = (1/2) sum_d <di/dx_d | dj/dx_d> and quadrature on the
+  // derivative Gaussians is messy -- instead use T via second moments:
+  // for s-type primitives, <T> = a*b/p * (3 - 2*a*b/p*R^2) * S.
+  xfci::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    xi::Shell sa, sb;
+    sa.l = sb.l = 0;
+    sa.atom = 0;
+    sb.atom = 1;
+    double r2 = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      sa.center[d] = rng.uniform(-1, 1);
+      sb.center[d] = rng.uniform(-1, 1);
+      const double diff = sa.center[d] - sb.center[d];
+      r2 += diff * diff;
+    }
+    const double a = rng.uniform(0.3, 3.0), b = rng.uniform(0.3, 3.0);
+    sa.primitives.push_back(xi::Primitive{a, 1.0});
+    sb.primitives.push_back(xi::Primitive{b, 1.0});
+    const auto basis = xi::BasisSet::from_shells({sa, sb});
+    const auto s = xi::overlap_matrix(basis);
+    const auto t = xi::kinetic_matrix(basis);
+    const double mu = a * b / (a + b);
+    EXPECT_NEAR(t(0, 1), mu * (3.0 - 2.0 * mu * r2) * s(0, 1), 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(QuadratureDipole, PShellMomentsMatch) {
+  // <p_x | x | s> on one center: quadrature check of the moment integrals
+  // for a case with angular structure.
+  xi::Shell sp, ss;
+  sp.l = 1;
+  ss.l = 0;
+  sp.atom = ss.atom = 0;
+  sp.center = ss.center = {0.2, -0.4, 0.6};
+  const double ap = 0.9, as = 1.7;
+  sp.primitives.push_back(xi::Primitive{ap, 1.0});
+  ss.primitives.push_back(xi::Primitive{as, 1.0});
+  const auto basis = xi::BasisSet::from_shells({sp, ss});
+  const auto d = xi::dipole_matrices(basis);
+
+  // Analytic: <(x-A) e^-ap r^2 | x | e^-as r^2> with normalization;
+  // x = (x-A) + A_x; the (x-A)^2 term gives 1/(2p) * sqrt(pi/p)^3-ish;
+  // compute numerically instead.
+  double ref = quad1d(1, 0, ap, as, 0.2, 0.2,
+                      [](double x) { return x; }) *
+               quad1d(0, 0, ap, as, -0.4, -0.4, [](double) { return 1.0; }) *
+               quad1d(0, 0, ap, as, 0.6, 0.6, [](double) { return 1.0; });
+  ref *= component_norm_ref(ap, 1) * component_norm_ref(as, 0);
+  EXPECT_NEAR(d[0](0, 3), ref, 1e-11);  // AO 0 = px, AO 3 = s
+}

@@ -1,0 +1,172 @@
+// Tests for the model Hamiltonians (Hubbard, pairing) and the FCIDUMP
+// reader/writer: analytic reference energies, internal consistency, and
+// lossless round trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "fci/fci.hpp"
+#include "fci/slater_condon.hpp"
+#include "integrals/fcidump.hpp"
+#include "linalg/eigen.hpp"
+#include "systems/model_systems.hpp"
+#include "systems/standard_systems.hpp"
+
+namespace xf = xfci::fci;
+namespace xi = xfci::integrals;
+namespace xs = xfci::systems;
+
+TEST(Hubbard, DimerAnalyticGroundState) {
+  // Half-filled Hubbard dimer: E0 = (U - sqrt(U^2 + 16 t^2)) / 2.
+  for (const double u : {0.0, 1.0, 4.0, 12.0}) {
+    const auto tables = xs::hubbard_chain(2, 1.0, u);
+    const auto res = xf::run_fci(tables, 1, 1, 0);
+    ASSERT_TRUE(res.solve.converged) << "U=" << u;
+    const double exact = 0.5 * (u - std::sqrt(u * u + 16.0));
+    EXPECT_NEAR(res.solve.energy, exact, 1e-9) << "U=" << u;
+    EXPECT_NEAR(res.s_squared, 0.0, 1e-8);
+  }
+}
+
+TEST(Hubbard, AtomicLimitAndFreeLimit) {
+  // U -> 0: free tight-binding electrons; E = sum of the lowest
+  // single-particle energies -2t cos(k) (periodic ring of 4, 2 up 2 dn).
+  const auto free4 = xs::hubbard_chain(4, 1.0, 0.0, /*periodic=*/true);
+  const auto res = xf::run_fci(free4, 2, 2, 0);
+  // Single-particle levels of the 4-ring: -2, 0, 0, +2.  Two electrons of
+  // each spin fill -2 and one 0 level: E = 2*(-2) + 2*0 = -4.
+  EXPECT_NEAR(res.solve.energy, -4.0, 1e-8);
+
+  // Large U at half filling: one electron per site, E -> 0 (+O(t^2/U)).
+  const auto big_u = xs::hubbard_chain(4, 1.0, 500.0);
+  const auto res2 = xf::run_fci(big_u, 2, 2, 0);
+  EXPECT_GT(res2.solve.energy, -0.2);
+  EXPECT_LT(res2.solve.energy, 0.0);  // superexchange lowers below zero
+}
+
+TEST(Hubbard, SigmaAlgorithmsAgreeOnSixSites) {
+  const auto tables = xs::hubbard_chain(6, 1.0, 4.0, true);
+  const xf::CiSpace space(6, 3, 3, tables.group, tables.orbital_irreps, 0);
+  const auto h = xf::build_dense_hamiltonian(space, tables);
+  const double e_dense =
+      xfci::linalg::eigh(h).values[0] + tables.core_energy;
+  for (auto alg : {xf::Algorithm::kDgemm, xf::Algorithm::kMoc}) {
+    xf::FciOptions opt;
+    opt.algorithm = alg;
+    const auto res = xf::run_fci(tables, 3, 3, 0, opt);
+    ASSERT_TRUE(res.solve.converged);
+    EXPECT_NEAR(res.solve.energy, e_dense, 1e-8);
+  }
+}
+
+TEST(Hubbard, HalfFilledGroundStateIsSinglet) {
+  const auto tables = xs::hubbard_chain(6, 1.0, 6.0);
+  const auto res = xf::run_fci(tables, 3, 3, 0);
+  ASSERT_TRUE(res.solve.converged);
+  EXPECT_NEAR(res.s_squared, 0.0, 1e-7);  // Lieb-Mattis: S = 0 ground state
+}
+
+TEST(PairingModel, TwoLevelAnalytic) {
+  // Two levels, one pair, spacing d, coupling g: in the pair basis
+  // {P+_0|0>, P+_1|0>} the Hamiltonian is [[-g, -g], [-g, 2d - g]]
+  // (diagonal pair energies 2*eps_p - g, off-diagonal -g).
+  const double d = 1.0, g = 0.4;
+  const auto tables = xs::pairing_model(2, d, g);
+  const auto res = xf::run_fci(tables, 1, 1, 0);
+  ASSERT_TRUE(res.solve.converged);
+  const double mean = (0.0 - g + 2.0 * d - g) / 2.0;
+  const double gap = std::sqrt(std::pow((2.0 * d) / 2.0, 2) + g * g);
+  EXPECT_NEAR(res.solve.energy, mean - gap, 1e-9);
+}
+
+TEST(PairingModel, PairCondensationLowersEnergy) {
+  // g > 0 must lower the ground state below the g = 0 Fermi sea.
+  const auto free_t = xs::pairing_model(4, 1.0, 0.0);
+  const auto paired = xs::pairing_model(4, 1.0, 0.5);
+  const auto e0 = xf::run_fci(free_t, 2, 2, 0).solve.energy;
+  const auto e1 = xf::run_fci(paired, 2, 2, 0).solve.energy;
+  EXPECT_NEAR(e0, 2.0 * (0.0 + 1.0), 1e-8);  // two filled levels
+  EXPECT_LT(e1, e0 - 0.1);
+}
+
+// ------------------------------------------------------------ FCIDUMP ----
+
+TEST(Fcidump, RoundTripIsLossless) {
+  const auto tables = xs::hubbard_chain(4, 0.9, 3.7);
+  const std::string path = "/tmp/xfci_test_hubbard.fcidump";
+  xi::write_fcidump(path, tables, 2, 2);
+  const auto back = xi::read_fcidump(path);
+  EXPECT_EQ(back.tables.norb, 4u);
+  EXPECT_EQ(back.nalpha, 2u);
+  EXPECT_EQ(back.nbeta, 2u);
+  for (std::size_t p = 0; p < 4; ++p)
+    for (std::size_t q = 0; q < 4; ++q)
+      EXPECT_NEAR(back.tables.h(p, q), tables.h(p, q), 1e-15);
+  for (std::size_t p = 0; p < 4; ++p)
+    for (std::size_t q = 0; q < 4; ++q)
+      for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t s = 0; s < 4; ++s)
+          EXPECT_NEAR(back.tables.eri(p, q, r, s), tables.eri(p, q, r, s),
+                      1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(Fcidump, WaterEnergySurvivesRoundTrip) {
+  const auto sys = xs::water({});
+  const std::string path = "/tmp/xfci_test_water.fcidump";
+  xi::write_fcidump(path, sys.tables, sys.nalpha, sys.nbeta);
+  // Read back with the correct group so the ORBSYM labels apply.
+  const auto back = xi::read_fcidump(path, sys.tables.group.name());
+  const auto ref = xf::run_fci(sys.tables, 5, 5, 0);
+  const auto res = xf::run_fci(back.tables, back.nalpha, back.nbeta, 0);
+  ASSERT_TRUE(res.solve.converged);
+  EXPECT_NEAR(res.solve.energy, ref.solve.energy, 1e-9);
+  // Symmetry labels survived: blocked dimensions match.
+  EXPECT_EQ(res.dimension, ref.dimension);
+}
+
+TEST(Fcidump, OpenShellMs2) {
+  const auto tables = xs::hubbard_chain(4, 1.0, 2.0);
+  const std::string path = "/tmp/xfci_test_ms2.fcidump";
+  xi::write_fcidump(path, tables, 3, 1);
+  const auto back = xi::read_fcidump(path);
+  EXPECT_EQ(back.nalpha, 3u);
+  EXPECT_EQ(back.nbeta, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Fcidump, HeaderWithSpacesParses) {
+  const std::string path = "/tmp/xfci_test_spaces.fcidump";
+  {
+    std::ofstream os(path);
+    os << "&FCI NORB= 2,NELEC= 2,MS2= 0,\n ORBSYM=1,1,\n ISYM=1,\n &END\n";
+    os << " 1.0   1 1 1 1\n 0.5   2 1 1 1\n-1.2   1 1 0 0\n 0.3   0 0 0 0\n";
+  }
+  const auto back = xi::read_fcidump(path);
+  EXPECT_EQ(back.tables.norb, 2u);
+  EXPECT_DOUBLE_EQ(back.tables.eri(0, 0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(back.tables.eri(1, 0, 0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(back.tables.eri(0, 1, 0, 0), 0.5);  // 8-fold symmetry
+  EXPECT_DOUBLE_EQ(back.tables.h(0, 0), -1.2);
+  EXPECT_DOUBLE_EQ(back.tables.core_energy, 0.3);
+  std::remove(path.c_str());
+}
+
+TEST(Fcidump, MalformedInputsThrow) {
+  const std::string path = "/tmp/xfci_test_bad.fcidump";
+  {
+    std::ofstream os(path);
+    os << "&FCI NELEC=2,\n &END\n";  // missing NORB
+  }
+  EXPECT_THROW(xi::read_fcidump(path), xfci::Error);
+  {
+    std::ofstream os(path);
+    os << "&FCI NORB=2,NELEC=2,MS2=0,\n &END\n 1.0 5 1 1 1\n";  // index > NORB
+  }
+  EXPECT_THROW(xi::read_fcidump(path), xfci::Error);
+  EXPECT_THROW(xi::read_fcidump("/nonexistent/file"), xfci::Error);
+  std::remove(path.c_str());
+}

@@ -1,0 +1,76 @@
+// Tests for molecule parsing, electron counting and nuclear repulsion.
+
+#include <gtest/gtest.h>
+
+#include "chem/elements.hpp"
+#include "chem/molecule.hpp"
+#include "common/error.hpp"
+
+namespace xc = xfci::chem;
+
+TEST(Elements, SymbolRoundTrip) {
+  for (int z = 1; z <= xc::kMaxSupportedZ; ++z)
+    EXPECT_EQ(xc::atomic_number(xc::element_symbol(z)), z);
+}
+
+TEST(Elements, CaseInsensitive) {
+  EXPECT_EQ(xc::atomic_number("he"), 2);
+  EXPECT_EQ(xc::atomic_number("HE"), 2);
+  EXPECT_EQ(xc::atomic_number("o"), 8);
+}
+
+TEST(Elements, UnknownThrows) {
+  EXPECT_THROW(xc::atomic_number("Xx"), xfci::Error);
+  EXPECT_THROW(xc::element_symbol(0), xfci::Error);
+  EXPECT_THROW(xc::element_symbol(99), xfci::Error);
+}
+
+TEST(Molecule, ParseXyzBohr) {
+  const auto m = xc::Molecule::from_xyz_bohr(
+      "H 0 0 0\n"
+      "H 0 0 1.4\n");
+  ASSERT_EQ(m.atoms().size(), 2u);
+  EXPECT_EQ(m.atoms()[0].z, 1);
+  EXPECT_DOUBLE_EQ(m.atoms()[1].xyz[2], 1.4);
+  EXPECT_EQ(m.num_electrons(), 2);
+}
+
+TEST(Molecule, AngstromConversion) {
+  const auto m = xc::Molecule::from_xyz_angstrom("H 0 0 1.0\n");
+  EXPECT_NEAR(m.atoms()[0].xyz[2], 1.8897261254578281, 1e-12);
+}
+
+TEST(Molecule, ChargeAffectsElectronCount) {
+  const auto cation = xc::Molecule::from_xyz_bohr("O 0 0 0\n", +1);
+  const auto anion = xc::Molecule::from_xyz_bohr("O 0 0 0\n", -1);
+  EXPECT_EQ(cation.num_electrons(), 7);
+  EXPECT_EQ(anion.num_electrons(), 9);
+}
+
+TEST(Molecule, NuclearRepulsionH2) {
+  const auto m = xc::Molecule::from_xyz_bohr(
+      "H 0 0 0\n"
+      "H 0 0 1.4\n");
+  EXPECT_NEAR(m.nuclear_repulsion(), 1.0 / 1.4, 1e-14);
+}
+
+TEST(Molecule, NuclearRepulsionIsPairwiseSum) {
+  // Equilateral H3 with side 2: three pairs each 1/2.
+  const auto m = xc::Molecule::from_xyz_bohr(
+      "H 0 0 0\n"
+      "H 2 0 0\n"
+      "H 1 1.7320508075688772 0\n");
+  EXPECT_NEAR(m.nuclear_repulsion(), 1.5, 1e-12);
+}
+
+TEST(Molecule, MalformedLineThrows) {
+  EXPECT_THROW(xc::Molecule::from_xyz_bohr("H 0 0\n"), xfci::Error);
+  EXPECT_THROW(xc::Molecule::from_xyz_bohr(""), xfci::Error);
+}
+
+TEST(Molecule, CoincidentNucleiThrow) {
+  const auto m = xc::Molecule::from_xyz_bohr(
+      "H 0 0 0\n"
+      "H 0 0 0\n");
+  EXPECT_THROW(m.nuclear_repulsion(), xfci::Error);
+}

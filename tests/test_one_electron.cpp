@@ -1,0 +1,155 @@
+// Tests for the one-electron integral engines: analytic single-Gaussian
+// values, translational invariance, symmetry, and basis-set identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "chem/molecule.hpp"
+#include "integrals/basis.hpp"
+#include "integrals/one_electron.hpp"
+
+namespace xi = xfci::integrals;
+namespace xc = xfci::chem;
+using xfci::linalg::Matrix;
+
+namespace {
+
+// One uncontracted s shell of exponent a at `center`.
+xi::Shell s_shell(double a, std::array<double, 3> center,
+                  std::size_t atom = 0) {
+  xi::Shell sh;
+  sh.l = 0;
+  sh.atom = atom;
+  sh.center = center;
+  sh.primitives.push_back(xi::Primitive{a, 1.0});
+  return sh;
+}
+
+xi::Shell p_shell(double a, std::array<double, 3> center,
+                  std::size_t atom = 0) {
+  xi::Shell sh = s_shell(a, center, atom);
+  sh.l = 1;
+  return sh;
+}
+
+}  // namespace
+
+TEST(Overlap, TwoGaussiansAnalytic) {
+  // <g_a | g_b> for normalized s Gaussians of equal exponent a separated by
+  // R:  S = exp(-a R^2 / 2).
+  const double a = 0.8, r = 1.3;
+  const auto basis = xi::BasisSet::from_shells(
+      {s_shell(a, {0, 0, 0}, 0), s_shell(a, {0, 0, r}, 1)});
+  const auto s = xi::overlap_matrix(basis);
+  EXPECT_NEAR(s(0, 1), std::exp(-0.5 * a * r * r), 1e-13);
+  EXPECT_NEAR(s(0, 0), 1.0, 1e-13);
+  EXPECT_NEAR(s(1, 1), 1.0, 1e-13);
+}
+
+TEST(Overlap, OrthogonalPComponents) {
+  const auto basis = xi::BasisSet::from_shells({p_shell(1.1, {0, 0, 0})});
+  const auto s = xi::overlap_matrix(basis);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(s(i, j), i == j ? 1.0 : 0.0, 1e-13);
+}
+
+TEST(Overlap, SPOnSameCenterVanishes) {
+  const auto basis = xi::BasisSet::from_shells(
+      {s_shell(0.9, {0, 0, 0}), p_shell(1.7, {0, 0, 0})});
+  const auto s = xi::overlap_matrix(basis);
+  for (std::size_t j = 1; j < 4; ++j) EXPECT_NEAR(s(0, j), 0.0, 1e-14);
+}
+
+TEST(Kinetic, SingleGaussianAnalytic) {
+  // <T> = 3a/2 for a normalized s Gaussian.
+  const double a = 1.7;
+  const auto basis = xi::BasisSet::from_shells({s_shell(a, {0, 0, 0})});
+  const auto t = xi::kinetic_matrix(basis);
+  EXPECT_NEAR(t(0, 0), 1.5 * a, 1e-12);
+}
+
+TEST(Kinetic, PGaussianAnalytic) {
+  // For a normalized p Gaussian: <T> = 5a/2 (each component).
+  const double a = 0.6;
+  const auto basis = xi::BasisSet::from_shells({p_shell(a, {0, 0, 0})});
+  const auto t = xi::kinetic_matrix(basis);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(t(i, i), 2.5 * a, 1e-12);
+}
+
+TEST(Nuclear, GaussianAtNucleusAnalytic) {
+  // V = -Z <1/r> = -Z * 2 sqrt(2a/pi) for a normalized s Gaussian centered
+  // on the nucleus.
+  const double a = 1.3;
+  const auto mol = xc::Molecule::from_xyz_bohr("He 0 0 0\n");
+  const auto basis = xi::BasisSet::from_shells({s_shell(a, {0, 0, 0})});
+  const auto v = xi::nuclear_matrix(basis, mol);
+  EXPECT_NEAR(v(0, 0), -2.0 * 2.0 * std::sqrt(2.0 * a / std::numbers::pi),
+              1e-12);
+}
+
+TEST(Nuclear, FarNucleusLooksLikePointCharge) {
+  // At large distance R the attraction approaches -Z/R.
+  const double a = 1.0, r = 30.0;
+  const auto mol =
+      xc::Molecule::from_xyz_bohr("O 0 0 " + std::to_string(r) + "\n");
+  const auto basis = xi::BasisSet::from_shells({s_shell(a, {0, 0, 0})});
+  const auto v = xi::nuclear_matrix(basis, mol);
+  EXPECT_NEAR(v(0, 0), -8.0 / r, 1e-10);
+}
+
+TEST(OneElectron, TranslationalInvariance) {
+  // Shifting molecule and basis together leaves all integrals unchanged.
+  const auto mol1 = xc::Molecule::from_xyz_bohr("O 0 0 0\nH 0 0 1.8\n");
+  const auto mol2 =
+      xc::Molecule::from_xyz_bohr("O 1.1 -2.2 0.7\nH 1.1 -2.2 2.5\n");
+  const auto b1 = xi::BasisSet::build("sto-3g", mol1);
+  const auto b2 = xi::BasisSet::build("sto-3g", mol2);
+  EXPECT_LT(xi::overlap_matrix(b1).max_abs_diff(xi::overlap_matrix(b2)),
+            1e-11);
+  EXPECT_LT(xi::kinetic_matrix(b1).max_abs_diff(xi::kinetic_matrix(b2)),
+            1e-11);
+  EXPECT_LT(xi::nuclear_matrix(b1, mol1).max_abs_diff(
+                xi::nuclear_matrix(b2, mol2)),
+            1e-10);
+}
+
+TEST(OneElectron, MatricesAreSymmetric) {
+  const auto mol = xc::Molecule::from_xyz_bohr(
+      "C 0.3 0.1 0\nO 0 0 2.2\nH -1.5 0.8 -0.9\n");
+  const auto basis = xi::BasisSet::build("x-dzp", mol);
+  EXPECT_TRUE(xi::overlap_matrix(basis).is_symmetric(1e-11));
+  EXPECT_TRUE(xi::kinetic_matrix(basis).is_symmetric(1e-11));
+  EXPECT_TRUE(xi::nuclear_matrix(basis, mol).is_symmetric(1e-10));
+}
+
+TEST(OneElectron, KineticPositiveDiagonal) {
+  const auto mol = xc::Molecule::from_xyz_bohr("N 0 0 0\nN 0 0 2.07\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto t = xi::kinetic_matrix(basis);
+  for (std::size_t i = 0; i < basis.num_ao(); ++i) EXPECT_GT(t(i, i), 0.0);
+}
+
+TEST(OneElectron, HydrogenAtomGroundStateBound) {
+  // Variational: the lowest eigenvalue of (T + V) in any basis is above the
+  // exact hydrogen ground state -0.5; STO-3G gets close (about -0.4666).
+  const auto mol = xc::Molecule::from_xyz_bohr("H 0 0 0\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto h = xi::core_hamiltonian(basis, mol);
+  // Single AO: energy = h(0,0) directly (normalized basis function).
+  EXPECT_GT(h(0, 0), -0.5);
+  EXPECT_NEAR(h(0, 0), -0.466582, 1e-4);
+}
+
+TEST(CoreHamiltonian, EqualsKineticPlusNuclear) {
+  const auto mol = xc::Molecule::from_xyz_bohr("He 0 0 0\nH 0 0 1.4\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto h = xi::core_hamiltonian(basis, mol);
+  const auto t = xi::kinetic_matrix(basis);
+  const auto v = xi::nuclear_matrix(basis, mol);
+  for (std::size_t i = 0; i < h.rows(); ++i)
+    for (std::size_t j = 0; j < h.cols(); ++j)
+      EXPECT_DOUBLE_EQ(h(i, j), t(i, j) + v(i, j));
+}

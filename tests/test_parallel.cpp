@@ -1,0 +1,220 @@
+// Tests for the parallel substrate: the virtual machine's simulated-time
+// accounting, the task pool aggregation (paper Fig. 3), and the column
+// distribution.
+
+#include <gtest/gtest.h>
+
+#include "fci/ci_space.hpp"
+#include "fci_parallel/distribution.hpp"
+#include "parallel/machine.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace pv = xfci::pv;
+namespace fcp = xfci::fcp;
+namespace xf = xfci::fci;
+namespace xc = xfci::chem;
+
+TEST(Machine, ClocksAccumulate) {
+  pv::Machine m(4);
+  m.charge(0, 1.0);
+  m.charge(0, 0.5);
+  m.charge(2, 2.0);
+  EXPECT_DOUBLE_EQ(m.clock(0), 1.5);
+  EXPECT_DOUBLE_EQ(m.clock(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.clock(2), 2.0);
+  EXPECT_EQ(m.earliest_rank(), 1u);
+  EXPECT_DOUBLE_EQ(m.elapsed(), 2.0);
+}
+
+TEST(Machine, BarrierSynchronizesAndMeasuresImbalance) {
+  pv::Machine m(3);
+  m.charge(0, 1.0);
+  m.charge(1, 3.0);
+  const double t = m.barrier();
+  EXPECT_NEAR(m.last_imbalance(), 3.0, 1e-12);
+  EXPECT_GE(t, 3.0);  // max + barrier cost
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(m.clock(r), t);
+}
+
+TEST(Machine, LocalGetIsCheaperThanRemote) {
+  pv::Machine a(2), b(2);
+  a.record_get(0, 0, 1000.0);  // local
+  b.record_get(0, 1, 1000.0);  // remote
+  EXPECT_LT(a.clock(0), b.clock(0));
+  EXPECT_DOUBLE_EQ(a.counters(0).get_words, 0.0);
+  EXPECT_DOUBLE_EQ(b.counters(0).get_words, 1000.0);
+}
+
+TEST(Machine, AccCostsTwiceGetTraffic) {
+  const xfci::x1::CostModel cm;
+  // Large payload: latencies negligible.
+  const double words = 1e7;
+  EXPECT_NEAR(cm.acc_seconds(words) / cm.get_seconds(words), 2.0, 0.01);
+}
+
+TEST(Machine, DlbServerSerializes) {
+  pv::Machine m(4);
+  // All ranks request at time zero; the server handles them one at a time.
+  for (std::size_t r = 0; r < 4; ++r) m.record_dlb_request(r);
+  const double dt = m.model().dlb_latency;
+  EXPECT_NEAR(m.clock(0), dt, 1e-12);
+  EXPECT_NEAR(m.clock(1), 2 * dt, 1e-12);
+  EXPECT_NEAR(m.clock(3), 4 * dt, 1e-12);
+}
+
+TEST(Machine, ReceiverCongestionBoundsBarrier) {
+  pv::Machine m(8);
+  // Everyone accumulates a huge payload into rank 0; the barrier cannot
+  // complete before rank 0 has absorbed it all.
+  double requester_max = 0.0;
+  for (std::size_t r = 1; r < 8; ++r) {
+    m.record_acc(r, 0, 1e8);
+    requester_max = std::max(requester_max, m.clock(r));
+  }
+  const double t = m.barrier();
+  const double absorb = 7 * m.model().acc_target_seconds(1e8);
+  EXPECT_GE(t, absorb);
+  EXPECT_GT(t, requester_max);
+}
+
+TEST(Machine, ResetClearsState) {
+  pv::Machine m(2);
+  m.charge(0, 5.0);
+  m.record_get(0, 1, 100.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.counters(0).get_words, 0.0);
+  EXPECT_EQ(m.counters(0).get_calls, 0u);
+}
+
+TEST(CostModel, DgemmEfficiencyRampsWithDimension) {
+  const xfci::x1::CostModel cm;
+  // Effective rate for a large square multiply approaches the asymptote.
+  const double t_big = cm.dgemm_seconds(600, 600, 600);
+  const double rate_big = 2.0 * 600.0 * 600.0 * 600.0 / t_big;
+  EXPECT_GT(rate_big, 0.85 * cm.dgemm_asymptotic);
+  // A skinny multiply runs far below peak.
+  const double t_skinny = cm.dgemm_seconds(8, 600, 600);
+  const double rate_skinny = 2.0 * 8.0 * 600.0 * 600.0 / t_skinny;
+  EXPECT_LT(rate_skinny, 0.2 * cm.dgemm_asymptotic);
+}
+
+TEST(CostModel, DaxpyFarBelowDgemm) {
+  // The X1 evaluation report: out-of-cache DAXPY ~2 GF/s vs DGEMM 10-11
+  // GF/s per MSP -- the motivation for the paper's algorithm.
+  const xfci::x1::CostModel cm;
+  const double flops = 1e10;
+  const double t_daxpy = cm.daxpy_seconds(flops);
+  // Same flops as one large DGEMM.
+  const double t_dgemm = cm.dgemm_seconds(1000, 1000, 5000);
+  EXPECT_GT(t_daxpy, 3.0 * t_dgemm);
+}
+
+// ----------------------------------------------------------- task pool ----
+
+TEST(TaskPool, ChunksTileTheRange) {
+  for (std::size_t n : {1u, 7u, 100u, 1000u, 12345u}) {
+    for (std::size_t p : {1u, 4u, 16u}) {
+      const pv::TaskPool pool(n, p);
+      std::size_t covered = 0;
+      for (std::size_t i = 0; i < pool.num_chunks(); ++i) {
+        const auto [b, e] = pool.chunk(i);
+        EXPECT_EQ(b, covered);
+        EXPECT_GT(e, b);
+        covered = e;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(TaskPool, LargeTasksComeFirstInDecreasingSize) {
+  pv::TaskPoolParams params;
+  params.nfine_per_rank = 64;
+  params.nlarge_per_rank = 4;
+  params.nsmall_per_rank = 8;
+  const pv::TaskPool pool(100000, 8, params);
+  // The first NLtask chunks must be non-increasing in size (Fig. 3).
+  const std::size_t nlarge = params.nlarge_per_rank * 8;
+  ASSERT_GT(pool.num_chunks(), nlarge);
+  for (std::size_t i = 1; i < nlarge; ++i) {
+    const auto [b0, e0] = pool.chunk(i - 1);
+    const auto [b1, e1] = pool.chunk(i);
+    EXPECT_GE(e0 - b0, e1 - b1) << "chunk " << i;
+  }
+  // The tail is fine-grained: much smaller than the head.
+  const auto [hb, he] = pool.chunk(0);
+  const auto [tb, te] = pool.chunk(pool.num_chunks() - 1);
+  EXPECT_GT(he - hb, 10 * (te - tb));
+}
+
+TEST(TaskPool, TailHasFineGranularity) {
+  pv::TaskPoolParams params;
+  params.nfine_per_rank = 16;
+  const std::size_t p = 4;
+  const std::size_t n = 6400;
+  const pv::TaskPool pool(n, p, params);
+  const std::size_t fine = n / (params.nfine_per_rank * p);
+  const auto [tb, te] = pool.chunk(pool.num_chunks() - 1);
+  EXPECT_LE(te - tb, fine);
+}
+
+TEST(TaskPool, NoAggregationAblation) {
+  pv::TaskPoolParams params;
+  params.aggregate = false;
+  params.nfine_per_rank = 10;
+  const pv::TaskPool pool(1000, 10, params);
+  // 100 fine tasks of 10 items each.
+  EXPECT_EQ(pool.num_chunks(), 100u);
+  EXPECT_EQ(pool.max_chunk_size(), 10u);
+}
+
+TEST(TaskPool, SmallPoolDegenerates) {
+  const pv::TaskPool pool(3, 16);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < pool.num_chunks(); ++i)
+    covered += pool.chunk(i).second - pool.chunk(i).first;
+  EXPECT_EQ(covered, 3u);
+}
+
+// -------------------------------------------------------- distribution ----
+
+TEST(ColumnDistribution, PartitionsEveryBlock) {
+  const auto group = xc::PointGroup::make("C2v");
+  const std::vector<std::size_t> irreps = {0, 1, 0, 2, 3, 1};
+  const xf::CiSpace space(6, 3, 2, group, irreps, 1);
+  for (std::size_t p : {1u, 2u, 3u, 7u}) {
+    const fcp::ColumnDistribution dist(space, p);
+    std::size_t words = 0, cols = 0;
+    for (std::size_t r = 0; r < p; ++r) {
+      words += dist.local_words(r);
+      cols += dist.local_columns(r);
+    }
+    EXPECT_EQ(words, space.dimension());
+    std::size_t total_cols = 0;
+    for (const auto& blk : space.blocks()) total_cols += blk.na;
+    EXPECT_EQ(cols, total_cols);
+
+    // Ownership is consistent with the ranges.
+    for (std::size_t b = 0; b < space.blocks().size(); ++b) {
+      for (std::size_t r = 0; r < p; ++r) {
+        const auto [c0, c1] = dist.columns(b, r);
+        for (std::size_t ccc = c0; ccc < c1; ++ccc)
+          EXPECT_EQ(dist.owner(b, ccc), r);
+      }
+    }
+  }
+}
+
+TEST(ColumnDistribution, EvenWithinOneColumn) {
+  const auto group = xc::PointGroup::make("C1");
+  const std::vector<std::size_t> irreps(8, 0);
+  const xf::CiSpace space(8, 4, 4, group, irreps, 0);
+  const fcp::ColumnDistribution dist(space, 5);
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (std::size_t r = 0; r < 5; ++r) {
+    lo = std::min(lo, dist.local_columns(r));
+    hi = std::max(hi, dist.local_columns(r));
+  }
+  EXPECT_LE(hi - lo, 1u);
+}

@@ -1,0 +1,233 @@
+// Tests for reduced density matrices, natural orbitals and dipole moments:
+// trace/positivity sum rules, energy reconstruction from the RDMs (an
+// independent check on the whole sigma algebra), and dipole physics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "chem/molecule.hpp"
+#include "common/rng.hpp"
+#include "fci/fci.hpp"
+#include "fci/rdm.hpp"
+#include "integrals/basis.hpp"
+#include "integrals/one_electron.hpp"
+#include "scf/scf.hpp"
+#include "systems/standard_systems.hpp"
+
+namespace xf = xfci::fci;
+namespace xi = xfci::integrals;
+namespace xc = xfci::chem;
+namespace xs = xfci::scf;
+namespace sys = xfci::systems;
+
+namespace {
+
+// Random symmetric test Hamiltonian (reused pattern from test_sigma).
+xi::IntegralTables random_tables(std::size_t norb, std::uint64_t seed) {
+  xfci::Rng rng(seed);
+  xi::IntegralTables t = xi::IntegralTables::empty(norb);
+  for (std::size_t p = 0; p < norb; ++p)
+    for (std::size_t q = 0; q <= p; ++q) {
+      const double v = rng.uniform(-1, 1);
+      t.h(p, q) = v;
+      t.h(q, p) = v;
+    }
+  for (std::size_t p = 0; p < norb; ++p)
+    for (std::size_t q = 0; q <= p; ++q)
+      for (std::size_t r = 0; r <= p; ++r)
+        for (std::size_t s = 0; s <= r; ++s) {
+          const std::size_t pq = p * (p + 1) / 2 + q;
+          const std::size_t rs = r * (r + 1) / 2 + s;
+          if (rs > pq) continue;
+          t.eri.set(p, q, r, s, 0.3 * rng.uniform(-1, 1));
+        }
+  return t;
+}
+
+}  // namespace
+
+TEST(OneRdm, TraceEqualsElectronCounts) {
+  const auto tables = random_tables(5, 3);
+  const xf::CiSpace space(5, 3, 2, tables.group, tables.orbital_irreps, 0);
+  const auto res = xf::run_fci(tables, 3, 2, 0);
+  const auto rdm = xf::one_rdm(space, res.solve.vector);
+  double tr_a = 0.0, tr_b = 0.0;
+  for (std::size_t p = 0; p < 5; ++p) {
+    tr_a += rdm.alpha(p, p);
+    tr_b += rdm.beta(p, p);
+  }
+  EXPECT_NEAR(tr_a, 3.0, 1e-10);
+  EXPECT_NEAR(tr_b, 2.0, 1e-10);
+}
+
+TEST(OneRdm, SymmetricAndBounded) {
+  const auto tables = random_tables(5, 4);
+  const xf::CiSpace space(5, 2, 2, tables.group, tables.orbital_irreps, 0);
+  const auto res = xf::run_fci(tables, 2, 2, 0);
+  const auto gamma = xf::one_rdm(space, res.solve.vector).total();
+  EXPECT_TRUE(gamma.is_symmetric(1e-10));
+  // Natural occupations in [0, 2].
+  const auto nat = xf::natural_orbitals(gamma);
+  for (double o : nat.occupations) {
+    EXPECT_GE(o, -1e-10);
+    EXPECT_LE(o, 2.0 + 1e-10);
+  }
+  // Descending order and correct sum.
+  for (std::size_t i = 1; i < nat.occupations.size(); ++i)
+    EXPECT_GE(nat.occupations[i - 1], nat.occupations[i] - 1e-12);
+  EXPECT_NEAR(std::accumulate(nat.occupations.begin(),
+                              nat.occupations.end(), 0.0),
+              4.0, 1e-9);
+}
+
+TEST(OneRdm, HartreeFockDeterminantGivesIdempotentRdm) {
+  // A single-determinant CI vector: occupations exactly 2/0 (closed shell).
+  const auto tables = random_tables(4, 9);
+  const xf::CiSpace space(4, 2, 2, tables.group, tables.orbital_irreps, 0);
+  std::vector<double> c(space.dimension(), 0.0);
+  // The determinant |0011 alpha, 0011 beta> (lowest two orbitals).
+  const std::size_t ia = space.alpha().address(0b0011);
+  const std::size_t ib = space.beta().address(0b0011);
+  c[space.index(0, ia, ib)] = 1.0;
+  const auto gamma = xf::one_rdm(space, c).total();
+  for (std::size_t p = 0; p < 4; ++p)
+    for (std::size_t q = 0; q < 4; ++q) {
+      const double expect = (p == q && p < 2) ? 2.0 : 0.0;
+      EXPECT_NEAR(gamma(p, q), expect, 1e-12);
+    }
+}
+
+TEST(TwoRdm, EnergyReconstruction) {
+  // E from the RDMs must equal the variational FCI energy: this closes the
+  // loop between the sigma algebra, the solver and the density matrices.
+  const auto tables = random_tables(5, 7);
+  const xf::CiSpace space(5, 2, 2, tables.group, tables.orbital_irreps, 0);
+  xf::FciOptions opt;
+  opt.solver.residual_tolerance = 1e-7;
+  opt.solver.max_iterations = 300;
+  const auto res = xf::run_fci(tables, 2, 2, 0, opt);
+  ASSERT_TRUE(res.solve.converged);
+  const auto gamma = xf::one_rdm(space, res.solve.vector).total();
+  const auto gamma2 = xf::two_rdm(space, tables, res.solve.vector);
+  const double e = xf::energy_from_rdms(tables, gamma, gamma2);
+  EXPECT_NEAR(e, res.solve.energy, 1e-8);
+}
+
+TEST(TwoRdm, EnergyReconstructionWithSymmetry) {
+  // Same check through the C1-expansion path (blocked space).
+  const auto mol = xc::Molecule::from_xyz_bohr(
+      "O 0.0 0.0 -0.143225816552\n"
+      "H 1.638036840407 0.0 1.136548822547\n"
+      "H -1.638036840407 0.0 1.136548822547\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto mosys = xs::prepare_mo_system(mol, basis, 1);
+  xf::FciOptions opt;
+  opt.solver.residual_tolerance = 1e-7;
+  opt.solver.max_iterations = 300;
+  const auto res = xf::run_fci(mosys.tables, 5, 5, 0, opt);
+  ASSERT_TRUE(res.solve.converged);
+  const xf::CiSpace space(mosys.tables.norb, 5, 5, mosys.tables.group,
+                          mosys.tables.orbital_irreps, 0);
+  const auto gamma = xf::one_rdm(space, res.solve.vector).total();
+  const auto gamma2 = xf::two_rdm(space, mosys.tables, res.solve.vector);
+  EXPECT_NEAR(xf::energy_from_rdms(mosys.tables, gamma, gamma2),
+              res.solve.energy, 1e-7);
+  // Partial trace sum rule: sum_r Gamma_pqrr = (N-1) gamma_pq.
+  const double n_elec = 10.0;
+  for (std::size_t p = 0; p < mosys.tables.norb; ++p) {
+    double tr = 0.0;
+    for (std::size_t r = 0; r < mosys.tables.norb; ++r)
+      tr += gamma2(p, p, r, r);
+    EXPECT_NEAR(tr, (n_elec - 1.0) * gamma(p, p), 1e-7) << "p=" << p;
+  }
+}
+
+TEST(DipoleIntegrals, SingleGaussianCentroid) {
+  // <g|x|g> for a normalized s Gaussian centered at (x0,y0,z0) equals the
+  // center coordinates.
+  xi::Shell sh;
+  sh.l = 0;
+  sh.atom = 0;
+  sh.center = {0.3, -0.7, 1.1};
+  sh.primitives.push_back(xi::Primitive{0.9, 1.0});
+  const auto basis = xi::BasisSet::from_shells({sh});
+  const auto d = xi::dipole_matrices(basis);
+  EXPECT_NEAR(d[0](0, 0), 0.3, 1e-12);
+  EXPECT_NEAR(d[1](0, 0), -0.7, 1e-12);
+  EXPECT_NEAR(d[2](0, 0), 1.1, 1e-12);
+}
+
+TEST(DipoleIntegrals, OriginShiftIsRigorous) {
+  // D(origin + a) = D(origin) - a * S exactly.
+  const auto mol = xc::Molecule::from_xyz_bohr("O 0 0 0\nH 0 0 1.8\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto d0 = xi::dipole_matrices(basis, {0, 0, 0});
+  const auto d1 = xi::dipole_matrices(basis, {0.5, -1.0, 2.0});
+  const auto s = xi::overlap_matrix(basis);
+  const double shift[3] = {0.5, -1.0, 2.0};
+  for (int dim = 0; dim < 3; ++dim)
+    for (std::size_t i = 0; i < s.rows(); ++i)
+      for (std::size_t j = 0; j < s.cols(); ++j)
+        EXPECT_NEAR(d1[dim](i, j), d0[dim](i, j) - shift[dim] * s(i, j),
+                    1e-11);
+}
+
+TEST(Dipole, HomonuclearDiatomicIsZero) {
+  const auto sysH2 = sys::h2(1.4);
+  const auto mol = xc::Molecule::from_xyz_bohr("H 0 0 -0.7\nH 0 0 0.7\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto moco = xs::prepare_mo_system(mol, basis, 1);
+  const auto res = xf::run_fci(moco.tables, 1, 1, 0);
+  const xf::CiSpace space(moco.tables.norb, 1, 1, moco.tables.group,
+                          moco.tables.orbital_irreps, 0);
+  const auto gamma = xf::one_rdm(space, res.solve.vector).total();
+  const auto dm = xs::mo_dipole_matrices(basis, moco.scf.coefficients);
+  const auto mu = xf::dipole_moment(gamma, dm, xi::nuclear_dipole(mol));
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(mu[d], 0.0, 1e-9);
+}
+
+TEST(Dipole, WaterMagnitudeIsPhysical) {
+  // FCI/STO-3G water dipole is about 0.6-0.7 a.u. (1.6-1.8 D), along the
+  // C2 axis (z with our geometry).
+  const auto mol = xc::Molecule::from_xyz_bohr(
+      "O 0.0 0.0 -0.143225816552\n"
+      "H 1.638036840407 0.0 1.136548822547\n"
+      "H -1.638036840407 0.0 1.136548822547\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto moco = xs::prepare_mo_system(mol, basis, 1);
+  const auto res = xf::run_fci(moco.tables, 5, 5, 0);
+  const xf::CiSpace space(moco.tables.norb, 5, 5, moco.tables.group,
+                          moco.tables.orbital_irreps, 0);
+  const auto gamma = xf::one_rdm(space, res.solve.vector).total();
+  const auto dm = xs::mo_dipole_matrices(basis, moco.scf.coefficients);
+  const auto mu = xf::dipole_moment(gamma, dm, xi::nuclear_dipole(mol));
+  EXPECT_NEAR(mu[0], 0.0, 1e-8);  // perpendicular components vanish by C2v
+  EXPECT_NEAR(mu[1], 0.0, 1e-8);
+  const double mag = std::abs(mu[2]);
+  EXPECT_GT(mag, 0.5);
+  EXPECT_LT(mag, 0.8);
+}
+
+TEST(Dipole, NeutralMoleculeOriginIndependent) {
+  const auto mol = xc::Molecule::from_xyz_bohr(
+      "O 0.0 0.0 -0.143225816552\n"
+      "H 1.638036840407 0.0 1.136548822547\n"
+      "H -1.638036840407 0.0 1.136548822547\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto moco = xs::prepare_mo_system(mol, basis, 1);
+  const auto res = xf::run_fci(moco.tables, 5, 5, 0);
+  const xf::CiSpace space(moco.tables.norb, 5, 5, moco.tables.group,
+                          moco.tables.orbital_irreps, 0);
+  const auto gamma = xf::one_rdm(space, res.solve.vector).total();
+
+  const std::array<double, 3> shifted = {1.0, 2.0, -3.0};
+  const auto dm0 = xs::mo_dipole_matrices(basis, moco.scf.coefficients);
+  const auto dm1 =
+      xs::mo_dipole_matrices(basis, moco.scf.coefficients, shifted);
+  const auto mu0 = xf::dipole_moment(gamma, dm0, xi::nuclear_dipole(mol));
+  const auto mu1 =
+      xf::dipole_moment(gamma, dm1, xi::nuclear_dipole(mol, shifted));
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(mu0[d], mu1[d], 1e-8);
+}

@@ -1,0 +1,231 @@
+// Tests for the SCF module: literature reference energies, variational and
+// consistency invariants, ROHF open shells, DIIS, the MO transformation and
+// orbital symmetry labelling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "chem/molecule.hpp"
+#include "common/error.hpp"
+#include "integrals/basis.hpp"
+#include "integrals/one_electron.hpp"
+#include "integrals/tables.hpp"
+#include "integrals/two_electron.hpp"
+#include "scf/scf.hpp"
+
+namespace xs = xfci::scf;
+namespace xi = xfci::integrals;
+namespace xc = xfci::chem;
+using xfci::linalg::Matrix;
+
+namespace {
+
+xc::Molecule h2(double r = 1.4) {
+  return xc::Molecule::from_xyz_bohr("H 0 0 0\nH 0 0 " + std::to_string(r) +
+                                     "\n");
+}
+
+// Standard near-equilibrium water geometry (bohr), C2v along z.
+xc::Molecule water() {
+  return xc::Molecule::from_xyz_bohr(
+      "O 0.0 0.0 -0.143225816552\n"
+      "H 1.638036840407 0.0 1.136548822547\n"
+      "H -1.638036840407 0.0 1.136548822547\n");
+}
+
+}  // namespace
+
+TEST(Rhf, H2Sto3gReferenceEnergy) {
+  // Szabo-Ostlund: E(RHF, H2/STO-3G, R=1.4) = -1.1167 Eh.
+  const auto res = xs::rhf(h2(), xi::BasisSet::build("sto-3g", h2()));
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.energy, -1.1167, 2e-4);
+}
+
+TEST(Rhf, HeliumSto3gReferenceEnergy) {
+  // E(RHF, He/STO-3G) = -2.8077839575 Eh (standard value).
+  const auto mol = xc::Molecule::from_xyz_bohr("He 0 0 0\n");
+  const auto res = xs::rhf(mol, xi::BasisSet::build("sto-3g", mol));
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.energy, -2.807784, 1e-5);
+}
+
+TEST(Rhf, WaterSto3gReferenceEnergy) {
+  // E(RHF, H2O/STO-3G) ~ -74.9420 Eh at this standard geometry.
+  const auto mol = water();
+  const auto res = xs::rhf(mol, xi::BasisSet::build("sto-3g", mol));
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.energy, -74.9420799, 2e-4);
+}
+
+TEST(Rhf, EnergyIsVariationalInBasis) {
+  // Bigger basis must lower (or equal) the RHF energy.
+  const auto mol = h2();
+  const double e_min =
+      xs::rhf(mol, xi::BasisSet::build("sto-3g", mol)).energy;
+  const double e_dz = xs::rhf(mol, xi::BasisSet::build("x-dz", mol)).energy;
+  const double e_dzp =
+      xs::rhf(mol, xi::BasisSet::build("x-dzp", mol)).energy;
+  EXPECT_LT(e_dz, e_min + 1e-10);
+  EXPECT_LT(e_dzp, e_dz + 1e-10);
+}
+
+TEST(Rhf, OrbitalsAreOrthonormal) {
+  const auto mol = water();
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto res = xs::rhf(mol, basis);
+  const auto s = xi::overlap_matrix(basis);
+  const Matrix ctsc =
+      res.coefficients.transposed() * (s * res.coefficients);
+  EXPECT_LT(ctsc.max_abs_diff(Matrix::identity(ctsc.rows())), 1e-9);
+}
+
+TEST(Rhf, OrbitalEnergiesAscending) {
+  const auto mol = water();
+  const auto res = xs::rhf(mol, xi::BasisSet::build("sto-3g", mol));
+  for (std::size_t i = 1; i < res.orbital_energies.size(); ++i)
+    EXPECT_LE(res.orbital_energies[i - 1],
+              res.orbital_energies[i] + 1e-12);
+}
+
+TEST(Rhf, OddElectronCountThrows) {
+  const auto mol = xc::Molecule::from_xyz_bohr("H 0 0 0\n");
+  EXPECT_THROW(xs::rhf(mol, xi::BasisSet::build("sto-3g", mol)),
+               xfci::Error);
+}
+
+TEST(Rohf, OxygenTripletBelowSinglet) {
+  // O atom ground state is 3P; the ROHF triplet must beat the closed-shell
+  // singlet determinant.
+  const auto mol = xc::Molecule::from_xyz_bohr("O 0 0 0\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto triplet = xs::rohf(mol, basis, 3);
+  const auto singlet = xs::rohf(mol, basis, 1);
+  EXPECT_TRUE(triplet.converged);
+  EXPECT_TRUE(singlet.converged);
+  EXPECT_LT(triplet.energy, singlet.energy);
+  EXPECT_EQ(triplet.num_alpha, 5u);
+  EXPECT_EQ(triplet.num_beta, 3u);
+  // Literature ROHF O/STO-3G triplet: about -73.804 Eh.
+  EXPECT_NEAR(triplet.energy, -73.804, 5e-3);
+}
+
+TEST(Rohf, MultiplicityValidation) {
+  const auto mol = xc::Molecule::from_xyz_bohr("O 0 0 0\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  // 8 electrons with multiplicity 2 (one open shell) is impossible.
+  EXPECT_THROW(xs::rohf(mol, basis, 2), xfci::Error);
+  EXPECT_THROW(xs::rohf(mol, basis, 0), xfci::Error);
+}
+
+TEST(FockBuilders, CoulombExchangeAgreeWithDirectSum) {
+  const auto mol = h2();
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto eri = xi::compute_eri(basis);
+  Matrix d(2, 2);
+  d(0, 0) = 0.3;
+  d(0, 1) = d(1, 0) = -0.2;
+  d(1, 1) = 0.9;
+  const auto j = xs::coulomb_matrix(eri, d);
+  const auto k = xs::exchange_matrix(eri, d);
+  for (std::size_t p = 0; p < 2; ++p)
+    for (std::size_t q = 0; q < 2; ++q) {
+      double jv = 0.0, kv = 0.0;
+      for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t s = 0; s < 2; ++s) {
+          jv += d(r, s) * eri(p, q, r, s);
+          kv += d(r, s) * eri(p, r, q, s);
+        }
+      EXPECT_NEAR(j(p, q), jv, 1e-14);
+      EXPECT_NEAR(k(p, q), kv, 1e-14);
+    }
+}
+
+TEST(MoTransform, HydrogenMoleculeDiagonalFock) {
+  // In the MO basis the one-electron + mean-field part reproduces the
+  // orbital energies: eps_i = h_ii + sum_j [2 (ii|jj) - (ij|ji)] over
+  // occupied j.
+  const auto mol = h2();
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto res = xs::rhf(mol, basis);
+  const auto h_ao = xi::core_hamiltonian(basis, mol);
+  const auto eri_ao = xi::compute_eri(basis);
+  const auto t = xi::transform_to_mo(h_ao, eri_ao, res.coefficients);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double eps =
+        t.h(i, i) + 2.0 * t.eri(i, i, 0, 0) - t.eri(i, 0, 0, i);
+    EXPECT_NEAR(eps, res.orbital_energies[i], 1e-7);
+  }
+}
+
+TEST(MoTransform, ScfEnergyFromMoIntegrals) {
+  // E = 2 sum_i h_ii + sum_ij [2 (ii|jj) - (ij|ji)] + E_nuc for RHF.
+  const auto mol = water();
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto res = xs::rhf(mol, basis);
+  const auto t = xi::transform_to_mo(xi::core_hamiltonian(basis, mol),
+                                     xi::compute_eri(basis),
+                                     res.coefficients);
+  const std::size_t nocc = res.num_alpha;
+  double e = mol.nuclear_repulsion();
+  for (std::size_t i = 0; i < nocc; ++i) {
+    e += 2.0 * t.h(i, i);
+    for (std::size_t j = 0; j < nocc; ++j)
+      e += 2.0 * t.eri(i, i, j, j) - t.eri(i, j, j, i);
+  }
+  EXPECT_NEAR(e, res.energy, 1e-8);
+}
+
+TEST(FreezeCore, PreservesValenceEnergyExpression) {
+  // Freezing core then computing the remaining RHF-like energy expression
+  // over active occupied orbitals reproduces the total SCF energy.
+  const auto mol = water();
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto res = xs::rhf(mol, basis);
+  auto t = xi::transform_to_mo(xi::core_hamiltonian(basis, mol),
+                               xi::compute_eri(basis), res.coefficients);
+  t.core_energy = mol.nuclear_repulsion();
+  const auto f = xi::freeze_core(t, 1);  // freeze O 1s
+  const std::size_t nocc = res.num_alpha - 1;
+  double e = f.core_energy;
+  for (std::size_t i = 0; i < nocc; ++i) {
+    e += 2.0 * f.h(i, i);
+    for (std::size_t j = 0; j < nocc; ++j)
+      e += 2.0 * f.eri(i, i, j, j) - f.eri(i, j, j, i);
+  }
+  EXPECT_NEAR(e, res.energy, 1e-8);
+}
+
+TEST(PrepareMoSystem, WaterOrbitalIrrepsAreC2v) {
+  const auto mol = water();
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto sys = xs::prepare_mo_system(mol, basis, 1);
+  EXPECT_EQ(sys.tables.group.name(), "C2v");
+  ASSERT_EQ(sys.tables.orbital_irreps.size(), basis.num_ao());
+  // Known STO-3G water MO symmetry sequence: 1a1 2a1 1b1 3a1 1b2 (occ)
+  // then 4a1 2b1 (virtual) -- with our axis convention (molecule in the xz
+  // plane) the "b1" orbitals transform as x.  Count occurrences instead of
+  // fixing phases: 4 a1, 2 of one b, 1 of the other.
+  std::array<int, 4> counts = {0, 0, 0, 0};
+  for (auto h : sys.tables.orbital_irreps) counts[h]++;
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts[3], 4);  // a1
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[0], 0);  // no a2 in STO-3G water
+}
+
+TEST(PrepareMoSystem, TotallySymmetricIsMostCommonForAtom) {
+  const auto mol = xc::Molecule::from_xyz_bohr("O 0 0 0\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto sys = xs::prepare_mo_system(mol, basis, 3);
+  EXPECT_EQ(sys.tables.group.name(), "D2h");
+  // 1s, 2s -> Ag; 2p -> B1u/B2u/B3u.
+  int n_ag = 0;
+  for (auto h : sys.tables.orbital_irreps)
+    if (sys.tables.group.irrep_name(h) == "Ag") ++n_ag;
+  EXPECT_EQ(n_ag, 2);
+}

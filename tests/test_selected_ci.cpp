@@ -1,0 +1,120 @@
+// Tests for the excitation-truncated CI module: the CI hierarchy
+// CIS <= CISD <= CISDT <= ... <= FCI, agreement with run_fci at the FCI
+// level, Brillouin's theorem, and the sparse Hamiltonian itself.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fci/fci.hpp"
+#include "fci/selected_ci.hpp"
+#include "integrals/basis.hpp"
+#include "scf/scf.hpp"
+#include "systems/model_systems.hpp"
+#include "systems/standard_systems.hpp"
+
+namespace xf = xfci::fci;
+namespace xs = xfci::systems;
+
+TEST(ExcitationLevel, CountsHoles) {
+  const xf::Determinant ref{0b0011, 0b0011};
+  EXPECT_EQ(xf::excitation_level(ref, ref), 0u);
+  EXPECT_EQ(xf::excitation_level(ref, {0b0101, 0b0011}), 1u);
+  EXPECT_EQ(xf::excitation_level(ref, {0b0101, 0b0110}), 2u);
+  EXPECT_EQ(xf::excitation_level(ref, {0b1100, 0b1100}), 4u);
+}
+
+TEST(TruncatedSpace, SizesFollowTheHierarchy) {
+  const auto sys = xs::water({});
+  std::size_t prev = 0;
+  for (std::size_t level = 0; level <= 10; ++level) {
+    const auto dets =
+        xf::truncated_space(sys.tables, 5, 5, 0, level);
+    EXPECT_GE(dets.size(), prev);
+    prev = dets.size();
+  }
+  // Level 10 = FCI: matches the blocked space dimension.
+  const xf::CiSpace space(sys.tables.norb, 5, 5, sys.tables.group,
+                          sys.tables.orbital_irreps, 0);
+  EXPECT_EQ(prev, space.dimension());
+  // Level 0 in the totally symmetric sector: just the reference.
+  EXPECT_EQ(xf::truncated_space(sys.tables, 5, 5, 0, 0).size(), 1u);
+}
+
+TEST(SparseHamiltonian, MatchesDenseApplication) {
+  const auto tables = xs::hubbard_chain(5, 1.0, 2.5);
+  const auto dets = xf::truncated_space(tables, 2, 2, 0, 4);  // full space
+  const xf::SparseHamiltonian h(tables, dets);
+  ASSERT_EQ(h.dimension(), dets.size());
+
+  xfci::Rng rng(3);
+  const auto x = rng.signed_vector(dets.size());
+  std::vector<double> y(dets.size());
+  h.apply(x, y);
+  for (std::size_t i = 0; i < dets.size(); ++i) {
+    double ref = 0.0;
+    for (std::size_t j = 0; j < dets.size(); ++j)
+      ref += xf::hamiltonian_element(tables, dets[i], dets[j]) * x[j];
+    EXPECT_NEAR(y[i], ref, 1e-11) << i;
+  }
+}
+
+TEST(TruncatedCi, VariationalHierarchyOnWater) {
+  const auto sys = xs::water({});
+  const double e_fci = xf::run_fci(sys.tables, 5, 5, 0).solve.energy;
+
+  double prev = 1e9;
+  for (std::size_t level : {1u, 2u, 3u, 4u}) {
+    const auto res = xf::run_truncated_ci(sys.tables, 5, 5, 0, level);
+    ASSERT_TRUE(res.converged) << "level " << level;
+    EXPECT_LE(res.energy, prev + 1e-10) << "level " << level;
+    EXPECT_GE(res.energy, e_fci - 1e-9) << "level " << level;
+    prev = res.energy;
+  }
+  // CISD already recovers most of the water correlation energy.
+  const auto cisd = xf::run_truncated_ci(sys.tables, 5, 5, 0, 2);
+  EXPECT_LT(cisd.energy, sys.scf_energy - 0.9 * (sys.scf_energy - e_fci) +
+                             0.05 * std::abs(sys.scf_energy - e_fci));
+}
+
+TEST(TruncatedCi, FullLevelReproducesFci) {
+  const auto tables = xs::hubbard_chain(6, 1.0, 4.0);
+  const double e_fci = xf::run_fci(tables, 3, 3, 0).solve.energy;
+  const auto res = xf::run_truncated_ci(tables, 3, 3, 0, 6, 1e-7, 400);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.energy, e_fci, 1e-7);
+}
+
+TEST(TruncatedCi, BrillouinTheorem) {
+  // With canonical HF orbitals, singles do not couple to the reference:
+  // E(CIS) == E(HF) for the ground state.
+  const auto sys = xs::water({});
+  const auto cis = xf::run_truncated_ci(sys.tables, 5, 5, 0, 1, 1e-8);
+  ASSERT_TRUE(cis.converged);
+  EXPECT_NEAR(cis.energy, sys.scf_energy, 1e-6);
+}
+
+TEST(TruncatedCi, SizeConsistencyFailureOfCisd) {
+  // The textbook calibration lesson: CISD of two non-interacting H2
+  // molecules is NOT twice CISD of one (FCI is).  For 2 electrons CISD is
+  // FCI, so compare at the dimer level where quadruples are missing.
+  xs::SpaceOptions o;
+  o.basis = "sto-3g";
+  const auto one = xs::h2(1.4, o);
+  const double e1_fci = xf::run_fci(one.tables, 1, 1, 0).solve.energy;
+
+  // Two H2 molecules 60 bohr apart (C1 to keep one sector).
+  const auto mol = xfci::chem::Molecule::from_xyz_bohr(
+      "H 0 0 -0.7\nH 0 0 0.7\nH 0.3 0 59.3\nH 0.3 0 60.7\n");
+  const auto basis = xfci::integrals::BasisSet::build("sto-3g", mol);
+  const auto pair = xfci::scf::prepare_mo_system(mol, basis, 1);
+
+  const double e2_fci = xf::run_fci(pair.tables, 2, 2, 0).solve.energy;
+  EXPECT_NEAR(e2_fci, 2.0 * e1_fci, 1e-5);  // FCI is size-consistent
+
+  const auto cisd = xf::run_truncated_ci(pair.tables, 2, 2, 0, 2, 1e-7);
+  ASSERT_TRUE(cisd.converged);
+  // CISD misses the simultaneous double excitation on both monomers.
+  EXPECT_GT(cisd.energy, e2_fci + 1e-4);
+}

@@ -1,0 +1,130 @@
+// Tests for the two-electron integral engine: analytic values, permutation
+// symmetry, Schwarz screening bound, and the packed storage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "chem/molecule.hpp"
+#include "integrals/basis.hpp"
+#include "integrals/two_electron.hpp"
+
+namespace xi = xfci::integrals;
+namespace xc = xfci::chem;
+
+namespace {
+
+xi::Shell s_shell(double a, std::array<double, 3> center,
+                  std::size_t atom = 0) {
+  xi::Shell sh;
+  sh.l = 0;
+  sh.atom = atom;
+  sh.center = center;
+  sh.primitives.push_back(xi::Primitive{a, 1.0});
+  return sh;
+}
+
+}  // namespace
+
+TEST(Eri, SingleGaussianSelfRepulsion) {
+  // (ss|ss) = 2 sqrt(a/pi) for four normalized s Gaussians of exponent a on
+  // one center.
+  const double a = 1.9;
+  const auto basis = xi::BasisSet::from_shells({s_shell(a, {0, 0, 0})});
+  const auto eri = xi::compute_eri(basis);
+  EXPECT_NEAR(eri(0, 0, 0, 0), 2.0 * std::sqrt(a / std::numbers::pi), 1e-12);
+}
+
+TEST(Eri, DistantChargesCoulombLimit) {
+  // (aa|bb) with centers far apart approaches 1/R.
+  const double r = 40.0;
+  const auto basis = xi::BasisSet::from_shells(
+      {s_shell(1.0, {0, 0, 0}, 0), s_shell(1.3, {0, 0, r}, 1)});
+  const auto eri = xi::compute_eri(basis);
+  EXPECT_NEAR(eri(0, 0, 1, 1), 1.0 / r, 1e-10);
+}
+
+TEST(Eri, EightFoldSymmetryThroughStorage) {
+  // The packed index must identify all 8 permutations.
+  const auto mol = xc::Molecule::from_xyz_bohr("O 0 0 0\nH 0 0 1.8\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto eri = xi::compute_eri(basis);
+  const std::size_t n = basis.num_ao();
+  for (std::size_t p = 0; p < n; p += 2)
+    for (std::size_t q = 0; q <= p; q += 2)
+      for (std::size_t r = 0; r <= p; r += 2)
+        for (std::size_t s = 0; s <= r; ++s) {
+          const double v = eri(p, q, r, s);
+          EXPECT_DOUBLE_EQ(eri(q, p, r, s), v);
+          EXPECT_DOUBLE_EQ(eri(p, q, s, r), v);
+          EXPECT_DOUBLE_EQ(eri(r, s, p, q), v);
+          EXPECT_DOUBLE_EQ(eri(s, r, q, p), v);
+        }
+}
+
+TEST(Eri, PositiveDefiniteDiagonal) {
+  // (pq|pq) >= 0 (it is a Coulomb self-energy).
+  const auto mol = xc::Molecule::from_xyz_bohr("C 0 0 0\nO 0 0 2.13\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto eri = xi::compute_eri(basis);
+  const std::size_t n = basis.num_ao();
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      EXPECT_GE(eri(p, q, p, q), -1e-14);
+}
+
+TEST(Eri, SchwarzInequalityHolds) {
+  // |(pq|rs)| <= sqrt((pq|pq)) sqrt((rs|rs)) for every quartet.
+  const auto mol = xc::Molecule::from_xyz_bohr("O 0 0 0\nH 1.43 0 1.108\n");
+  const auto basis = xi::BasisSet::build("x-dz", mol);
+  // Unscreened: the inequality is exact only for the exact tensor (screened
+  // storage zeroes sub-threshold quartets, which can sit above a tiny
+  // (pq|pq)-based bound).
+  const auto eri = xi::compute_eri(basis, 0.0);
+  const std::size_t n = basis.num_ao();
+  for (std::size_t p = 0; p < n; p += 3)
+    for (std::size_t q = 0; q < n; q += 2)
+      for (std::size_t r = 0; r < n; r += 3)
+        for (std::size_t s = 0; s < n; s += 2) {
+          const double bound = std::sqrt(eri(p, q, p, q)) *
+                               std::sqrt(eri(r, s, r, s));
+          EXPECT_LE(std::abs(eri(p, q, r, s)), bound + 1e-12);
+        }
+}
+
+TEST(Eri, ScreeningMatchesUnscreened) {
+  // Screening at 1e-14 must not change integrals beyond that scale.
+  const auto mol = xc::Molecule::from_xyz_bohr(
+      "H 0 0 0\nH 0 0 1.4\nH 0 0 14\nH 0 0 15.4\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto screened = xi::compute_eri(basis, 1e-14);
+  const auto full = xi::compute_eri(basis, 0.0);
+  const std::size_t n = basis.num_ao();
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q <= p; ++q)
+      for (std::size_t r = 0; r <= p; ++r)
+        for (std::size_t s = 0; s <= r; ++s)
+          EXPECT_NEAR(screened(p, q, r, s), full(p, q, r, s), 1e-10);
+}
+
+TEST(Eri, H2Sto3gKnownValues) {
+  // Classic Szabo-Ostlund H2/STO-3G integrals at R = 1.4 bohr:
+  // (11|11) = 0.7746, (11|22) = 0.5697, (11|12) = 0.4441, (12|12) = 0.2970.
+  const auto mol = xc::Molecule::from_xyz_bohr("H 0 0 0\nH 0 0 1.4\n");
+  const auto basis = xi::BasisSet::build("sto-3g", mol);
+  const auto eri = xi::compute_eri(basis);
+  EXPECT_NEAR(eri(0, 0, 0, 0), 0.7746, 1e-3);
+  EXPECT_NEAR(eri(0, 0, 1, 1), 0.5697, 1e-3);
+  EXPECT_NEAR(eri(0, 0, 0, 1), 0.4441, 1e-3);
+  EXPECT_NEAR(eri(0, 1, 0, 1), 0.2970, 1e-3);
+}
+
+TEST(EriTensor, PackedIndexCanonical) {
+  xi::EriTensor t(4);
+  EXPECT_EQ(t.packed_index(0, 0, 0, 0), 0u);
+  EXPECT_EQ(t.packed_index(3, 1, 2, 0), t.packed_index(1, 3, 0, 2));
+  EXPECT_EQ(t.packed_index(3, 1, 2, 0), t.packed_index(2, 0, 3, 1));
+  // Size: npair = 10, packed = 55.
+  EXPECT_EQ(t.packed_size(), 55u);
+}
