@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_lb.cpp" "bench/CMakeFiles/bench_ablation_lb.dir/bench_ablation_lb.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_lb.dir/bench_ablation_lb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/xfci_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/fci_parallel/CMakeFiles/xfci_fcipar.dir/DependInfo.cmake"
+  "/root/repo/build/src/scf/CMakeFiles/xfci_scf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fci/CMakeFiles/xfci_fci.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrals/CMakeFiles/xfci_integrals.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/xfci_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/xfci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/xfci_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/x1/CMakeFiles/xfci_x1.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfci_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

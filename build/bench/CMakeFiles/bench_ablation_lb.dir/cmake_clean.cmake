@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lb.dir/bench_ablation_lb.cpp.o"
+  "CMakeFiles/bench_ablation_lb.dir/bench_ablation_lb.cpp.o.d"
+  "bench_ablation_lb"
+  "bench_ablation_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_precond.dir/bench_ablation_precond.cpp.o"
+  "CMakeFiles/bench_ablation_precond.dir/bench_ablation_precond.cpp.o.d"
+  "bench_ablation_precond"
+  "bench_ablation_precond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_symm.dir/bench_ablation_symm.cpp.o"
+  "CMakeFiles/bench_ablation_symm.dir/bench_ablation_symm.cpp.o.d"
+  "bench_ablation_symm"
+  "bench_ablation_symm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_symm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

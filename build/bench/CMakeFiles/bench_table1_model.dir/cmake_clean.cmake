@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_model.dir/bench_table1_model.cpp.o"
+  "CMakeFiles/bench_table1_model.dir/bench_table1_model.cpp.o.d"
+  "bench_table1_model"
+  "bench_table1_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

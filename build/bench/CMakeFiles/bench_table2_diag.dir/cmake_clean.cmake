@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_diag.dir/bench_table2_diag.cpp.o"
+  "CMakeFiles/bench_table2_diag.dir/bench_table2_diag.cpp.o.d"
+  "bench_table2_diag"
+  "bench_table2_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

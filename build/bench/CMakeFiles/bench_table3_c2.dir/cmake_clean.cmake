@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_c2.dir/bench_table3_c2.cpp.o"
+  "CMakeFiles/bench_table3_c2.dir/bench_table3_c2.cpp.o.d"
+  "bench_table3_c2"
+  "bench_table3_c2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_c2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2_on_simulated_x1.dir/c2_on_simulated_x1.cpp.o"
+  "CMakeFiles/c2_on_simulated_x1.dir/c2_on_simulated_x1.cpp.o.d"
+  "c2_on_simulated_x1"
+  "c2_on_simulated_x1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2_on_simulated_x1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for c2_on_simulated_x1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2_spectroscopy.dir/c2_spectroscopy.cpp.o"
+  "CMakeFiles/c2_spectroscopy.dir/c2_spectroscopy.cpp.o.d"
+  "c2_spectroscopy"
+  "c2_spectroscopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2_spectroscopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for c2_spectroscopy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrating_ci.dir/calibrating_ci.cpp.o"
+  "CMakeFiles/calibrating_ci.dir/calibrating_ci.cpp.o.d"
+  "calibrating_ci"
+  "calibrating_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrating_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for calibrating_ci.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagonalization_methods.dir/diagonalization_methods.cpp.o"
+  "CMakeFiles/diagonalization_methods.dir/diagonalization_methods.cpp.o.d"
+  "diagonalization_methods"
+  "diagonalization_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagonalization_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diagonalization_methods.
+# This may be replaced when dependencies are built.

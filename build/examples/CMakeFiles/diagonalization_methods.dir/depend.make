@@ -1,0 +1,2 @@
+# Empty dependencies file for diagonalization_methods.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissociation_curve.dir/dissociation_curve.cpp.o"
+  "CMakeFiles/dissociation_curve.dir/dissociation_curve.cpp.o.d"
+  "dissociation_curve"
+  "dissociation_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissociation_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcidump_tool.dir/fcidump_tool.cpp.o"
+  "CMakeFiles/fcidump_tool.dir/fcidump_tool.cpp.o.d"
+  "fcidump_tool"
+  "fcidump_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcidump_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

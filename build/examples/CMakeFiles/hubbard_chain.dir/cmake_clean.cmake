@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hubbard_chain.dir/hubbard_chain.cpp.o"
+  "CMakeFiles/hubbard_chain.dir/hubbard_chain.cpp.o.d"
+  "hubbard_chain"
+  "hubbard_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hubbard_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

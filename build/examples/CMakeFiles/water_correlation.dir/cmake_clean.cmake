@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_correlation.dir/water_correlation.cpp.o"
+  "CMakeFiles/water_correlation.dir/water_correlation.cpp.o.d"
+  "water_correlation"
+  "water_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/elements.cpp" "src/chem/CMakeFiles/xfci_chem.dir/elements.cpp.o" "gcc" "src/chem/CMakeFiles/xfci_chem.dir/elements.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/chem/CMakeFiles/xfci_chem.dir/molecule.cpp.o" "gcc" "src/chem/CMakeFiles/xfci_chem.dir/molecule.cpp.o.d"
+  "/root/repo/src/chem/pointgroup.cpp" "src/chem/CMakeFiles/xfci_chem.dir/pointgroup.cpp.o" "gcc" "src/chem/CMakeFiles/xfci_chem.dir/pointgroup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfci_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/xfci_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_chem.dir/elements.cpp.o"
+  "CMakeFiles/xfci_chem.dir/elements.cpp.o.d"
+  "CMakeFiles/xfci_chem.dir/molecule.cpp.o"
+  "CMakeFiles/xfci_chem.dir/molecule.cpp.o.d"
+  "CMakeFiles/xfci_chem.dir/pointgroup.cpp.o"
+  "CMakeFiles/xfci_chem.dir/pointgroup.cpp.o.d"
+  "libxfci_chem.a"
+  "libxfci_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xfci_chem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/xfci_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/xfci_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/common/CMakeFiles/xfci_common.dir/timer.cpp.o" "gcc" "src/common/CMakeFiles/xfci_common.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_common.dir/error.cpp.o"
+  "CMakeFiles/xfci_common.dir/error.cpp.o.d"
+  "CMakeFiles/xfci_common.dir/timer.cpp.o"
+  "CMakeFiles/xfci_common.dir/timer.cpp.o.d"
+  "libxfci_common.a"
+  "libxfci_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fci/ci_space.cpp" "src/fci/CMakeFiles/xfci_fci.dir/ci_space.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/ci_space.cpp.o.d"
+  "/root/repo/src/fci/fci.cpp" "src/fci/CMakeFiles/xfci_fci.dir/fci.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/fci.cpp.o.d"
+  "/root/repo/src/fci/rdm.cpp" "src/fci/CMakeFiles/xfci_fci.dir/rdm.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/rdm.cpp.o.d"
+  "/root/repo/src/fci/selected_ci.cpp" "src/fci/CMakeFiles/xfci_fci.dir/selected_ci.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/selected_ci.cpp.o.d"
+  "/root/repo/src/fci/sigma_context.cpp" "src/fci/CMakeFiles/xfci_fci.dir/sigma_context.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/sigma_context.cpp.o.d"
+  "/root/repo/src/fci/sigma_dgemm.cpp" "src/fci/CMakeFiles/xfci_fci.dir/sigma_dgemm.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/sigma_dgemm.cpp.o.d"
+  "/root/repo/src/fci/sigma_moc.cpp" "src/fci/CMakeFiles/xfci_fci.dir/sigma_moc.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/sigma_moc.cpp.o.d"
+  "/root/repo/src/fci/slater_condon.cpp" "src/fci/CMakeFiles/xfci_fci.dir/slater_condon.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/slater_condon.cpp.o.d"
+  "/root/repo/src/fci/solvers.cpp" "src/fci/CMakeFiles/xfci_fci.dir/solvers.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/solvers.cpp.o.d"
+  "/root/repo/src/fci/strings.cpp" "src/fci/CMakeFiles/xfci_fci.dir/strings.cpp.o" "gcc" "src/fci/CMakeFiles/xfci_fci.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfci_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/xfci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/xfci_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrals/CMakeFiles/xfci_integrals.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_fci.dir/ci_space.cpp.o"
+  "CMakeFiles/xfci_fci.dir/ci_space.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/fci.cpp.o"
+  "CMakeFiles/xfci_fci.dir/fci.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/rdm.cpp.o"
+  "CMakeFiles/xfci_fci.dir/rdm.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/selected_ci.cpp.o"
+  "CMakeFiles/xfci_fci.dir/selected_ci.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/sigma_context.cpp.o"
+  "CMakeFiles/xfci_fci.dir/sigma_context.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/sigma_dgemm.cpp.o"
+  "CMakeFiles/xfci_fci.dir/sigma_dgemm.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/sigma_moc.cpp.o"
+  "CMakeFiles/xfci_fci.dir/sigma_moc.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/slater_condon.cpp.o"
+  "CMakeFiles/xfci_fci.dir/slater_condon.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/solvers.cpp.o"
+  "CMakeFiles/xfci_fci.dir/solvers.cpp.o.d"
+  "CMakeFiles/xfci_fci.dir/strings.cpp.o"
+  "CMakeFiles/xfci_fci.dir/strings.cpp.o.d"
+  "libxfci_fci.a"
+  "libxfci_fci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_fci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

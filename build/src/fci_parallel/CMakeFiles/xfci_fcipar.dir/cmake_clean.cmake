@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_fcipar.dir/distribution.cpp.o"
+  "CMakeFiles/xfci_fcipar.dir/distribution.cpp.o.d"
+  "CMakeFiles/xfci_fcipar.dir/parallel_fci.cpp.o"
+  "CMakeFiles/xfci_fcipar.dir/parallel_fci.cpp.o.d"
+  "libxfci_fcipar.a"
+  "libxfci_fcipar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_fcipar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integrals/basis.cpp" "src/integrals/CMakeFiles/xfci_integrals.dir/basis.cpp.o" "gcc" "src/integrals/CMakeFiles/xfci_integrals.dir/basis.cpp.o.d"
+  "/root/repo/src/integrals/basis_data.cpp" "src/integrals/CMakeFiles/xfci_integrals.dir/basis_data.cpp.o" "gcc" "src/integrals/CMakeFiles/xfci_integrals.dir/basis_data.cpp.o.d"
+  "/root/repo/src/integrals/boys.cpp" "src/integrals/CMakeFiles/xfci_integrals.dir/boys.cpp.o" "gcc" "src/integrals/CMakeFiles/xfci_integrals.dir/boys.cpp.o.d"
+  "/root/repo/src/integrals/fcidump.cpp" "src/integrals/CMakeFiles/xfci_integrals.dir/fcidump.cpp.o" "gcc" "src/integrals/CMakeFiles/xfci_integrals.dir/fcidump.cpp.o.d"
+  "/root/repo/src/integrals/md.cpp" "src/integrals/CMakeFiles/xfci_integrals.dir/md.cpp.o" "gcc" "src/integrals/CMakeFiles/xfci_integrals.dir/md.cpp.o.d"
+  "/root/repo/src/integrals/one_electron.cpp" "src/integrals/CMakeFiles/xfci_integrals.dir/one_electron.cpp.o" "gcc" "src/integrals/CMakeFiles/xfci_integrals.dir/one_electron.cpp.o.d"
+  "/root/repo/src/integrals/tables.cpp" "src/integrals/CMakeFiles/xfci_integrals.dir/tables.cpp.o" "gcc" "src/integrals/CMakeFiles/xfci_integrals.dir/tables.cpp.o.d"
+  "/root/repo/src/integrals/two_electron.cpp" "src/integrals/CMakeFiles/xfci_integrals.dir/two_electron.cpp.o" "gcc" "src/integrals/CMakeFiles/xfci_integrals.dir/two_electron.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfci_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/xfci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/xfci_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

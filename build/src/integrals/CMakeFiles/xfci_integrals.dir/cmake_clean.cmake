@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_integrals.dir/basis.cpp.o"
+  "CMakeFiles/xfci_integrals.dir/basis.cpp.o.d"
+  "CMakeFiles/xfci_integrals.dir/basis_data.cpp.o"
+  "CMakeFiles/xfci_integrals.dir/basis_data.cpp.o.d"
+  "CMakeFiles/xfci_integrals.dir/boys.cpp.o"
+  "CMakeFiles/xfci_integrals.dir/boys.cpp.o.d"
+  "CMakeFiles/xfci_integrals.dir/fcidump.cpp.o"
+  "CMakeFiles/xfci_integrals.dir/fcidump.cpp.o.d"
+  "CMakeFiles/xfci_integrals.dir/md.cpp.o"
+  "CMakeFiles/xfci_integrals.dir/md.cpp.o.d"
+  "CMakeFiles/xfci_integrals.dir/one_electron.cpp.o"
+  "CMakeFiles/xfci_integrals.dir/one_electron.cpp.o.d"
+  "CMakeFiles/xfci_integrals.dir/tables.cpp.o"
+  "CMakeFiles/xfci_integrals.dir/tables.cpp.o.d"
+  "CMakeFiles/xfci_integrals.dir/two_electron.cpp.o"
+  "CMakeFiles/xfci_integrals.dir/two_electron.cpp.o.d"
+  "libxfci_integrals.a"
+  "libxfci_integrals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_integrals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxfci_integrals.a"
+)

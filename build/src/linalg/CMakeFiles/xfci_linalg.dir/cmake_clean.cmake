@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/xfci_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/xfci_linalg.dir/gemm.cpp.o"
+  "CMakeFiles/xfci_linalg.dir/gemm.cpp.o.d"
+  "CMakeFiles/xfci_linalg.dir/kernels.cpp.o"
+  "CMakeFiles/xfci_linalg.dir/kernels.cpp.o.d"
+  "CMakeFiles/xfci_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/xfci_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/xfci_linalg.dir/solve.cpp.o"
+  "CMakeFiles/xfci_linalg.dir/solve.cpp.o.d"
+  "libxfci_linalg.a"
+  "libxfci_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/machine.cpp" "src/parallel/CMakeFiles/xfci_parallel.dir/machine.cpp.o" "gcc" "src/parallel/CMakeFiles/xfci_parallel.dir/machine.cpp.o.d"
+  "/root/repo/src/parallel/task_pool.cpp" "src/parallel/CMakeFiles/xfci_parallel.dir/task_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/xfci_parallel.dir/task_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfci_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/x1/CMakeFiles/xfci_x1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_parallel.dir/machine.cpp.o"
+  "CMakeFiles/xfci_parallel.dir/machine.cpp.o.d"
+  "CMakeFiles/xfci_parallel.dir/task_pool.cpp.o"
+  "CMakeFiles/xfci_parallel.dir/task_pool.cpp.o.d"
+  "libxfci_parallel.a"
+  "libxfci_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

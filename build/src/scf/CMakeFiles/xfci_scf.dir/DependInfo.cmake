@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scf/diis.cpp" "src/scf/CMakeFiles/xfci_scf.dir/diis.cpp.o" "gcc" "src/scf/CMakeFiles/xfci_scf.dir/diis.cpp.o.d"
+  "/root/repo/src/scf/mosym.cpp" "src/scf/CMakeFiles/xfci_scf.dir/mosym.cpp.o" "gcc" "src/scf/CMakeFiles/xfci_scf.dir/mosym.cpp.o.d"
+  "/root/repo/src/scf/scf.cpp" "src/scf/CMakeFiles/xfci_scf.dir/scf.cpp.o" "gcc" "src/scf/CMakeFiles/xfci_scf.dir/scf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfci_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/xfci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/xfci_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrals/CMakeFiles/xfci_integrals.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_scf.dir/diis.cpp.o"
+  "CMakeFiles/xfci_scf.dir/diis.cpp.o.d"
+  "CMakeFiles/xfci_scf.dir/mosym.cpp.o"
+  "CMakeFiles/xfci_scf.dir/mosym.cpp.o.d"
+  "CMakeFiles/xfci_scf.dir/scf.cpp.o"
+  "CMakeFiles/xfci_scf.dir/scf.cpp.o.d"
+  "libxfci_scf.a"
+  "libxfci_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

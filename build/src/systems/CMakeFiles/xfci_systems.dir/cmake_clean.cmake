@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_systems.dir/model_systems.cpp.o"
+  "CMakeFiles/xfci_systems.dir/model_systems.cpp.o.d"
+  "CMakeFiles/xfci_systems.dir/standard_systems.cpp.o"
+  "CMakeFiles/xfci_systems.dir/standard_systems.cpp.o.d"
+  "libxfci_systems.a"
+  "libxfci_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfci_x1.dir/cost_model.cpp.o"
+  "CMakeFiles/xfci_x1.dir/cost_model.cpp.o.d"
+  "libxfci_x1.a"
+  "libxfci_x1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfci_x1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basis.dir/test_basis.cpp.o"
+  "CMakeFiles/test_basis.dir/test_basis.cpp.o.d"
+  "test_basis"
+  "test_basis.pdb"
+  "test_basis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boys.dir/test_boys.cpp.o"
+  "CMakeFiles/test_boys.dir/test_boys.cpp.o.d"
+  "test_boys"
+  "test_boys.pdb"
+  "test_boys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

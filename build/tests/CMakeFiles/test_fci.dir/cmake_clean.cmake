@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fci.dir/test_fci.cpp.o"
+  "CMakeFiles/test_fci.dir/test_fci.cpp.o.d"
+  "test_fci"
+  "test_fci.pdb"
+  "test_fci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

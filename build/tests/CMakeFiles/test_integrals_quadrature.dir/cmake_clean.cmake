@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integrals_quadrature.dir/test_integrals_quadrature.cpp.o"
+  "CMakeFiles/test_integrals_quadrature.dir/test_integrals_quadrature.cpp.o.d"
+  "test_integrals_quadrature"
+  "test_integrals_quadrature.pdb"
+  "test_integrals_quadrature[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integrals_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_integrals_quadrature.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_io.dir/test_models_io.cpp.o"
+  "CMakeFiles/test_models_io.dir/test_models_io.cpp.o.d"
+  "test_models_io"
+  "test_models_io.pdb"
+  "test_models_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_molecule.dir/test_molecule.cpp.o"
+  "CMakeFiles/test_molecule.dir/test_molecule.cpp.o.d"
+  "test_molecule"
+  "test_molecule.pdb"
+  "test_molecule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_molecule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_molecule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_one_electron.dir/test_one_electron.cpp.o"
+  "CMakeFiles/test_one_electron.dir/test_one_electron.cpp.o.d"
+  "test_one_electron"
+  "test_one_electron.pdb"
+  "test_one_electron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_one_electron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

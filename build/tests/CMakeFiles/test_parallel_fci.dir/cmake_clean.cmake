@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_fci.dir/test_parallel_fci.cpp.o"
+  "CMakeFiles/test_parallel_fci.dir/test_parallel_fci.cpp.o.d"
+  "test_parallel_fci"
+  "test_parallel_fci.pdb"
+  "test_parallel_fci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_fci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointgroup.dir/test_pointgroup.cpp.o"
+  "CMakeFiles/test_pointgroup.dir/test_pointgroup.cpp.o.d"
+  "test_pointgroup"
+  "test_pointgroup.pdb"
+  "test_pointgroup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

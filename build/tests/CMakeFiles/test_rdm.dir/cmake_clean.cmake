@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdm.dir/test_rdm.cpp.o"
+  "CMakeFiles/test_rdm.dir/test_rdm.cpp.o.d"
+  "test_rdm"
+  "test_rdm.pdb"
+  "test_rdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scf.dir/test_scf.cpp.o"
+  "CMakeFiles/test_scf.dir/test_scf.cpp.o.d"
+  "test_scf"
+  "test_scf.pdb"
+  "test_scf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

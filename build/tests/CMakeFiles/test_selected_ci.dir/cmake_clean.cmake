@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selected_ci.dir/test_selected_ci.cpp.o"
+  "CMakeFiles/test_selected_ci.dir/test_selected_ci.cpp.o.d"
+  "test_selected_ci"
+  "test_selected_ci.pdb"
+  "test_selected_ci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selected_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

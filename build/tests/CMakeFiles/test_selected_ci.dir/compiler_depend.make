@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_selected_ci.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sigma.dir/test_sigma.cpp.o"
+  "CMakeFiles/test_sigma.dir/test_sigma.cpp.o.d"
+  "test_sigma"
+  "test_sigma.pdb"
+  "test_sigma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

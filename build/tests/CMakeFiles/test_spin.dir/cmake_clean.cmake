@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin.dir/test_spin.cpp.o"
+  "CMakeFiles/test_spin.dir/test_spin.cpp.o.d"
+  "test_spin"
+  "test_spin.pdb"
+  "test_spin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

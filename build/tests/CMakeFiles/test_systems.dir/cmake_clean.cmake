@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systems.dir/test_systems.cpp.o"
+  "CMakeFiles/test_systems.dir/test_systems.cpp.o.d"
+  "test_systems"
+  "test_systems.pdb"
+  "test_systems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

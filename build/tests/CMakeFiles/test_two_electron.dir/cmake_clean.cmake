@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_electron.dir/test_two_electron.cpp.o"
+  "CMakeFiles/test_two_electron.dir/test_two_electron.cpp.o.d"
+  "test_two_electron"
+  "test_two_electron.pdb"
+  "test_two_electron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_electron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_pointgroup[1]_include.cmake")
+include("/root/repo/build/tests/test_molecule[1]_include.cmake")
+include("/root/repo/build/tests/test_boys[1]_include.cmake")
+include("/root/repo/build/tests/test_basis[1]_include.cmake")
+include("/root/repo/build/tests/test_one_electron[1]_include.cmake")
+include("/root/repo/build/tests/test_two_electron[1]_include.cmake")
+include("/root/repo/build/tests/test_scf[1]_include.cmake")
+include("/root/repo/build/tests/test_strings[1]_include.cmake")
+include("/root/repo/build/tests/test_sigma[1]_include.cmake")
+include("/root/repo/build/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_fci[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_fci[1]_include.cmake")
+include("/root/repo/build/tests/test_rdm[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_models_io[1]_include.cmake")
+include("/root/repo/build/tests/test_spin[1]_include.cmake")
+include("/root/repo/build/tests/test_integrals_quadrature[1]_include.cmake")
+include("/root/repo/build/tests/test_systems[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
+include("/root/repo/build/tests/test_selected_ci[1]_include.cmake")
