@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/timer.hpp"
+
 namespace xfci::fcp {
 namespace {
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+double dgemm_flops_of(const fci::SigmaStats& stats) {
+  double f = stats.dgemm_flops + 2.0 * stats.indexed_ops;
+  return f;
+}
 
 // Transposed local copies of one rank's column range of every block:
 // tc[b] is an (nb x width) matrix (column j = beta string j, rows = the
@@ -90,6 +97,21 @@ ParallelSigma::ParallelSigma(const fci::SigmaContext& context,
   block_of_halpha_.assign(space.group().num_irreps(), kNone);
   for (std::size_t b = 0; b < space.blocks().size(); ++b)
     block_of_halpha_[space.blocks()[b].halpha] = b;
+  if (options_.execution == ExecutionMode::kThreads) {
+    team_ = std::make_unique<pv::ThreadTeam>(options_.num_threads);
+    // The transposed context is built lazily; materialize it now, before
+    // any worker thread can race on the first touch.
+    ctx_.transposed();
+    space.transposed();
+  }
+}
+
+void ParallelSigma::add_vectors_threaded(std::span<double> dst,
+                                         std::span<const double> a) {
+  team_->for_static(dst.size(),
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      for (std::size_t i = b; i < e; ++i) dst[i] += a[i];
+                    });
 }
 
 void ParallelSigma::charge_kernel_stats(std::size_t rank,
@@ -107,6 +129,28 @@ void ParallelSigma::beta_side_phase(const fci::SigmaContext& tctx,
                                     bool moc_kernel) {
   const fci::CiSpace& space = ctx_.space();
   const std::size_t nranks = machine_.num_ranks();
+
+  if (!simulate()) {
+    // Threads backend: each rank's transpose-in -> kernel -> transpose-out
+    // block touches only its own sigma columns, so ranks are claimed
+    // dynamically and run concurrently without synchronization.
+    const Timer timer;
+    std::vector<double> flops(nranks, 0.0);
+    team_->for_dynamic(nranks, [&](std::size_t r, std::size_t) {
+      const TransposedLocal local = build_beta_local(space, dist_, r, c);
+      fci::SigmaStats stats;
+      if (moc_kernel)
+        fci::moc_same_spin_columns(tctx, local.views, stats);
+      else
+        fci::sigma_same_spin_columns(tctx, local.views, stats);
+      fci::sigma_one_electron_columns(tctx, local.views, stats);
+      writeback_beta_local(space, dist_, r, local, sigma);
+      flops[r] = dgemm_flops_of(stats);
+    });
+    breakdown_.beta_side += timer.seconds();
+    for (double f : flops) breakdown_.flops += f;
+    return;
+  }
 
   // Phase: local transposes in ("Vector Symm.").
   double t0 = machine_.barrier();
@@ -148,6 +192,31 @@ void ParallelSigma::alpha_side_phase(std::span<const double> c,
   const std::size_t nranks = machine_.num_ranks();
 
   if (moc_kernel) {
+    if (!simulate()) {
+      // Each rank writes only its own sigma columns (disjoint write
+      // ranges), so ranks run concurrently; the collective gather is a
+      // no-op in shared memory.
+      const Timer timer;
+      std::vector<double> flops(nranks, 0.0);
+      team_->for_dynamic(nranks, [&](std::size_t r, std::size_t) {
+        std::vector<fci::ColumnView> views(space.group().num_irreps());
+        for (std::size_t b = 0; b < space.blocks().size(); ++b) {
+          const auto& blk = space.blocks()[b];
+          const auto [c0, c1] = dist_.columns(b, r);
+          views[blk.halpha] =
+              fci::ColumnView{c.data() + blk.offset,
+                              sigma.data() + blk.offset, blk.nb, c0, c1};
+        }
+        fci::SigmaStats stats;
+        fci::moc_same_spin_columns(ctx_, views, stats);
+        fci::sigma_one_electron_columns(ctx_, views, stats);
+        flops[r] = dgemm_flops_of(stats);
+      });
+      breakdown_.alpha_side += timer.seconds();
+      for (double f : flops) breakdown_.flops += f;
+      return;
+    }
+
     // MOC: the whole vector is gathered onto every rank (collective
     // gather) and the alpha-side element generation is replicated; each
     // rank updates only its own sigma columns.
@@ -183,6 +252,35 @@ void ParallelSigma::alpha_side_phase(std::span<const double> c,
   // same static routine on the other spin, transpose back.
   const fci::CiSpace& tspace = space.transposed();
   const ColumnDistribution tdist(tspace, nranks);
+
+  if (!simulate()) {
+    const Timer transpose_in;
+    std::vector<double> ct, st_back;
+    space.transpose_vector(std::vector<double>(c.begin(), c.end()), ct);
+    std::vector<double> sig_t(ct.size(), 0.0);
+    breakdown_.transpose += transpose_in.seconds();
+
+    // Static alpha-index work on the transposed layout, one rank per task;
+    // writebacks into sig_t are disjoint per rank.
+    const Timer kernels;
+    std::vector<double> flops(nranks, 0.0);
+    team_->for_dynamic(nranks, [&](std::size_t r, std::size_t) {
+      const TransposedLocal local = build_beta_local(tspace, tdist, r, ct);
+      fci::SigmaStats stats;
+      fci::sigma_same_spin_columns(ctx_, local.views, stats);
+      fci::sigma_one_electron_columns(ctx_, local.views, stats);
+      writeback_beta_local(tspace, tdist, r, local, sig_t);
+      flops[r] = dgemm_flops_of(stats);
+    });
+    breakdown_.alpha_side += kernels.seconds();
+    for (double f : flops) breakdown_.flops += f;
+
+    const Timer transpose_out;
+    tspace.transpose_vector(sig_t, st_back);
+    add_vectors_threaded(sigma, st_back);
+    breakdown_.transpose += transpose_out.seconds();
+    return;
+  }
 
   double t0 = machine_.barrier();
   std::vector<double> ct, st_back;
@@ -251,6 +349,12 @@ void ParallelSigma::mixed_phase_dgemm(std::span<const double> c,
   for (std::size_t hk = 0; hk < am1.num_irreps(); ++hk)
     for (std::size_t ik = 0; ik < am1.count(hk); ++ik)
       items.emplace_back(hk, ik);
+
+  if (!simulate()) {
+    mixed_phase_dgemm_threads(items, c, sigma);
+    return;
+  }
+
   const pv::TaskPool pool(items.size(), nranks, options_.lb);
 
   const double t0 = machine_.barrier();
@@ -325,6 +429,89 @@ void ParallelSigma::mixed_phase_dgemm(std::span<const double> c,
   breakdown_.mixed_comm_words += total_comm_words(machine_) - comm0;
 }
 
+void ParallelSigma::mixed_phase_dgemm_threads(
+    const std::vector<std::pair<std::size_t, std::size_t>>& items,
+    std::span<const double> c, std::span<double> sigma) {
+  const fci::CiSpace& space = ctx_.space();
+  const Timer timer;
+
+  // Same aggregated chunking as the simulated DLB, sized for the thread
+  // team; threads claim chunks dynamically (TaskPool order), compute each
+  // chunk into private buffers, and commit the sigma updates in chunk
+  // order.  The global accumulation order therefore equals the serial item
+  // order, so the result is bitwise identical for every thread count.
+  const pv::TaskPool pool(items.size(), team_->size(), options_.lb);
+  pv::OrderedSequencer commit;
+  std::vector<double> flops(pool.num_chunks(), 0.0);
+
+  team_->for_pool(pool, [&](std::size_t chunk, std::size_t) {
+    const auto [ibegin, iend] = pool.chunk(chunk);
+    std::vector<std::vector<double>> accs(iend - ibegin);
+    std::vector<std::vector<std::size_t>> offsets(iend - ibegin);
+    std::vector<double> gather_buf;
+    std::vector<const double*> ccols;
+    std::vector<double*> scols;
+    double chunk_flops = 0.0;
+
+    for (std::size_t it = ibegin; it < iend; ++it) {
+      const auto [hk, ik] = items[it];
+      const auto& alist = ctx_.alpha_create()->list(hk, ik);
+
+      std::size_t total = 0;
+      auto& offs = offsets[it - ibegin];
+      offs.assign(alist.size(), kNone);
+      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+        const std::size_t b = block_of_halpha_[alist[ai].irrep];
+        if (b == kNone) continue;
+        offs[ai] = total;
+        total += space.blocks()[b].nb;
+      }
+      gather_buf.resize(total);
+      auto& acc = accs[it - ibegin];
+      acc.assign(total, 0.0);
+      ccols.assign(alist.size(), nullptr);
+      scols.assign(alist.size(), nullptr);
+
+      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+        if (offs[ai] == kNone) continue;
+        const std::size_t b = block_of_halpha_[alist[ai].irrep];
+        const auto& blk = space.blocks()[b];
+        const std::size_t col = alist[ai].address;
+        const double* src = c.data() + blk.offset + col * blk.nb;
+        std::copy(src, src + blk.nb, gather_buf.begin() + offs[ai]);
+        ccols[ai] = gather_buf.data() + offs[ai];
+        scols[ai] = acc.data() + offs[ai];
+      }
+
+      fci::SigmaStats stats;
+      fci::sigma_mixed_spin_core(ctx_, hk, ik, ccols, scols, stats);
+      chunk_flops += stats.dgemm_flops;
+    }
+
+    commit.wait_turn(chunk);
+    for (std::size_t it = ibegin; it < iend; ++it) {
+      const auto [hk, ik] = items[it];
+      const auto& alist = ctx_.alpha_create()->list(hk, ik);
+      const auto& offs = offsets[it - ibegin];
+      const auto& acc = accs[it - ibegin];
+      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+        if (offs[ai] == kNone) continue;
+        const std::size_t b = block_of_halpha_[alist[ai].irrep];
+        const auto& blk = space.blocks()[b];
+        const std::size_t col = alist[ai].address;
+        double* dst = sigma.data() + blk.offset + col * blk.nb;
+        const double* src = acc.data() + offs[ai];
+        for (std::size_t j = 0; j < blk.nb; ++j) dst[j] += src[j];
+      }
+    }
+    commit.complete(chunk);
+    flops[chunk] = chunk_flops;
+  });
+
+  breakdown_.mixed += timer.seconds();
+  for (double f : flops) breakdown_.flops += f;
+}
+
 void ParallelSigma::mixed_phase_moc(std::span<const double> c,
                                     std::span<double> sigma) {
   const fci::CiSpace& space = ctx_.space();
@@ -336,15 +523,13 @@ void ParallelSigma::mixed_phase_moc(std::span<const double> c,
   const auto& eri = ctx_.ints().eri;
   const std::size_t n = space.norb();
 
-  const double t0 = machine_.barrier();
-  const double comm0 = total_comm_words(machine_);
-
   // Each rank computes its local sigma columns: for every alpha single
   // excitation J_a -> I_a it gathers the remote J_a column (no reuse across
   // excitations -- the Table-1 communication count Nci * Na * (n - Na)),
   // then applies every beta single excitation as an indexed multiply-add.
-  for (std::size_t r = 0; r < nranks; ++r) {
-    fci::SigmaStats stats;
+  // Sigma writes are confined to the rank's own columns, so the threads
+  // backend runs ranks concurrently with no synchronization.
+  auto rank_body = [&](std::size_t r, fci::SigmaStats& stats) {
     for (std::size_t b = 0; b < space.blocks().size(); ++b) {
       const auto& blk = space.blocks()[b];
       const auto [c0, c1] = dist_.columns(b, r);
@@ -367,8 +552,9 @@ void ParallelSigma::mixed_phase_moc(std::span<const double> c,
             if (bj == kNone) continue;
             const auto& blkj = space.blocks()[bj];
             const std::size_t colj = sa.address(ja);
-            machine_.record_get(r, dist_.owner(bj, colj),
-                                double(blkj.nb));
+            if (simulate())
+              machine_.record_get(r, dist_.owner(bj, colj),
+                                  double(blkj.nb));
             const double* ccol = c.data() + blkj.offset + colj * blkj.nb;
             const double sa_sign = s1 * s2;
             // Beta part: sigma(I_b) += (pq|rs) * signs * C(J_b).
@@ -395,6 +581,23 @@ void ParallelSigma::mixed_phase_moc(std::span<const double> c,
         }
       }
     }
+  };
+
+  if (!simulate()) {
+    const Timer timer;
+    team_->for_dynamic(nranks, [&](std::size_t r, std::size_t) {
+      fci::SigmaStats stats;
+      rank_body(r, stats);
+    });
+    breakdown_.mixed += timer.seconds();
+    return;
+  }
+
+  const double t0 = machine_.barrier();
+  const double comm0 = total_comm_words(machine_);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    fci::SigmaStats stats;
+    rank_body(r, stats);
     machine_.charge_indexed(r, stats.indexed_ops);
   }
   const double t1 = machine_.barrier();
@@ -404,6 +607,7 @@ void ParallelSigma::mixed_phase_moc(std::span<const double> c,
 }
 
 void ParallelSigma::charge_solver_vector_ops() {
+  if (!simulate()) return;  // solver vector work is real, not simulated
   // Per iteration the single-vector solvers touch the distributed vectors a
   // handful of times: ~5 dot products, ~4 axpy/scale passes, and one
   // preconditioner application (indexed divide), plus reductions.
@@ -445,23 +649,36 @@ void ParallelSigma::apply_dgemm(std::span<const double> c,
     // distributed transpose replaces the whole alpha-side phase.
     std::vector<double> z(sigma.size(), 0.0);
     beta_side_phase(ctx_.transposed(), c, z, /*moc_kernel=*/false);
-    const double t0 = machine_.barrier();
-    std::vector<double> pz;
-    space.transpose_vector(z, pz);
-    const std::size_t nranks = machine_.num_ranks();
-    for (std::size_t r = 0; r < nranks; ++r) {
-      const double remote = static_cast<double>(dist_.local_words(r)) *
-                            static_cast<double>(nranks - 1) /
-                            static_cast<double>(nranks);
-      machine_.record_alltoall(r, nranks - 1, remote);
-      machine_.charge_indexed(r, 2.0 * static_cast<double>(
-                                           dist_.local_words(r)));
+    if (!simulate()) {
+      const Timer timer;
+      std::vector<double> pz;
+      space.transpose_vector(z, pz);
+      const double eps = static_cast<double>(parity);
+      team_->for_static(sigma.size(),
+                        [&](std::size_t b, std::size_t e, std::size_t) {
+                          for (std::size_t i = b; i < e; ++i)
+                            sigma[i] += z[i] + eps * pz[i];
+                        });
+      breakdown_.transpose += timer.seconds();
+    } else {
+      const double t0 = machine_.barrier();
+      std::vector<double> pz;
+      space.transpose_vector(z, pz);
+      const std::size_t nranks = machine_.num_ranks();
+      for (std::size_t r = 0; r < nranks; ++r) {
+        const double remote = static_cast<double>(dist_.local_words(r)) *
+                              static_cast<double>(nranks - 1) /
+                              static_cast<double>(nranks);
+        machine_.record_alltoall(r, nranks - 1, remote);
+        machine_.charge_indexed(r, 2.0 * static_cast<double>(
+                                             dist_.local_words(r)));
+      }
+      const double eps = static_cast<double>(parity);
+      for (std::size_t i = 0; i < sigma.size(); ++i)
+        sigma[i] += z[i] + eps * pz[i];
+      const double t1 = machine_.barrier();
+      breakdown_.transpose += t1 - t0;
     }
-    const double eps = static_cast<double>(parity);
-    for (std::size_t i = 0; i < sigma.size(); ++i)
-      sigma[i] += z[i] + eps * pz[i];
-    const double t1 = machine_.barrier();
-    breakdown_.transpose += t1 - t0;
   }
   mixed_phase_dgemm(c, sigma);
 }
@@ -479,6 +696,21 @@ void ParallelSigma::apply(std::span<const double> c,
   XFCI_REQUIRE(c.size() == space.dimension(), "parallel sigma size mismatch");
   XFCI_REQUIRE(sigma.size() == c.size(), "parallel sigma size mismatch");
   std::fill(sigma.begin(), sigma.end(), 0.0);
+
+  if (!simulate()) {
+    // Threads backend: the phases record wall-clock seconds and real flops
+    // into the breakdown directly; the simulated machine stays untouched.
+    const Timer timer;
+    const double flops0 = breakdown_.flops;
+    if (options_.algorithm == fci::Algorithm::kMoc)
+      apply_moc(c, sigma);
+    else
+      apply_dgemm(c, sigma);
+    breakdown_.total += timer.seconds();
+    breakdown_.count += 1;
+    stats_.dgemm_flops += breakdown_.flops - flops0;
+    return;
+  }
 
   const double start = machine_.elapsed();
   double comm0 = 0.0, flop0 = 0.0;
@@ -527,13 +759,22 @@ ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
     sopt.purify = fci::make_parity_purifier(space);
   res.solve = fci::solve_lowest(op, ints, sopt);
   res.per_sigma = op.breakdown().averaged();
-  res.total_seconds = op.machine().elapsed();
-  double flops = 0.0;
-  for (std::size_t r = 0; r < options.num_ranks; ++r)
-    flops += op.machine().flops(r);
-  res.gflops_per_rank =
-      flops / static_cast<double>(options.num_ranks) /
-      std::max(res.total_seconds, 1e-30) / 1e9;
+  if (options.execution == ExecutionMode::kThreads) {
+    // Wall-clock accounting: total sigma time and sustained rate per
+    // thread (the "rank" of the threads backend).
+    res.total_seconds = op.breakdown().total;
+    res.gflops_per_rank = op.breakdown().flops /
+                          static_cast<double>(op.num_threads()) /
+                          std::max(res.total_seconds, 1e-30) / 1e9;
+  } else {
+    res.total_seconds = op.machine().elapsed();
+    double flops = 0.0;
+    for (std::size_t r = 0; r < options.num_ranks; ++r)
+      flops += op.machine().flops(r);
+    res.gflops_per_rank =
+        flops / static_cast<double>(options.num_ranks) /
+        std::max(res.total_seconds, 1e-30) / 1e9;
+  }
   res.comm_words_per_sigma = op.breakdown().averaged().comm_words;
   return res;
 }

@@ -37,8 +37,23 @@
 #include "fci_parallel/distribution.hpp"
 #include "parallel/machine.hpp"
 #include "parallel/task_pool.hpp"
+#include "parallel/thread_team.hpp"
 
 namespace xfci::fcp {
+
+/// Execution backend for the distributed algorithm.
+enum class ExecutionMode {
+  /// Deterministic discrete-event simulation: ranks are simulated clocks,
+  /// every kernel and communication event charges the calibrated X1 cost
+  /// model (Figs. 4-5 / Table 3 reproductions).
+  kSimulate,
+  /// Real shared-memory execution: the same rank decomposition and task
+  /// pool, but rank work is claimed by a pv::ThreadTeam and the breakdown
+  /// reports wall-clock seconds.  Numerically bitwise-identical to
+  /// kSimulate for every thread count (disjoint writes in the static
+  /// phases, ordered commit in the dynamic mixed-spin phase).
+  kThreads,
+};
 
 struct ParallelOptions {
   std::size_t num_ranks = 16;
@@ -50,6 +65,10 @@ struct ParallelOptions {
   /// replaced by one distributed transpose of the beta-side result.
   /// Only effective for nalpha == nbeta and vectors of definite parity.
   bool ms0_transpose = false;
+  /// Backend: simulated X1 timing or real std::thread execution.
+  ExecutionMode execution = ExecutionMode::kSimulate;
+  /// Thread count for ExecutionMode::kThreads (0 = hardware concurrency).
+  std::size_t num_threads = 0;
 };
 
 /// Simulated-time breakdown accumulated over sigma applications; the rows
@@ -86,6 +105,13 @@ class ParallelSigma : public fci::SigmaOperator {
   const PhaseBreakdown& breakdown() const { return breakdown_; }
   void reset_breakdown() { breakdown_ = PhaseBreakdown{}; }
 
+  /// True when running the discrete-event simulator (kSimulate).
+  bool simulate() const {
+    return options_.execution == ExecutionMode::kSimulate;
+  }
+  /// Width of the threads backend (1 when simulating).
+  std::size_t num_threads() const { return team_ ? team_->size() : 1; }
+
  private:
   void apply_dgemm(std::span<const double> c, std::span<double> sigma);
   void apply_moc(std::span<const double> c, std::span<double> sigma);
@@ -96,8 +122,12 @@ class ParallelSigma : public fci::SigmaOperator {
   void alpha_side_phase(std::span<const double> c, std::span<double> sigma,
                         bool moc_kernel);
   void mixed_phase_dgemm(std::span<const double> c, std::span<double> sigma);
+  void mixed_phase_dgemm_threads(
+      const std::vector<std::pair<std::size_t, std::size_t>>& items,
+      std::span<const double> c, std::span<double> sigma);
   void mixed_phase_moc(std::span<const double> c, std::span<double> sigma);
   void charge_solver_vector_ops();
+  void add_vectors_threaded(std::span<double> dst, std::span<const double> a);
 
   const fci::SigmaContext& ctx_;
   ParallelOptions options_;
@@ -105,6 +135,7 @@ class ParallelSigma : public fci::SigmaOperator {
   ColumnDistribution dist_;
   std::vector<std::size_t> block_of_halpha_;  // halpha -> block index
   PhaseBreakdown breakdown_;
+  std::unique_ptr<pv::ThreadTeam> team_;  // threads backend (kThreads only)
 };
 
 /// Result of a full parallel FCI run.

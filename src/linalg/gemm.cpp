@@ -1,9 +1,11 @@
 #include "linalg/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "common/error.hpp"
+#include "parallel/thread_team.hpp"
 
 namespace xfci::linalg {
 namespace {
@@ -15,6 +17,12 @@ constexpr std::size_t kKc = 256;
 constexpr std::size_t kNc = 2048;
 constexpr std::size_t kMr = 4;
 constexpr std::size_t kNr = 8;
+
+// Threading threshold: below this flop count the fork/join overhead of the
+// team outweighs the macro-kernel work.
+constexpr double kThreadFlops = 4.0e6;
+
+std::atomic<pv::ThreadTeam*> g_team{nullptr};
 
 // Packs an mc x kc block of op(A) into column-panel-major order:
 // consecutive MR-row strips, each strip stored kc-major so the micro-kernel
@@ -65,7 +73,44 @@ inline void micro_kernel(std::size_t kc, const double* pa, const double* pb,
   }
 }
 
+// Macro-kernel: C[ic..ic+mc, jc..jc+nc] += alpha * packed_A * packed_B.
+void macro_kernel(std::size_t ic, std::size_t jc, std::size_t mc,
+                  std::size_t nc, std::size_t kc, double alpha,
+                  const double* pa_panel, const double* pb_panel, double* c,
+                  std::size_t ldc) {
+  for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
+    const std::size_t nr = std::min(kNr, nc - j0);
+    const double* pb = pb_panel + (j0 / kNr) * (kc * kNr);
+    for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
+      const std::size_t mr = std::min(kMr, mc - i0);
+      const double* pa = pa_panel + (i0 / kMr) * (kc * kMr);
+      double acc[kMr][kNr] = {};
+      micro_kernel(kc, pa, pb, acc);
+      double* cblk = c + (ic + i0) * ldc + jc + j0;
+      for (std::size_t i = 0; i < mr; ++i)
+        for (std::size_t j = 0; j < nr; ++j)
+          cblk[i * ldc + j] += alpha * acc[i][j];
+    }
+  }
+}
+
+thread_local std::vector<double> tl_pa_buf;
+thread_local std::vector<double> tl_pb_buf;
+
+void ensure_pack_buffers() {
+  tl_pa_buf.resize(kMc * kKc + kMr * kKc);
+  tl_pb_buf.resize(kKc * kNc + kNr * kKc);
+}
+
 }  // namespace
+
+void set_gemm_team(pv::ThreadTeam* team) {
+  g_team.store(team, std::memory_order_release);
+}
+
+pv::ThreadTeam* gemm_team() {
+  return g_team.load(std::memory_order_acquire);
+}
 
 void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
           std::size_t k, double alpha, const double* a, std::size_t lda,
@@ -82,34 +127,43 @@ void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
 
-  thread_local std::vector<double> pa_buf;
-  thread_local std::vector<double> pb_buf;
-  pa_buf.resize(kMc * kKc + kMr * kKc);
-  pb_buf.resize(kKc * kNc + kNr * kKc);
+  pv::ThreadTeam* team = gemm_team();
+  const std::size_t itiles = (m + kMc - 1) / kMc;
+  const std::size_t jtiles = (n + kNc - 1) / kNc;
+  if (team != nullptr && team->size() > 1 && itiles * jtiles > 1 &&
+      !pv::ThreadTeam::in_parallel_region() &&
+      gemm_flops(m, n, k) >= kThreadFlops) {
+    // Parallel macro-kernel: the (jc, ic) panel grid is claimed dynamically;
+    // every task packs its own operand panels into thread-local buffers and
+    // owns a disjoint C tile, accumulating its k-panels in serial order.
+    team->for_dynamic(itiles * jtiles, [&](std::size_t t, std::size_t) {
+      ensure_pack_buffers();
+      const std::size_t jc = (t / itiles) * kNc;
+      const std::size_t ic = (t % itiles) * kMc;
+      const std::size_t nc = std::min(kNc, n - jc);
+      const std::size_t mc = std::min(kMc, m - ic);
+      for (std::size_t pc = 0; pc < k; pc += kKc) {
+        const std::size_t kc = std::min(kKc, k - pc);
+        pack_b(transb, b, ldb, pc, jc, kc, nc, tl_pb_buf.data());
+        pack_a(transa, a, lda, ic, pc, mc, kc, tl_pa_buf.data());
+        macro_kernel(ic, jc, mc, nc, kc, alpha, tl_pa_buf.data(),
+                     tl_pb_buf.data(), c, ldc);
+      }
+    });
+    return;
+  }
 
+  ensure_pack_buffers();
   for (std::size_t jc = 0; jc < n; jc += kNc) {
     const std::size_t nc = std::min(kNc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += kKc) {
       const std::size_t kc = std::min(kKc, k - pc);
-      pack_b(transb, b, ldb, pc, jc, kc, nc, pb_buf.data());
+      pack_b(transb, b, ldb, pc, jc, kc, nc, tl_pb_buf.data());
       for (std::size_t ic = 0; ic < m; ic += kMc) {
         const std::size_t mc = std::min(kMc, m - ic);
-        pack_a(transa, a, lda, ic, pc, mc, kc, pa_buf.data());
-        // Macro-kernel over the packed panels.
-        for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
-          const std::size_t nr = std::min(kNr, nc - j0);
-          const double* pb = pb_buf.data() + (j0 / kNr) * (kc * kNr);
-          for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
-            const std::size_t mr = std::min(kMr, mc - i0);
-            const double* pa = pa_buf.data() + (i0 / kMr) * (kc * kMr);
-            double acc[kMr][kNr] = {};
-            micro_kernel(kc, pa, pb, acc);
-            double* cblk = c + (ic + i0) * ldc + jc + j0;
-            for (std::size_t i = 0; i < mr; ++i)
-              for (std::size_t j = 0; j < nr; ++j)
-                cblk[i * ldc + j] += alpha * acc[i][j];
-          }
-        }
+        pack_a(transa, a, lda, ic, pc, mc, kc, tl_pa_buf.data());
+        macro_kernel(ic, jc, mc, nc, kc, alpha, tl_pa_buf.data(),
+                     tl_pb_buf.data(), c, ldc);
       }
     }
   }

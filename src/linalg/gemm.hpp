@@ -11,6 +11,10 @@
 
 #include <cstddef>
 
+namespace xfci::pv {
+class ThreadTeam;
+}
+
 namespace xfci::linalg {
 
 /// C = alpha * op(A) * op(B) + beta * C, row-major.
@@ -22,6 +26,18 @@ void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
           std::size_t k, double alpha, const double* a, std::size_t lda,
           const double* b, std::size_t ldb, double beta, double* c,
           std::size_t ldc);
+
+/// Installs (or clears, with nullptr) a shared-memory thread team used by
+/// gemm() to run the macro-kernel loop in parallel: the (jc, ic) panel grid
+/// is claimed dynamically, every worker packing into its own thread-local
+/// buffers.  Each C tile is owned by exactly one task and accumulates its
+/// k-panels in the serial order, so the threaded product is bitwise
+/// identical to the serial one.  Calls from inside an enclosing parallel
+/// region (e.g. the threaded sigma phases) automatically run serially.
+/// The team must outlive its installation; not thread-safe against
+/// concurrent installs.
+void set_gemm_team(pv::ThreadTeam* team);
+pv::ThreadTeam* gemm_team();
 
 /// Reference triple-loop GEMM used to validate the blocked kernel in tests.
 void gemm_reference(bool transa, bool transb, std::size_t m, std::size_t n,

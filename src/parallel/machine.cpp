@@ -43,8 +43,12 @@ void Machine::record_acc(std::size_t rank, std::size_t owner, double words) {
 
 void Machine::record_put(std::size_t rank, std::size_t owner, double words) {
   if (rank != owner) {
-    charge(rank, model_.get_seconds(words));
+    charge(rank, model_.put_seconds(words));
     counters_.at(rank).put_words += words;
+    // The target's node absorbs the arriving payload at its receive
+    // bandwidth (same congestion bound as an accumulate, but the data only
+    // lands once).
+    recv_busy_.at(owner) += model_.recv_target_seconds(words);
   } else {
     charge(rank, model_.indexed_seconds(words));
   }
@@ -58,6 +62,18 @@ void Machine::record_alltoall(std::size_t rank, std::size_t peers,
                    8.0 * remote_words / model_.get_bandwidth);
   counters_.at(rank).get_words += remote_words;
   counters_.at(rank).get_calls += peers;
+  // Receiver congestion (symmetric with record_acc): the words this rank
+  // pulls occupy its own node's receive bandwidth, and serving them
+  // occupies the source nodes' -- attributed evenly across the peers since
+  // the all-to-all spreads the traffic.  Without this the Vector-Symm
+  // transpose phases could beat the node-bandwidth bound.
+  recv_busy_.at(rank) += model_.recv_target_seconds(remote_words);
+  const std::size_t others = clocks_.size() - 1;
+  if (others > 0) {
+    const double served = remote_words / static_cast<double>(others);
+    for (std::size_t q = 0; q < clocks_.size(); ++q)
+      if (q != rank) recv_busy_.at(q) += model_.recv_target_seconds(served);
+  }
 }
 
 void Machine::record_dlb_request(std::size_t rank) {

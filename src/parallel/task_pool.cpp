@@ -11,11 +11,14 @@ TaskPool::TaskPool(std::size_t num_items, std::size_t num_ranks,
   XFCI_REQUIRE(num_ranks >= 1, "task pool needs at least one rank");
   if (num_items == 0) return;
 
-  // Fine granularity: NFineTask_proc tasks per rank.
+  // Fine granularity: NFineTask_proc tasks per rank.  Ceiling division --
+  // truncation would make e.g. num_items = 2*nfine - 1 yield fine_size 1
+  // and nearly twice the requested number of fine tasks, inflating the
+  // simulated DLB-server traffic and latency.
   const std::size_t nfine =
       std::max<std::size_t>(1, params.nfine_per_rank * num_ranks);
   const std::size_t fine_size =
-      std::max<std::size_t>(1, num_items / nfine);
+      std::max<std::size_t>(1, (num_items + nfine - 1) / nfine);
 
   if (!params.aggregate) {
     for (std::size_t b = 0; b < num_items; b += fine_size)

@@ -1,0 +1,153 @@
+#include "parallel/thread_team.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace xfci::pv {
+namespace {
+
+// Set while a thread executes a parallel-region body (workers and the
+// calling thread alike); nested region requests run inline instead of
+// re-entering the pool.  tl_tid keeps the worker id so an inlined nested
+// body still indexes the right per-thread scratch.
+thread_local bool tl_in_region = false;
+thread_local std::size_t tl_tid = 0;
+
+}  // namespace
+
+bool ThreadTeam::in_parallel_region() { return tl_in_region; }
+
+ThreadTeam::ThreadTeam(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  nthreads_ = num_threads;
+  workers_.reserve(nthreads_ - 1);
+  for (std::size_t tid = 1; tid < nthreads_; ++tid)
+    workers_.emplace_back([this, tid] { worker_main(tid); });
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::claim_loop(std::size_t tid) {
+  tl_in_region = true;
+  tl_tid = tid;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) break;
+    try {
+      (*body_)(i, tid);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      // Drain the remaining indices so every worker exits promptly.
+      next_.store(count_, std::memory_order_relaxed);
+      break;
+    }
+  }
+  tl_in_region = false;
+}
+
+void ThreadTeam::worker_main(std::size_t tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    claim_loop(tid);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--working_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadTeam::run_region(std::size_t count, const IndexBody& body) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    working_ = nthreads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  claim_loop(0);  // the calling thread participates as tid 0
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return working_ == 0; });
+    body_ = nullptr;
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+void ThreadTeam::for_dynamic(std::size_t count, const IndexBody& body) {
+  if (count == 0) return;
+  if (nthreads_ == 1 || count == 1 || tl_in_region) {
+    // Serial / nested fallback: run inline, preserving index order.  A
+    // nested call keeps the enclosing worker's tid so per-thread scratch
+    // stays private.
+    const std::size_t tid = tl_in_region ? tl_tid : 0;
+    for (std::size_t i = 0; i < count; ++i) body(i, tid);
+    return;
+  }
+  run_region(count, body);
+}
+
+void ThreadTeam::for_pool(const TaskPool& pool, const IndexBody& body) {
+  for_dynamic(pool.num_chunks(), body);
+}
+
+void ThreadTeam::for_static(std::size_t count, const RangeBody& body) {
+  if (count == 0) return;
+  const std::size_t slices = std::min(nthreads_, count);
+  auto slice_of = [count, slices](std::size_t i) {
+    return std::pair<std::size_t, std::size_t>{i * count / slices,
+                                               (i + 1) * count / slices};
+  };
+  if (slices == 1) {
+    body(0, count, 0);
+    return;
+  }
+  // Nested calls fall through: for_dynamic runs the slices inline, so the
+  // slice boundaries (and any per-slice reduction grouping) are identical
+  // whether or not an enclosing region is active.
+  for_dynamic(slices, [&](std::size_t i, std::size_t) {
+    const auto [b, e] = slice_of(i);
+    body(b, e, i);
+  });
+}
+
+void OrderedSequencer::wait_turn(std::size_t index) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return turn_ == index; });
+}
+
+void OrderedSequencer::complete(std::size_t index) {
+  std::lock_guard<std::mutex> lk(mu_);
+  XFCI_ASSERT(turn_ == index, "ordered sequencer completed out of turn");
+  ++turn_;
+  cv_.notify_all();
+}
+
+void OrderedSequencer::reset(std::size_t start) {
+  std::lock_guard<std::mutex> lk(mu_);
+  turn_ = start;
+}
+
+}  // namespace xfci::pv

@@ -33,6 +33,11 @@ double CostModel::get_seconds(double words) const {
   return get_latency + 8.0 * words / get_bandwidth;
 }
 
+double CostModel::put_seconds(double words) const {
+  if (words <= 0.0) return 0.0;
+  return put_latency + 8.0 * words / get_bandwidth;
+}
+
 double CostModel::acc_seconds(double words) const {
   if (words <= 0.0) return 0.0;
   // DDI_ACC: lock, SHMEM_GET the target data, add locally, SHMEM_PUT back,
@@ -40,15 +45,20 @@ double CostModel::acc_seconds(double words) const {
   return acc_lock_overhead + 2.0 * (get_latency + 8.0 * words / get_bandwidth);
 }
 
-double CostModel::acc_target_seconds(double words) const {
+double CostModel::recv_target_seconds(double words) const {
   if (words <= 0.0) return 0.0;
-  return 2.0 * 8.0 * words / node_bandwidth;
+  return 8.0 * words / node_bandwidth;
+}
+
+double CostModel::acc_target_seconds(double words) const {
+  return 2.0 * recv_target_seconds(words);
 }
 
 CostModel CostModel::with_overhead_scale(double factor) const {
   CostModel m = *this;
   m.kernel_startup *= factor;
   m.get_latency *= factor;
+  m.put_latency *= factor;
   m.acc_lock_overhead *= factor;
   m.dlb_latency *= factor;
   m.barrier_cost *= factor;

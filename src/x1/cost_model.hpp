@@ -37,6 +37,9 @@ struct CostModel {
 
   double get_latency = 5.0e-6;       ///< one-sided get latency (s)
   double get_bandwidth = 4.0e9;      ///< bytes/s per MSP for remote get
+  /// One-sided put latency: lower than get (fire-and-forget store vs. a
+  /// full network round trip for the reply payload).
+  double put_latency = 3.0e-6;
   double acc_lock_overhead = 6.0e-6; ///< mutex acquire/release + quiet
   double dlb_latency = 8.0e-6;       ///< SHMEM_SWAP on the DLB server
   double barrier_cost = 20.0e-6;     ///< full-machine barrier
@@ -64,12 +67,20 @@ struct CostModel {
   /// Seconds (at the requester) for a one-sided get of `words` doubles.
   double get_seconds(double words) const;
 
+  /// Seconds (at the requester) for a one-sided put of `words` doubles.
+  double put_seconds(double words) const;
+
   /// Seconds (at the requester) for a one-sided accumulate of `words`
   /// doubles: get + local add + put = twice the traffic, plus the lock.
   double acc_seconds(double words) const;
 
-  /// Receive-side occupancy of an accumulate (used for the per-target
-  /// congestion bound).
+  /// Node-bandwidth occupancy at a target absorbing `words` doubles that
+  /// arrive once (put / get service / all-to-all traffic); the per-target
+  /// congestion bound charged to Machine::recv_busy_.
+  double recv_target_seconds(double words) const;
+
+  /// Receive-side occupancy of an accumulate: the target is touched twice
+  /// (fetch + writeback), so 2x recv_target_seconds.
   double acc_target_seconds(double words) const;
 
   /// Returns a copy with every fixed per-operation overhead (latencies,

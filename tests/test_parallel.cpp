@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "fci/ci_space.hpp"
 #include "fci_parallel/distribution.hpp"
 #include "parallel/machine.hpp"
@@ -75,6 +77,58 @@ TEST(Machine, ReceiverCongestionBoundsBarrier) {
   const double absorb = 7 * m.model().acc_target_seconds(1e8);
   EXPECT_GE(t, absorb);
   EXPECT_GT(t, requester_max);
+}
+
+TEST(Machine, PutChargesSenderAndCongestsReceiver) {
+  pv::Machine m(8);
+  // Everyone puts a huge payload into rank 0: senders pay the one-way
+  // transfer, and the barrier cannot complete before rank 0's node has
+  // absorbed all of it at its receive bandwidth.
+  double sender_max = 0.0;
+  for (std::size_t r = 1; r < 8; ++r) {
+    m.record_put(r, 0, 1e9);
+    EXPECT_DOUBLE_EQ(m.counters(r).put_words, 1e9);
+    sender_max = std::max(sender_max, m.clock(r));
+  }
+  EXPECT_NEAR(sender_max, m.model().put_seconds(1e9), 1e-12);
+  const double t = m.barrier();
+  const double absorb = 7 * m.model().recv_target_seconds(1e9);
+  EXPECT_GE(t, absorb);
+  EXPECT_GT(t, sender_max);
+  // A local put is an indexed copy, not a network transfer.
+  pv::Machine local(2);
+  local.record_put(0, 0, 1e9);
+  EXPECT_DOUBLE_EQ(local.counters(0).put_words, 0.0);
+  EXPECT_LT(local.clock(0), m.model().put_seconds(1e9));
+}
+
+TEST(CostModel, PutIsOneWayTraffic) {
+  const xfci::x1::CostModel cm;
+  const double words = 1e7;
+  // One-sided put moves the payload once; an accumulate moves it twice
+  // (get + put) plus the lock.
+  EXPECT_NEAR(cm.acc_seconds(words) / cm.put_seconds(words), 2.0, 0.02);
+  EXPECT_LT(cm.put_seconds(1.0), cm.get_seconds(1.0));  // no round trip
+}
+
+TEST(Machine, AlltoallCongestsReceivers) {
+  // Make the node (receive) bandwidth the bottleneck so the congestion
+  // term binds: each rank can pull at get_bandwidth but absorb only at
+  // node_bandwidth < get_bandwidth.
+  xfci::x1::CostModel cm;
+  cm.node_bandwidth = cm.get_bandwidth / 4.0;
+  pv::Machine m(4, cm);
+  const double words = 1e9;
+  m.record_alltoall(0, 3, words);
+  const double sender = m.clock(0);
+  const double t = m.barrier();
+  // Rank 0 must absorb everything it pulled at node bandwidth...
+  EXPECT_GE(t, cm.recv_target_seconds(words));
+  // ...which is slower than issuing the gets.
+  EXPECT_GT(cm.recv_target_seconds(words), sender);
+  // The serving side is spread over the peers, so one skewed reader does
+  // not stall the sources as much as itself.
+  EXPECT_GE(t, cm.recv_target_seconds(words / 3.0));
 }
 
 TEST(Machine, ResetClearsState) {
@@ -167,6 +221,42 @@ TEST(TaskPool, NoAggregationAblation) {
   // 100 fine tasks of 10 items each.
   EXPECT_EQ(pool.num_chunks(), 100u);
   EXPECT_EQ(pool.max_chunk_size(), 10u);
+}
+
+TEST(TaskPool, FineSizeUsesCeilingDivision) {
+  // num_items just below a multiple of the fine-task target: truncating
+  // division would produce fine_size 1 and nearly 2x the requested number
+  // of fine tasks (2*nfine - 1 DLB requests instead of nfine).
+  pv::TaskPoolParams params;
+  params.aggregate = false;
+  params.nfine_per_rank = 10;
+  const pv::TaskPool pool(19, 1, params);  // nfine = 10, items = 2*10 - 1
+  EXPECT_EQ(pool.num_chunks(), 10u);       // ceil(19/10) = 2 items per task
+  EXPECT_EQ(pool.max_chunk_size(), 2u);
+}
+
+TEST(TaskPool, RandomizedChunksTileTheRange) {
+  // Property test: for arbitrary pool shapes the chunks partition
+  // [0, num_items) exactly -- contiguous, non-empty, in order.
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = rng() % 20000;
+    const std::size_t p = 1 + rng() % 64;
+    pv::TaskPoolParams params;
+    params.aggregate = (rng() % 4) != 0;
+    params.nfine_per_rank = 1 + rng() % 128;
+    params.nlarge_per_rank = 1 + rng() % 8;
+    params.nsmall_per_rank = 1 + rng() % 16;
+    const pv::TaskPool pool(n, p, params);
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < pool.num_chunks(); ++i) {
+      const auto [b, e] = pool.chunk(i);
+      ASSERT_EQ(b, covered) << "n=" << n << " p=" << p << " chunk " << i;
+      ASSERT_GT(e, b) << "n=" << n << " p=" << p << " chunk " << i;
+      covered = e;
+    }
+    ASSERT_EQ(covered, n) << "n=" << n << " p=" << p;
+  }
 }
 
 TEST(TaskPool, SmallPoolDegenerates) {
