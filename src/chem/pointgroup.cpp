@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <map>
 
 #include "common/error.hpp"
@@ -115,57 +116,54 @@ PointGroup PointGroup::from_masks(std::string name,
   // Irrep names.  For D2h the canonical Mulliken labels apply directly to
   // the representatives; for subgroups we derive labels from characters.
   const bool has_i = std::find(masks.begin(), masks.end(), kI) != masks.end();
-  for (std::size_t h = 0; h < nh; ++h) {
-    const std::uint8_t w = reps[h];
-    std::string label;
-    if (g.name_ == "D2h") {
-      label = d2h_name(w);
-    } else if (g.name_ == "C1") {
-      label = "A";
-    } else if (g.name_ == "Ci") {
-      label = (chi(w, kI) == 1) ? "Ag" : "Au";
-    } else if (g.name_ == "Cs") {
+  // Each branch returns a construction (never assigns into a default-
+  // constructed string): at -O3 the assignment form trips GCC 12's
+  // spurious -Wrestrict/-Wmaybe-uninitialized on SSO strings.
+  const auto irrep_label = [&](std::size_t h,
+                               std::uint8_t w) -> std::string {
+    if (g.name_ == "D2h") return d2h_name(w);
+    if (g.name_ == "C1") return "A";
+    if (g.name_ == "Ci") return (chi(w, kI) == 1) ? "Ag" : "Au";
+    if (g.name_ == "Cs") {
       // Mirror is whichever reflection the group contains.
       std::uint8_t s = kSxy;
       for (auto m : masks)
         if (m == kSxy || m == kSxz || m == kSyz) s = m;
-      label = (chi(w, s) == 1) ? "A'" : "A''";
-    } else if (g.name_ == "C2") {
+      return (chi(w, s) == 1) ? "A'" : "A''";
+    }
+    if (g.name_ == "C2") {
       std::uint8_t c = kC2z;
       for (auto m : masks)
         if (m == kC2z || m == kC2y || m == kC2x) c = m;
-      label = (chi(w, c) == 1) ? "A" : "B";
-    } else if (g.name_ == "C2v") {
+      return (chi(w, c) == 1) ? "A" : "B";
+    }
+    if (g.name_ == "C2v") {
       // Ops: E, C2z, s_xz, s_yz.  A1/A2 by C2; 1/2 by s_xz.
       const int cc = chi(w, kC2z);
       const int cs = chi(w, kSxz);
-      if (cc == 1)
-        label = (cs == 1) ? "A1" : "A2";
-      else
-        label = (cs == 1) ? "B1" : "B2";
-    } else if (g.name_ == "C2h") {
+      if (cc == 1) return (cs == 1) ? "A1" : "A2";
+      return (cs == 1) ? "B1" : "B2";
+    }
+    if (g.name_ == "C2h") {
       const int cc = chi(w, kC2z);
       const int ci = chi(w, kI);
-      if (cc == 1)
-        label = (ci == 1) ? "Ag" : "Au";
-      else
-        label = (ci == 1) ? "Bg" : "Bu";
-    } else if (g.name_ == "D2") {
-      if (chi(w, kC2z) == 1 && chi(w, kC2y) == 1)
-        label = "A";
-      else if (chi(w, kC2z) == 1)
-        label = "B1";
-      else if (chi(w, kC2y) == 1)
-        label = "B2";
-      else
-        label = "B3";
-    } else {
-      // Generic fallback: representative index with g/u when i is present.
-      label = "G" + std::to_string(h);
-      if (has_i) label += (chi(w, kI) == 1) ? "g" : "u";
+      if (cc == 1) return (ci == 1) ? "Ag" : "Au";
+      return (ci == 1) ? "Bg" : "Bu";
     }
-    g.irrep_names_.push_back(label);
-  }
+    if (g.name_ == "D2") {
+      if (chi(w, kC2z) == 1 && chi(w, kC2y) == 1) return "A";
+      if (chi(w, kC2z) == 1) return "B1";
+      if (chi(w, kC2y) == 1) return "B2";
+      return "B3";
+    }
+    // Generic fallback: representative index with g/u when i is present.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "G%zu%s", h,
+                  !has_i ? "" : (chi(w, kI) == 1) ? "g" : "u");
+    return buf;
+  };
+  for (std::size_t h = 0; h < nh; ++h)
+    g.irrep_names_.push_back(irrep_label(h, reps[h]));
 
   // Product table via character multiplication.
   g.product_.resize(nh * nh);

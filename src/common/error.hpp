@@ -1,12 +1,25 @@
 #pragma once
-// Error handling for xfci.
+// Error handling for xfci: the three contract tiers.
 //
 // The library reports contract violations and unrecoverable runtime
-// conditions by throwing xfci::Error.  XFCI_REQUIRE is used for argument
-// checking in public interfaces; XFCI_ASSERT for internal invariants that
-// are cheap enough to keep enabled in release builds (string addressing,
-// sign bookkeeping, ... — all the places where a silent error would
-// corrupt physics rather than crash).
+// conditions by throwing xfci::Error.  Three tiers (see DESIGN.md section
+// "Contract tiers"):
+//
+//  * XFCI_REQUIRE — argument checking in public interfaces; always
+//    enabled.  Every public entry point validates its sizes/shapes with
+//    it before touching data (enforced by tools/xfci_lint.py).
+//  * XFCI_ASSERT — internal invariants cheap enough to keep enabled in
+//    release builds: per-call or per-table checks whose cost is amortized
+//    over the work they guard (string addressing, sign bookkeeping, ...
+//    all the places where a silent error would corrupt physics rather
+//    than crash).
+//  * XFCI_DCHECK — per-element invariants on the hot paths (gather/
+//    scatter index maps, GEMM tile bounds, chunk ownership).  Compiled
+//    out in release builds; enabled in debug and sanitizer builds so the
+//    asan/ubsan/tsan matrix exercises them on every test run.
+//
+// XFCI_DCHECK_ENABLED can be forced from the build system (the CMake
+// XFCI_DCHECKS option); otherwise it follows NDEBUG.
 
 #include <stdexcept>
 #include <string>
@@ -33,3 +46,34 @@ class Error : public std::runtime_error {
 /// Internal invariant check; always enabled (cost is negligible at the
 /// granularity we use it).
 #define XFCI_ASSERT(expr, message) XFCI_REQUIRE(expr, message)
+
+// Debug-tier invariant check.  1 = checked (throws like XFCI_ASSERT),
+// 0 = compiled out: the expression is parsed but never evaluated, so a
+// DCHECK can never hide a compile error and costs nothing in release.
+#ifndef XFCI_DCHECK_ENABLED
+#ifdef NDEBUG
+#define XFCI_DCHECK_ENABLED 0
+#else
+#define XFCI_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if XFCI_DCHECK_ENABLED
+#define XFCI_DCHECK(expr, message) XFCI_REQUIRE(expr, message)
+#else
+#define XFCI_DCHECK(expr, message)                 \
+  do {                                             \
+    if (false) {                                   \
+      (void)(expr);                                \
+      (void)(message);                             \
+    }                                              \
+  } while (false)
+#endif
+
+namespace xfci {
+
+/// True when XFCI_DCHECK compiles to a real check in this translation
+/// unit (debug and sanitizer builds); false in plain release builds.
+inline constexpr bool kDchecksEnabled = (XFCI_DCHECK_ENABLED != 0);
+
+}  // namespace xfci

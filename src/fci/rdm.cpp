@@ -112,6 +112,8 @@ SpinRdm one_rdm(const CiSpace& space, std::span<const double> c) {
 }
 
 NaturalOrbitals natural_orbitals(const linalg::Matrix& gamma) {
+  XFCI_REQUIRE(gamma.rows() == gamma.cols(),
+               "natural orbitals need a square density matrix");
   const auto eig = linalg::eigh(gamma);
   // eigh returns ascending; natural occupations are reported descending.
   const std::size_t n = gamma.rows();
@@ -217,6 +219,8 @@ double energy_from_rdms(const integrals::IntegralTables& ints,
                         const linalg::Matrix& gamma,
                         const integrals::EriTensor& gamma2) {
   const std::size_t n = ints.norb;
+  XFCI_REQUIRE(gamma.rows() == n && gamma.cols() == n,
+               "1-RDM shape must match the orbital count");
   double e = ints.core_energy;
   for (std::size_t p = 0; p < n; ++p)
     for (std::size_t q = 0; q < n; ++q) e += ints.h(p, q) * gamma(p, q);
@@ -232,6 +236,8 @@ std::array<double, 3> dipole_moment(
     const linalg::Matrix& gamma,
     const std::array<linalg::Matrix, 3>& dipole_mo,
     const std::array<double, 3>& nuclear_dipole) {
+  XFCI_REQUIRE(gamma.rows() == gamma.cols(),
+               "dipole moment needs a square 1-RDM");
   std::array<double, 3> mu = nuclear_dipole;
   for (int d = 0; d < 3; ++d) {
     double el = 0.0;

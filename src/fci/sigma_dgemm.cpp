@@ -21,6 +21,8 @@ namespace xfci::fci {
 std::vector<ColumnView> full_vector_views(const CiSpace& space,
                                           std::span<const double> c,
                                           std::span<double> sigma) {
+  XFCI_REQUIRE(c.size() == space.dimension() && sigma.size() == c.size(),
+               "vector views: c/sigma size must equal the CI dimension");
   std::vector<ColumnView> views(space.group().num_irreps());
   for (const CiBlock& blk : space.blocks()) {
     views[blk.halpha] = ColumnView{c.data() + blk.offset,
@@ -33,6 +35,8 @@ void sigma_one_electron_columns(const SigmaContext& ctx,
                                 std::span<const ColumnView> views,
                                 SigmaStats& stats) {
   const CiSpace& space = ctx.space();
+  XFCI_REQUIRE(views.size() == space.group().num_irreps(),
+               "one-electron sigma: one view per irrep required");
   if (space.nalpha() == 0) return;
   const auto& table = *ctx.alpha_create();
   const auto& h = ctx.ints().h;
@@ -67,6 +71,8 @@ void sigma_same_spin_columns(const SigmaContext& ctx,
                              std::span<const ColumnView> views,
                              SigmaStats& stats) {
   const CiSpace& space = ctx.space();
+  XFCI_REQUIRE(views.size() == space.group().num_irreps(),
+               "same-spin sigma: one view per irrep required");
   if (space.nalpha() < 2) return;
   const auto& group = space.group();
   const std::size_t nh = group.num_irreps();
@@ -91,6 +97,8 @@ void sigma_same_spin_columns(const SigmaContext& ctx,
         for (const PairCreation& pc : list) {
           if (pc.irrep != hj) continue;  // pair of a different irrep
           const std::size_t row = ctx.ss_pair_position(pc.hi, pc.lo);
+          XFCI_DCHECK(row < npairs,
+                      "same-spin gather row outside the pair block");
           const double* ccol = view.c + pc.address * nr;
           double* drow = d.data() + row * nr;
           for (std::size_t i = 0; i < nr; ++i) drow[i] = pc.sign * ccol[i];
@@ -109,6 +117,8 @@ void sigma_same_spin_columns(const SigmaContext& ctx,
         for (const PairCreation& pc : list) {
           if (pc.irrep != hj) continue;
           const std::size_t row = ctx.ss_pair_position(pc.hi, pc.lo);
+          XFCI_DCHECK(row < npairs,
+                      "same-spin scatter row outside the pair block");
           double* scol = view.sigma + pc.address * nr;
           linalg::daxpy_n(nr, pc.sign, e.data() + row * nr, scol);
           stats.scatter_words += static_cast<double>(nr);
@@ -154,6 +164,8 @@ void sigma_mixed_spin_core(const SigmaContext& ctx, std::size_t hk,
         double* drow = d.data() + ikb * ncols;
         for (const Creation& cs : btable.list(hkb, ikb)) {
           if (ctx.orbital_irrep(cs.orbital) != hs) continue;
+          XFCI_DCHECK(colbase + ctx.orbital_position(cs.orbital) < ncols,
+                      "mixed-spin gather column outside the D block");
           drow[colbase + ctx.orbital_position(cs.orbital)] =
               cq.sign * cs.sign * ccol[cs.address];
         }
@@ -182,6 +194,8 @@ void sigma_mixed_spin_core(const SigmaContext& ctx, std::size_t hk,
         const double* erow = e.data() + ikb * ncols;
         for (const Creation& cr : btable.list(hkb, ikb)) {
           if (ctx.orbital_irrep(cr.orbital) != hr) continue;
+          XFCI_DCHECK(colbase + ctx.orbital_position(cr.orbital) < ncols,
+                      "mixed-spin scatter column outside the E block");
           scol[cr.address] +=
               cp.sign * cr.sign *
               erow[colbase + ctx.orbital_position(cr.orbital)];
@@ -195,12 +209,16 @@ void sigma_mixed_spin_task(const SigmaContext& ctx, std::size_t hk,
                            std::size_t ik, std::span<const double> c,
                            std::span<double> sigma, SigmaStats& stats) {
   const CiSpace& space = ctx.space();
+  XFCI_REQUIRE(c.size() == space.dimension() && sigma.size() == c.size(),
+               "mixed-spin task: c/sigma size must equal the CI dimension");
   const auto& alist = ctx.alpha_create()->list(hk, ik);
   std::vector<const double*> ccols(alist.size(), nullptr);
   std::vector<double*> scols(alist.size(), nullptr);
   for (std::size_t ai = 0; ai < alist.size(); ++ai) {
     const CiBlock* blk = space.block_for_alpha(alist[ai].irrep);
     if (blk == nullptr) continue;
+    XFCI_DCHECK(blk->offset + (alist[ai].address + 1) * blk->nb <= c.size(),
+                "gathered column extends past the CI vector");
     ccols[ai] = c.data() + blk->offset + alist[ai].address * blk->nb;
     scols[ai] = sigma.data() + blk->offset + alist[ai].address * blk->nb;
     stats.gather_words += static_cast<double>(blk->nb);
@@ -211,6 +229,8 @@ void sigma_mixed_spin_task(const SigmaContext& ctx, std::size_t hk,
 
 int transpose_parity(const CiSpace& space, std::span<const double> c,
                      double tol) {
+  XFCI_REQUIRE(c.size() == space.dimension(),
+               "transpose parity: c size must equal the CI dimension");
   if (space.nalpha() != space.nbeta()) return 0;
   std::vector<double> pc;
   space.transpose_vector(std::vector<double>(c.begin(), c.end()), pc);

@@ -12,6 +12,8 @@ void moc_same_spin_columns(const SigmaContext& ctx,
                            std::span<const ColumnView> views,
                            SigmaStats& stats) {
   const CiSpace& space = ctx.space();
+  XFCI_REQUIRE(views.size() == space.group().num_irreps(),
+               "MOC same-spin sigma: one view per irrep required");
   if (space.nalpha() < 2) return;
   const auto& group = space.group();
   const StringSpace& m2 = *ctx.alpha_m2();
@@ -31,8 +33,12 @@ void moc_same_spin_columns(const SigmaContext& ctx,
             group.product(ctx.orbital_irrep(ann.hi), ctx.orbital_irrep(ann.lo));
         const linalg::Matrix& g = ctx.ss_integrals(hp_ann);
         const std::size_t col = ctx.ss_pair_position(ann.hi, ann.lo);
+        XFCI_DCHECK(col < g.cols(),
+                    "MOC annihilated pair outside the integral block");
         for (const PairCreation& cre : list) {  // (p > r): I = K + p + r
           if (cre.irrep != ann.irrep) continue;  // different row space
+          XFCI_DCHECK(ctx.ss_pair_position(cre.hi, cre.lo) < g.rows(),
+                      "MOC created pair outside the integral block");
           // Element generation happens regardless of who applies it -- the
           // replicated-work cost of the historical MOC parallelization.
           stats.element_count += 1.0;
@@ -54,6 +60,9 @@ void moc_same_spin_columns(const SigmaContext& ctx,
 void moc_mixed_spin(const SigmaContext& ctx, std::span<const double> c,
                     std::span<double> sigma, SigmaStats& stats) {
   const CiSpace& space = ctx.space();
+  XFCI_REQUIRE(c.size() == space.dimension() && sigma.size() == c.size(),
+               "MOC mixed-spin sigma: c/sigma size must equal the CI "
+               "dimension");
   if (space.nalpha() < 1 || space.nbeta() < 1) return;
   const StringSpace& am1 = *ctx.alpha_m1();
   const StringSpace& bm1 = *ctx.beta_m1();
@@ -85,10 +94,14 @@ void moc_mixed_spin(const SigmaContext& ctx, std::span<const double> c,
               const auto& blist = btable.list(hkb, ikb);
               for (const Creation& cs : blist) {
                 if (cs.irrep != bj->hbeta) continue;
+                XFCI_DCHECK(cs.address < bj->nb,
+                            "MOC gather row outside the source block");
                 const double cj = ccol[cs.address];
                 if (cj == 0.0) continue;
                 for (const Creation& cr : blist) {
                   if (cr.irrep != bi->hbeta) continue;
+                  XFCI_DCHECK(cr.address < bi->nb,
+                              "MOC scatter row outside the target block");
                   scol[cr.address] += sa * cr.sign * cs.sign *
                                       eri(p, q, cr.orbital, cs.orbital) * cj;
                   stats.indexed_ops += 1.0;

@@ -40,6 +40,9 @@ std::vector<StringMask> all_masks(std::size_t n, std::size_t k) {
 
 std::size_t string_irrep(StringMask mask, const chem::PointGroup& group,
                          const std::vector<std::size_t>& orbital_irreps) {
+  XFCI_DCHECK(orbital_irreps.size() >= 64 ||
+                  (mask >> orbital_irreps.size()) == 0,
+              "string mask uses orbitals without an irrep entry");
   std::size_t h = 0;  // totally symmetric
   StringMask m = mask;
   while (m) {
@@ -82,6 +85,11 @@ StringSpace::StringSpace(std::size_t norb, std::size_t nelec,
 }
 
 std::size_t StringSpace::global_index(StringMask m) const {
+  // Hot-path addressing invariants: a mask of the wrong electron count or
+  // with bits beyond norb would produce a silently wrong (in-range) rank.
+  XFCI_DCHECK(static_cast<std::size_t>(__builtin_popcountll(m)) == nelec_,
+              "mask has wrong electron count for this string space");
+  XFCI_DCHECK((m >> norb_) == 0, "mask uses orbitals outside the space");
   // Lexical rank of the combination: sum over occupied orbitals p (in
   // ascending order, as the j-th electron) of C(p, j).
   std::size_t rank = 0;
@@ -99,6 +107,8 @@ std::size_t StringSpace::global_index(StringMask m) const {
 
 SingleExcitationTable::SingleExcitationTable(
     const StringSpace& space, const std::vector<std::size_t>& orbital_irreps) {
+  XFCI_REQUIRE(orbital_irreps.size() == space.norb(),
+               "orbital irrep count must equal orbital count");
   const std::size_t nh = space.num_irreps();
   offset_.assign(nh, 0);
   for (std::size_t h = 1; h < nh; ++h)
@@ -119,6 +129,11 @@ SingleExcitationTable::SingleExcitationTable(
           if (mid & (StringMask{1} << p)) continue;
           const int s2 = create_sign(mid, static_cast<int>(p));
           const StringMask i_mask = mid | (StringMask{1} << p);
+          XFCI_DCHECK(s1 * s2 == 1 || s1 * s2 == -1,
+                      "excitation sign must be +-1");
+          XFCI_DCHECK(space.address(i_mask) <
+                          space.count(space.irrep_of(i_mask)),
+                      "excitation target address outside its irrep block");
           out.push_back(SingleExcitation{
               static_cast<std::uint16_t>(p), static_cast<std::uint16_t>(q),
               static_cast<std::uint32_t>(space.irrep_of(i_mask)),
@@ -154,6 +169,9 @@ CreationTable::CreationTable(const StringSpace& minus_one,
         if (k_mask & (StringMask{1} << r)) continue;
         const int s = create_sign(k_mask, static_cast<int>(r));
         const StringMask j_mask = k_mask | (StringMask{1} << r);
+        XFCI_DCHECK(full.address(j_mask) <
+                        full.count(full.irrep_of(j_mask)),
+                    "creation target address outside its irrep block");
         out.push_back(Creation{
             static_cast<std::uint16_t>(r),
             static_cast<std::uint32_t>(full.irrep_of(j_mask)),
@@ -191,6 +209,11 @@ PairCreationTable::PairCreationTable(
           if (mid & (StringMask{1} << hi)) continue;
           const int s_hi = create_sign(mid, static_cast<int>(hi));
           const StringMask j_mask = mid | (StringMask{1} << hi);
+          XFCI_DCHECK(s_lo * s_hi == 1 || s_lo * s_hi == -1,
+                      "pair creation sign must be +-1");
+          XFCI_DCHECK(full.address(j_mask) <
+                          full.count(full.irrep_of(j_mask)),
+                      "pair creation target address outside its irrep block");
           out.push_back(PairCreation{
               static_cast<std::uint16_t>(hi), static_cast<std::uint16_t>(lo),
               static_cast<std::uint32_t>(full.irrep_of(j_mask)),

@@ -26,14 +26,14 @@ using StringMask = std::uint64_t;
 /// Sign of applying a^+_p to mask (must not already contain p): parity of
 /// occupied orbitals below p.
 inline int create_sign(StringMask mask, int p) {
-  XFCI_ASSERT((mask & (StringMask{1} << p)) == 0, "orbital already occupied");
+  XFCI_DCHECK((mask & (StringMask{1} << p)) == 0, "orbital already occupied");
   const StringMask below = mask & ((StringMask{1} << p) - 1);
   return (__builtin_popcountll(below) % 2 == 0) ? 1 : -1;
 }
 
 /// Sign of applying a_p to mask (must contain p).
 inline int annihilate_sign(StringMask mask, int p) {
-  XFCI_ASSERT((mask & (StringMask{1} << p)) != 0, "orbital not occupied");
+  XFCI_DCHECK((mask & (StringMask{1} << p)) != 0, "orbital not occupied");
   const StringMask below = mask & ((StringMask{1} << p) - 1);
   return (__builtin_popcountll(below) % 2 == 0) ? 1 : -1;
 }

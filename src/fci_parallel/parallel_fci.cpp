@@ -108,6 +108,8 @@ ParallelSigma::ParallelSigma(const fci::SigmaContext& context,
 
 void ParallelSigma::add_vectors_threaded(std::span<double> dst,
                                          std::span<const double> a) {
+  XFCI_REQUIRE(dst.size() == a.size(),
+               "vector add: operand sizes must match");
   team_->for_static(dst.size(),
                     [&](std::size_t b, std::size_t e, std::size_t) {
                       for (std::size_t i = b; i < e; ++i) dst[i] += a[i];
@@ -127,6 +129,9 @@ void ParallelSigma::beta_side_phase(const fci::SigmaContext& tctx,
                                     std::span<const double> c,
                                     std::span<double> sigma,
                                     bool moc_kernel) {
+  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
   const fci::CiSpace& space = ctx_.space();
   const std::size_t nranks = machine_.num_ranks();
 
@@ -188,6 +193,9 @@ void ParallelSigma::beta_side_phase(const fci::SigmaContext& tctx,
 void ParallelSigma::alpha_side_phase(std::span<const double> c,
                                      std::span<double> sigma,
                                      bool moc_kernel) {
+  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
   const fci::CiSpace& space = ctx_.space();
   const std::size_t nranks = machine_.num_ranks();
 
@@ -339,6 +347,9 @@ double total_comm_words(const pv::Machine& m) {
 
 void ParallelSigma::mixed_phase_dgemm(std::span<const double> c,
                                       std::span<double> sigma) {
+  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
   const fci::CiSpace& space = ctx_.space();
   if (space.nalpha() < 1 || space.nbeta() < 1) return;
   const fci::StringSpace& am1 = *ctx_.alpha_m1();
@@ -432,6 +443,9 @@ void ParallelSigma::mixed_phase_dgemm(std::span<const double> c,
 void ParallelSigma::mixed_phase_dgemm_threads(
     const std::vector<std::pair<std::size_t, std::size_t>>& items,
     std::span<const double> c, std::span<double> sigma) {
+  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
   const fci::CiSpace& space = ctx_.space();
   const Timer timer;
 
@@ -514,6 +528,9 @@ void ParallelSigma::mixed_phase_dgemm_threads(
 
 void ParallelSigma::mixed_phase_moc(std::span<const double> c,
                                     std::span<double> sigma) {
+  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
   const fci::CiSpace& space = ctx_.space();
   if (space.nalpha() < 1 || space.nbeta() < 1) return;
   const std::size_t nranks = machine_.num_ranks();
@@ -624,6 +641,9 @@ void ParallelSigma::charge_solver_vector_ops() {
 
 void ParallelSigma::apply_dgemm(std::span<const double> c,
                                 std::span<double> sigma) {
+  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
   const fci::CiSpace& space = ctx_.space();
   const int parity =
       options_.ms0_transpose ? fci::transpose_parity(space, c) : 0;
@@ -685,6 +705,9 @@ void ParallelSigma::apply_dgemm(std::span<const double> c,
 
 void ParallelSigma::apply_moc(std::span<const double> c,
                               std::span<double> sigma) {
+  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
   beta_side_phase(ctx_.transposed(), c, sigma, /*moc_kernel=*/true);
   if (ctx_.space().nalpha() >= 1) alpha_side_phase(c, sigma, true);
   mixed_phase_moc(c, sigma);

@@ -69,13 +69,16 @@ void HermiteR::build(int order, double p, const std::array<double, 3>& pc) {
           double val = 0.0;
           if (t > 0) {
             val = pc[0] * at(m + 1, t - 1, u, v);
-            if (t > 1) val += (t - 1) * at(m + 1, t - 2, u, v);
+            if (t > 1)
+              val += static_cast<double>(t - 1) * at(m + 1, t - 2, u, v);
           } else if (u > 0) {
             val = pc[1] * at(m + 1, t, u - 1, v);
-            if (u > 1) val += (u - 1) * at(m + 1, t, u - 2, v);
+            if (u > 1)
+              val += static_cast<double>(u - 1) * at(m + 1, t, u - 2, v);
           } else {
             val = pc[2] * at(m + 1, t, u, v - 1);
-            if (v > 1) val += (v - 1) * at(m + 1, t, u, v - 2);
+            if (v > 1)
+              val += static_cast<double>(v - 1) * at(m + 1, t, u, v - 2);
           }
           at(m, t, u, v) = val;
         }

@@ -102,6 +102,19 @@ void ensure_pack_buffers() {
   tl_pb_buf.resize(kKc * kNc + kNr * kKc);
 }
 
+// Debug-tier tile-bounds check shared by the serial and threaded macro-
+// kernel loops: a tile that exceeds the operand shapes or a pack buffer
+// smaller than the rounded-up panel would corrupt memory silently.
+void dcheck_tile(std::size_t ic, std::size_t jc, std::size_t pc,
+                 std::size_t mc, std::size_t nc, std::size_t kc,
+                 std::size_t m, std::size_t n, std::size_t k) {
+  XFCI_DCHECK(ic + mc <= m && jc + nc <= n && pc + kc <= k,
+              "gemm tile exceeds matrix bounds");
+  XFCI_DCHECK(tl_pa_buf.size() >= ((mc + kMr - 1) / kMr) * kMr * kc &&
+                  tl_pb_buf.size() >= ((nc + kNr - 1) / kNr) * kNr * kc,
+              "gemm pack buffers too small for tile");
+}
+
 }  // namespace
 
 void set_gemm_team(pv::ThreadTeam* team) {
@@ -117,6 +130,10 @@ void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
           const double* b, std::size_t ldb, double beta, double* c,
           std::size_t ldc) {
   XFCI_REQUIRE(ldc >= n, "gemm: ldc too small");
+  XFCI_REQUIRE(lda >= (transa ? m : k) || m * k == 0,
+               "gemm: lda too small for op(A)");
+  XFCI_REQUIRE(ldb >= (transb ? k : n) || k * n == 0,
+               "gemm: ldb too small for op(B)");
   // Scale C by beta first (handles alpha == 0 / k == 0 uniformly).
   if (beta == 0.0) {
     for (std::size_t i = 0; i < m; ++i)
@@ -144,6 +161,7 @@ void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
       const std::size_t mc = std::min(kMc, m - ic);
       for (std::size_t pc = 0; pc < k; pc += kKc) {
         const std::size_t kc = std::min(kKc, k - pc);
+        dcheck_tile(ic, jc, pc, mc, nc, kc, m, n, k);
         pack_b(transb, b, ldb, pc, jc, kc, nc, tl_pb_buf.data());
         pack_a(transa, a, lda, ic, pc, mc, kc, tl_pa_buf.data());
         macro_kernel(ic, jc, mc, nc, kc, alpha, tl_pa_buf.data(),
@@ -161,6 +179,7 @@ void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
       pack_b(transb, b, ldb, pc, jc, kc, nc, tl_pb_buf.data());
       for (std::size_t ic = 0; ic < m; ic += kMc) {
         const std::size_t mc = std::min(kMc, m - ic);
+        dcheck_tile(ic, jc, pc, mc, nc, kc, m, n, k);
         pack_a(transa, a, lda, ic, pc, mc, kc, tl_pa_buf.data());
         macro_kernel(ic, jc, mc, nc, kc, alpha, tl_pa_buf.data(),
                      tl_pb_buf.data(), c, ldc);

@@ -15,6 +15,16 @@
 
 namespace xfci::linalg {
 
+/// rows * cols with a wrap check: the product of two large extents can
+/// overflow std::size_t *before* the allocation, silently producing a
+/// tiny matrix instead of failing.
+inline std::size_t checked_extent(std::size_t rows, std::size_t cols) {
+  std::size_t n = 0;
+  XFCI_REQUIRE(!__builtin_mul_overflow(rows, cols, &n),
+               "matrix extent rows * cols overflows std::size_t");
+  return n;
+}
+
 /// Dense row-major matrix of doubles.
 class Matrix {
  public:
@@ -22,11 +32,11 @@ class Matrix {
 
   /// rows x cols matrix, zero-initialized.
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+      : rows_(rows), cols_(cols), data_(checked_extent(rows, cols), 0.0) {}
 
   /// rows x cols matrix filled with `fill`.
   Matrix(std::size_t rows, std::size_t cols, double fill)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(checked_extent(rows, cols), fill) {}
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -61,10 +71,13 @@ class Matrix {
   void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
   /// Reshape to rows x cols, zeroing contents; reuses capacity when possible.
+  /// The extent check runs first, so a rejected resize leaves the matrix
+  /// unchanged.
   void resize(std::size_t rows, std::size_t cols) {
+    const std::size_t n = checked_extent(rows, cols);
     rows_ = rows;
     cols_ = cols;
-    data_.assign(rows * cols, 0.0);
+    data_.assign(n, 0.0);
   }
 
   /// Identity matrix of dimension n.

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace xfci::pv {
 
 struct TaskPoolParams {
@@ -34,8 +36,11 @@ class TaskPool {
            const TaskPoolParams& params = {});
 
   std::size_t num_chunks() const { return chunks_.size(); }
+  /// [begin, end) of chunk i.  Claimed once per dynamic task, so the bound
+  /// is a debug-tier check rather than a per-claim .at().
   std::pair<std::size_t, std::size_t> chunk(std::size_t i) const {
-    return chunks_.at(i);
+    XFCI_DCHECK(i < chunks_.size(), "task pool chunk index out of range");
+    return chunks_[i];
   }
 
   /// Size of the largest chunk (bounds the tail-end imbalance).

@@ -39,11 +39,15 @@ ThreadTeam::~ThreadTeam() {
 }
 
 void ThreadTeam::claim_loop(std::size_t tid) {
+  XFCI_DCHECK(tid < nthreads_, "worker tid outside the team");
   tl_in_region = true;
   tl_tid = tid;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count_) break;
+    // Each index is claimed by exactly one worker (the fetch-and-add is the
+    // ownership handoff); a null body here means a region raced its setup.
+    XFCI_DCHECK(body_ != nullptr, "claimed a task with no active region");
     try {
       (*body_)(i, tid);
     } catch (...) {
@@ -97,6 +101,7 @@ void ThreadTeam::run_region(std::size_t count, const IndexBody& body) {
 }
 
 void ThreadTeam::for_dynamic(std::size_t count, const IndexBody& body) {
+  XFCI_REQUIRE(static_cast<bool>(body), "for_dynamic: body must be callable");
   if (count == 0) return;
   if (nthreads_ == 1 || count == 1 || tl_in_region) {
     // Serial / nested fallback: run inline, preserving index order.  A
@@ -110,10 +115,12 @@ void ThreadTeam::for_dynamic(std::size_t count, const IndexBody& body) {
 }
 
 void ThreadTeam::for_pool(const TaskPool& pool, const IndexBody& body) {
+  XFCI_REQUIRE(static_cast<bool>(body), "for_pool: body must be callable");
   for_dynamic(pool.num_chunks(), body);
 }
 
 void ThreadTeam::for_static(std::size_t count, const RangeBody& body) {
+  XFCI_REQUIRE(static_cast<bool>(body), "for_static: body must be callable");
   if (count == 0) return;
   const std::size_t slices = std::min(nthreads_, count);
   auto slice_of = [count, slices](std::size_t i) {
@@ -129,12 +136,16 @@ void ThreadTeam::for_static(std::size_t count, const RangeBody& body) {
   // whether or not an enclosing region is active.
   for_dynamic(slices, [&](std::size_t i, std::size_t) {
     const auto [b, e] = slice_of(i);
+    XFCI_DCHECK(b <= e && e <= count, "static slice must stay in range");
     body(b, e, i);
   });
 }
 
 void OrderedSequencer::wait_turn(std::size_t index) {
   std::unique_lock<std::mutex> lk(mu_);
+  // Waiting on a turn that has already passed would deadlock: nobody will
+  // ever set turn_ back.  Catch the ownership error instead of hanging.
+  XFCI_DCHECK(turn_ <= index, "ordered sequencer waiting on a passed turn");
   cv_.wait(lk, [&] { return turn_ == index; });
 }
 

@@ -1,0 +1,98 @@
+// Contract-tier behaviour: failure messages carry enough context to act
+// on (expression, file, line), Matrix guards its extents, and XFCI_DCHECK
+// really is free in builds where it is disabled.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using xfci::linalg::Matrix;
+
+std::string require_failure_message() {
+  try {
+    const int answer = 41;
+    XFCI_REQUIRE(answer == 42, "answer must be 42");
+    return {};
+  } catch (const xfci::Error& e) {
+    return e.what();
+  }
+}
+
+TEST(ErrorContracts, RequireMessageNamesExpressionFileAndLine) {
+  const std::string what = require_failure_message();
+  EXPECT_NE(what.find("answer must be 42"), std::string::npos) << what;
+  EXPECT_NE(what.find("answer == 42"), std::string::npos) << what;
+  EXPECT_NE(what.find("test_error.cpp"), std::string::npos) << what;
+  // A line number follows the file name as ":<digits>".
+  const auto pos = what.find("test_error.cpp:");
+  ASSERT_NE(pos, std::string::npos) << what;
+  EXPECT_TRUE(std::isdigit(what[pos + std::string("test_error.cpp:").size()]))
+      << what;
+}
+
+TEST(ErrorContracts, AssertThrowsXfciError) {
+  EXPECT_THROW(XFCI_ASSERT(1 + 1 == 3, "arithmetic holds"), xfci::Error);
+}
+
+TEST(ErrorContracts, RequirePassesSilently) {
+  EXPECT_NO_THROW(XFCI_REQUIRE(true, "never fails"));
+}
+
+TEST(ErrorContracts, MatrixOutOfRangeAccessThrows) {
+  Matrix m(3, 4);
+  EXPECT_NO_THROW(m(2, 3));
+  EXPECT_THROW(m(3, 0), xfci::Error);
+  EXPECT_THROW(m(0, 4), xfci::Error);
+}
+
+TEST(ErrorContracts, MatrixExtentOverflowThrows) {
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(Matrix(huge, 3), xfci::Error);
+  EXPECT_THROW(Matrix(huge, 3, 1.0), xfci::Error);
+  Matrix m(2, 2);
+  EXPECT_THROW(m.resize(3, huge), xfci::Error);
+  // A rejected resize leaves the matrix untouched.
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  m.resize(5, 7);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 7u);
+}
+
+TEST(ErrorContracts, DcheckEvaluatesOnlyWhenEnabled) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  XFCI_DCHECK(count(), "side effect probe");
+  EXPECT_EQ(evaluations, xfci::kDchecksEnabled ? 1 : 0);
+}
+
+TEST(ErrorContracts, DcheckThrowsOnlyWhenEnabled) {
+  auto violate = [] { XFCI_DCHECK(2 < 1, "debug-tier violation"); };
+  if (xfci::kDchecksEnabled) {
+    EXPECT_THROW(violate(), xfci::Error);
+  } else {
+    EXPECT_NO_THROW(violate());
+  }
+}
+
+// Compile-time confirmation that the disabled form still parses its
+// expression: this would be a compile error if the macro discarded its
+// arguments textually.
+TEST(ErrorContracts, DisabledDcheckStillTypechecksExpression) {
+  const std::size_t n = 3;
+  XFCI_DCHECK(n + 1 > n, "parsed either way");
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full correctness sweep: build + ctest under every preset in the
+# sanitizer matrix, then the repo linter (with standalone header
+# compiles), clang-tidy and clang-format when installed.
+#
+# Usage: tools/check_all.sh [preset ...]
+#   With no arguments runs the full matrix: default asan ubsan tsan.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan ubsan tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for preset in "${presets[@]}"; do
+  echo "== preset: ${preset} =="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "== xfci_lint (tree + header self-containment) =="
+python3 tools/xfci_lint.py --compile-headers --cxx "${CXX:-c++}"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  cmake --build --preset default --target tidy
+else
+  echo "== clang-tidy not installed; skipped (config: .clang-tidy) =="
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format =="
+  cmake --build --preset default --target format-check
+else
+  echo "== clang-format not installed; skipped (config: .clang-format) =="
+fi
+
+echo "== all checks passed =="

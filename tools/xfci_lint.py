@@ -1,0 +1,398 @@
+#!/usr/bin/env python3
+"""xfci repo linter: project rules the compiler does not enforce.
+
+Rules
+-----
+raw-assert          No raw assert()/abort() in src/ — contract violations
+                    must go through XFCI_REQUIRE/XFCI_ASSERT/XFCI_DCHECK so
+                    they throw xfci::Error with file/line/expression context
+                    instead of killing the process.
+using-namespace     No `using namespace` at any scope in headers.
+pragma-once         Every header starts with #pragma once.
+entry-require       Public entry points in src/fci/, src/fci_parallel/ and
+                    src/parallel/ (externally visible functions taking a
+                    span/vector/Matrix/TaskPool argument) must validate
+                    their inputs: a contract macro within the first
+                    NEAR_TOP lines of the body.  Suppress intentionally
+                    unchecked functions with `// lint: no-require` on the
+                    signature line.
+self-contained      (--compile-headers) every header under src/ compiles as
+                    its own translation unit.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SRC_SUBDIRS_ENTRY = ("src/fci/", "src/fci_parallel/", "src/parallel/")
+CONTRACT_MACROS = ("XFCI_REQUIRE", "XFCI_ASSERT", "XFCI_DCHECK")
+SIZED_TYPES = re.compile(
+    r"std::span|std::vector|Matrix\s*&|TaskPool\s*&|std::function")
+NEAR_TOP = 14  # lines of body in which the first contract must appear
+SUPPRESS = "lint: no-require"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving newlines
+    and column positions so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if ch == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if ch in "\"'":
+                mode = ch
+                out.append(ch)
+                i += 1
+                continue
+            out.append(ch)
+        elif mode == "line":
+            if ch == "\n":
+                mode = None
+                out.append(ch)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if ch == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        else:  # inside a literal
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == mode:
+                mode = None
+            out.append(ch if ch in (mode, "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def check_raw_assert(path: str, code: str, findings: list) -> None:
+    for m in re.finditer(r"(?<![\w:])(assert|abort)\s*\(", code):
+        if m.group(1) == "assert":
+            # static_assert is fine; so is a member function named assert on
+            # some object (none exist, but be precise about the token).
+            before = code[: m.start()]
+            if before.endswith("static_"):
+                continue
+        findings.append(
+            Finding(path, line_of(code, m.start()), "raw-assert",
+                    f"raw {m.group(1)}() — use XFCI_REQUIRE/XFCI_ASSERT/"
+                    "XFCI_DCHECK (throws xfci::Error with context)"))
+    for m in re.finditer(r"#\s*include\s*[<\"](cassert|assert\.h)[>\"]", code):
+        findings.append(
+            Finding(path, line_of(code, m.start()), "raw-assert",
+                    f"<{m.group(1)}> include — contracts go through "
+                    "common/error.hpp"))
+
+
+def check_using_namespace(path: str, code: str, findings: list) -> None:
+    for m in re.finditer(r"\busing\s+namespace\b", code):
+        findings.append(
+            Finding(path, line_of(code, m.start()), "using-namespace",
+                    "`using namespace` in a header leaks into every "
+                    "includer; use namespace aliases"))
+
+
+def check_pragma_once(path: str, raw: str, findings: list) -> None:
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        if stripped != "#pragma once":
+            findings.append(
+                Finding(path, lineno, "pragma-once",
+                        "header must start with #pragma once"))
+        return
+    findings.append(Finding(path, 1, "pragma-once", "empty header"))
+
+
+def _body_extent(code: str, open_brace: int) -> int:
+    depth = 0
+    for i in range(open_brace, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+def _anonymous_regions(code: str):
+    """[start, end) character ranges covered by anonymous namespaces."""
+    regions = []
+    for m in re.finditer(r"\bnamespace\s*\{", code):
+        open_brace = code.index("{", m.start())
+        regions.append((open_brace, _body_extent(code, open_brace) + 1))
+    return regions
+
+
+def check_entry_require(path: str, raw: str, code: str,
+                        findings: list) -> None:
+    anon = _anonymous_regions(code)
+    raw_lines = raw.splitlines()
+    # A function definition: `)` [cv/ref/noexcept/ctor-init junk] `{` where
+    # the signature back to the previous statement boundary has a parameter
+    # list.  clang-formatted code keeps this shape reliable.
+    for m in re.finditer(r"\)[^;{}()]*\{", code):
+        open_brace = code.index("{", m.start())
+        if any(a <= open_brace < b for a, b in anon):
+            continue
+        # Signature: back from the matching '(' of this ')' to the previous
+        # ';', '}' or '{'.
+        close_paren = m.start()
+        depth = 0
+        sig_open = -1
+        for i in range(close_paren, -1, -1):
+            if code[i] == ")":
+                depth += 1
+            elif code[i] == "(":
+                depth -= 1
+                if depth == 0:
+                    sig_open = i
+                    break
+        if sig_open <= 0:
+            continue
+        head_start = max(code.rfind(";", 0, sig_open),
+                         code.rfind("}", 0, sig_open),
+                         code.rfind("{", 0, sig_open)) + 1
+        head = code[head_start:sig_open]
+        params = code[sig_open + 1:close_paren]
+        name_m = re.search(r"([\w:~]+)\s*$", head)
+        if not name_m:
+            continue
+        name = name_m.group(1)
+        last = name.split("::")[-1]
+        if last in ("if", "for", "while", "switch", "catch", "return",
+                    "sizeof", "defined"):
+            continue
+        if re.search(r"\b(static|inline)\b", head):
+            continue
+        if "[" in head.split("\n")[-1]:  # lambda introducer
+            continue
+        if not SIZED_TYPES.search(params):
+            continue
+        sig_line = line_of(code, sig_open)
+        brace_line = line_of(code, open_brace)
+        if any(SUPPRESS in raw_lines[ln - 1]
+               for ln in range(sig_line, brace_line + 1)
+               if 0 < ln <= len(raw_lines)):
+            continue
+        body = code[open_brace:_body_extent(code, open_brace)]
+        near_top = "\n".join(body.splitlines()[:NEAR_TOP])
+        if not any(macro in near_top for macro in CONTRACT_MACROS):
+            findings.append(
+                Finding(path, sig_line, "entry-require",
+                        f"public entry point `{name}` takes sized arguments "
+                        "but has no XFCI_REQUIRE/ASSERT/DCHECK near the top "
+                        f"of its body (first {NEAR_TOP} lines); add a size "
+                        f"check or suppress with `// {SUPPRESS}`"))
+
+
+def lint_tree(root: str) -> list:
+    findings = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for fn in sorted(filenames):
+            if not fn.endswith((".hpp", ".cpp", ".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8") as fh:
+                raw = fh.read()
+            code = strip_comments_and_strings(raw)
+            check_raw_assert(rel, code, findings)
+            if fn.endswith((".hpp", ".h")):
+                check_using_namespace(rel, code, findings)
+                check_pragma_once(rel, raw, findings)
+            if any(rel.startswith(d) for d in SRC_SUBDIRS_ENTRY) and \
+               fn.endswith((".cpp", ".cc")):
+                check_entry_require(rel, raw, code, findings)
+    return findings
+
+
+def compile_headers(root: str, cxx: str) -> list:
+    findings = []
+    src = os.path.join(root, "src")
+    headers = []
+    for dirpath, _dirnames, filenames in os.walk(src):
+        headers += [os.path.join(dirpath, f) for f in filenames
+                    if f.endswith((".hpp", ".h"))]
+    for path in sorted(headers):
+        rel = os.path.relpath(path, src)
+        proc = subprocess.run(
+            [cxx, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+             "-I", src, "-x", "c++", "-"],
+            input=f'#include "{rel}"\n',
+            capture_output=True, text=True, check=False)
+        if proc.returncode != 0:
+            first = proc.stderr.strip().splitlines()
+            findings.append(
+                Finding(os.path.relpath(path, root), 1, "self-contained",
+                        "header does not compile standalone: " +
+                        (first[0] if first else "unknown error")))
+    return findings
+
+
+# --------------------------------------------------------------- self-test --
+
+GOOD_CPP = """\
+#include "common/error.hpp"
+namespace xfci::fci {
+void apply_block(std::span<const double> c) {
+  XFCI_REQUIRE(!c.empty(), "empty block");
+}
+void helper(std::vector<double>& v) {  // lint: no-require
+  v.clear();
+}
+}  // namespace xfci::fci
+"""
+
+BAD_ASSERT_CPP = """\
+#include <cassert>
+namespace xfci::fci {
+void f(int x) { assert(x > 0); }
+void g() { abort(); }
+}  // namespace xfci::fci
+"""
+
+BAD_HEADER = """\
+#pragma once
+using namespace std;
+"""
+
+BAD_NO_PRAGMA = """\
+#ifndef GUARD_H
+#define GUARD_H
+#endif
+"""
+
+BAD_ENTRY_CPP = """\
+#include "common/error.hpp"
+namespace xfci::fci {
+void unchecked_entry(std::span<const double> c, std::span<double> s) {
+  for (std::size_t i = 0; i < c.size(); ++i) s[i] = c[i];
+}
+}  // namespace xfci::fci
+"""
+
+
+def self_test() -> int:
+    failures = []
+
+    def expect(name, filename, content, rule, want):
+        with tempfile.TemporaryDirectory() as tmp:
+            subdir = os.path.join(tmp, "src", "fci")
+            os.makedirs(subdir)
+            with open(os.path.join(subdir, filename), "w",
+                      encoding="utf-8") as fh:
+                fh.write(content)
+            found = lint_tree(tmp)
+            hit = [f for f in found if f.rule == rule]
+            if want and not hit:
+                failures.append(f"{name}: expected a {rule} finding, got "
+                                f"{[str(f) for f in found]}")
+            if not want and hit:
+                failures.append(f"{name}: unexpected {rule} findings "
+                                f"{[str(f) for f in hit]}")
+
+    expect("seeded raw assert", "bad_assert.cpp", BAD_ASSERT_CPP,
+           "raw-assert", True)
+    expect("seeded using-namespace header", "bad.hpp", BAD_HEADER,
+           "using-namespace", True)
+    expect("seeded missing pragma once", "bad_guard.hpp", BAD_NO_PRAGMA,
+           "pragma-once", True)
+    expect("seeded unchecked entry point", "bad_entry.cpp", BAD_ENTRY_CPP,
+           "entry-require", True)
+    expect("checked entry point passes", "good.cpp", GOOD_CPP,
+           "entry-require", False)
+    expect("checked entry point no assert", "good.cpp", GOOD_CPP,
+           "raw-assert", False)
+    # static_assert must not trip the raw-assert rule.
+    expect("static_assert allowed", "sa.cpp",
+           "static_assert(1 + 1 == 2);\n", "raw-assert", False)
+    # Commented-out assert must not trip it either.
+    expect("commented assert allowed", "ca.cpp",
+           "// assert(false) would be wrong here\n", "raw-assert", False)
+
+    if failures:
+        print("xfci_lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("xfci_lint self-test passed (8 cases).")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of this script)")
+    ap.add_argument("--compile-headers", action="store_true",
+                    help="also compile every header standalone")
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
+                    help="compiler for --compile-headers")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the linter's own seeded-violation tests")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"xfci_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = lint_tree(root)
+    if args.compile_headers:
+        findings += compile_headers(root, args.cxx)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"xfci_lint: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    print("xfci_lint: clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
