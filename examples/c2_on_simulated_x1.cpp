@@ -2,10 +2,27 @@
 // driver -- column distribution, phase breakdown, communication counters,
 // and the final energy, on a configurable number of simulated MSPs.
 //
-//   $ ./examples/c2_on_simulated_x1 [num_msps]
+//   $ ./examples/c2_on_simulated_x1 [num_msps] [options]
+//
+// Options:
+//   --faults            seeded fault demo: kill one MSP mid-sigma and drop
+//                       an accumulate; the run recovers, converges to the
+//                       same energy, and the breakdown shows what the
+//                       recovery cost
+//   --checkpoint PATH   write the solver state to PATH every iteration
+//   --restart PATH      resume from a checkpoint written by --checkpoint
+//                       (bitwise continuation for the single-vector methods)
+//   --max-iters N       stop after N iterations (use with --checkpoint to
+//                       stage a "crash", then finish with --restart)
+//
+// Kill-then-restart demo:
+//   $ c2_on_simulated_x1 16 --checkpoint /tmp/c2.ck --max-iters 4
+//   $ c2_on_simulated_x1 16 --restart /tmp/c2.ck
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "fci_parallel/parallel_fci.hpp"
 #include "systems/standard_systems.hpp"
@@ -15,8 +32,23 @@ namespace xf = xfci::fci;
 namespace fcp = xfci::fcp;
 
 int main(int argc, char** argv) {
-  const std::size_t msps =
-      (argc > 1) ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+  std::size_t msps = 16;
+  bool faults = false;
+  std::string checkpoint, restart;
+  std::size_t max_iters = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint = argv[++i];
+    } else if (std::strcmp(argv[i], "--restart") == 0 && i + 1 < argc) {
+      restart = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-iters") == 0 && i + 1 < argc) {
+      max_iters = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      msps = static_cast<std::size_t>(std::atoi(argv[i]));
+    }
+  }
 
   xs::SpaceOptions o;
   o.basis = "x-dz";
@@ -29,14 +61,26 @@ int main(int argc, char** argv) {
   std::printf("C2 X 1Sigma_g+  FCI(%zu,%zu) in %s, %zu determinants\n",
               sys.nalpha + sys.nbeta, sys.tables.norb,
               sys.tables.group.name().c_str(), space.dimension());
-  std::printf("running on %zu simulated Cray-X1 MSPs\n\n", msps);
+  std::printf("running on %zu simulated Cray-X1 MSPs\n", msps);
 
   fcp::ParallelOptions popt;
   popt.num_ranks = msps;
   popt.cost = popt.cost.with_overhead_scale(0.02);
+  if (faults) {
+    // Deterministic plan: MSP 3 dies on its 40th one-sided op (mid mixed
+    // phase of an early sigma) and MSP 0's 7th op is silently dropped.
+    popt.faults.kill_rank_at_op(3 % msps, 40).drop_op(0, 7);
+    std::printf("fault plan: kill MSP %zu at op 40, drop MSP 0 op 7\n",
+                3 % msps);
+  }
+  std::printf("\n");
+
   xf::SolverOptions sopt;
   sopt.method = xf::Method::kAutoAdjusted;
   sopt.residual_tolerance = 1e-5;
+  sopt.checkpoint_path = checkpoint;
+  sopt.restart_path = restart;
+  if (max_iters != 0) sopt.max_iterations = max_iters;
 
   const auto res = fcp::run_parallel_fci(sys.tables, sys.nalpha, sys.nbeta,
                                          0, popt, sopt);
@@ -44,6 +88,8 @@ int main(int argc, char** argv) {
   std::printf("E(FCI)      = %.8f Eh  (%s, %zu iterations)\n",
               res.solve.energy, res.solve.converged ? "converged" : "NOT converged",
               res.solve.iterations);
+  if (!res.solve.converged && !checkpoint.empty())
+    std::printf("              (resume with --restart %s)\n", checkpoint.c_str());
   std::printf("simulated   = %.3f s total, %.3f ms per sigma\n",
               res.total_seconds, res.per_sigma.total * 1e3);
   std::printf("sustained   = %.2f GF per MSP\n\n", res.gflops_per_rank);
@@ -56,7 +102,12 @@ int main(int argc, char** argv) {
   std::printf("  transposes (vector symm) %8.3f\n", b.transpose * 1e3);
   std::printf("  solver vector ops        %8.3f\n", b.vector_ops * 1e3);
   std::printf("  load imbalance           %8.3f\n", b.load_imbalance * 1e3);
+  std::printf("  fault recovery           %8.3f\n", b.recovery * 1e3);
   std::printf("  network traffic          %8.1f MB/sigma\n",
               b.comm_words * 8.0 / 1e6);
+  if (b.ranks_lost + b.tasks_reassigned + b.ops_retried > 0)
+    std::printf("  recovery events: %zu rank(s) lost, %zu task(s) reassigned, "
+                "%zu op(s) retried\n",
+                b.ranks_lost, b.tasks_reassigned, b.ops_retried);
   return 0;
 }

@@ -1,0 +1,61 @@
+#pragma once
+// Solver checkpoint/restart (robustness layer).
+//
+// A multi-hour FCI iteration on thousands of MSPs must survive node loss:
+// the solvers periodically serialize their full iteration state so a killed
+// run can be restarted from the last checkpoint instead of from scratch.
+//
+// The single-vector methods (Olsen, modified Olsen, auto-adjusted) carry
+// exactly the state below between iterations -- the CI vector plus the
+// scalars feeding the Eq. 13-15 step-length recovery -- so a warm restart
+// reproduces the uninterrupted run's convergence trajectory *bitwise* from
+// the restart iteration onward (the vector is restored verbatim, never
+// renormalized).  The subspace methods (kSubspace2, kDavidson) rebuild
+// their auxiliary vectors, so for them a checkpoint acts as a warm start:
+// same converged answer, trajectory re-derived.
+//
+// File format (host endianness), all integers fixed-width:
+//   magic "XFCICKPT" | u32 version | u32 method | u64 iteration |
+//   u8 have_prev | 7 doubles (lambda, e_prev, b_prev, tt_prev, s2_prev,
+//   lambda_prev, last_e) | 3 length-prefixed double arrays (c,
+//   energy_history, residual_history) | u64 FNV-1a checksum of everything
+//   before it.
+// Writes go to "<path>.tmp" and are published with an atomic rename, so a
+// crash mid-write never corrupts the previous checkpoint.  load_checkpoint
+// validates magic, version, length and checksum and throws xfci::Error on
+// any mismatch (a truncated or bit-flipped file fails cleanly).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xfci::fci {
+
+struct Checkpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t iteration = 0;  ///< last completed solver iteration
+  std::uint32_t method = 0;     ///< fci::Method that wrote the state
+  bool have_prev = false;       ///< Eq. 14 previous-iteration state valid
+  double lambda = 1.0;          ///< step length in effect
+  double e_prev = 0.0;          ///< previous <C|H|C>
+  double b_prev = 0.0;          ///< previous <C|H|t>
+  double tt_prev = 0.0;         ///< previous <t|t>
+  double s2_prev = 1.0;         ///< previous normalization S^2
+  double lambda_prev = 0.0;     ///< step length used last iteration
+  double last_e = 0.0;          ///< energy of the last iteration
+  std::vector<double> c;        ///< CI vector (verbatim, unnormalized)
+  std::vector<double> energy_history;
+  std::vector<double> residual_history;
+};
+
+/// Serializes `ck` to `path` atomically (write to path+".tmp", fsync-free
+/// rename over the destination).  Throws xfci::Error on I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& ck);
+
+/// Reads and validates a checkpoint; throws xfci::Error when the file is
+/// missing, truncated, has the wrong magic/version, carries trailing bytes
+/// or fails its checksum.
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace xfci::fci

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "fci/checkpoint.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/solve.hpp"
@@ -181,6 +182,30 @@ std::vector<double> olsen_correction(const ModelSpacePreconditioner& precond,
   return t;
 }
 
+// Warm-start resolution shared by every solver: a restart checkpoint (its
+// vector only) beats an explicit initial vector beats the model-space
+// guess.  The result is normalized -- callers needing the verbatim
+// checkpoint state (bitwise restart) restore it themselves.
+std::vector<double> warm_start_vector(const ModelSpacePreconditioner& precond,
+                                      std::size_t dim,
+                                      const SolverOptions& opt) {
+  std::vector<double> c;
+  if (!opt.restart_path.empty()) {
+    Checkpoint ck = load_checkpoint(opt.restart_path);
+    XFCI_REQUIRE(ck.c.size() == dim,
+                 "checkpoint CI dimension does not match this problem");
+    c = std::move(ck.c);
+  } else if (!opt.initial_vector.empty()) {
+    XFCI_REQUIRE(opt.initial_vector.size() == dim,
+                 "initial vector dimension does not match this problem");
+    c = opt.initial_vector;
+  } else {
+    c = precond.initial_guess(dim);
+  }
+  normalize(c);
+  return c;
+}
+
 // Block Davidson for the `num_roots` lowest eigenpairs.  The subspace is
 // seeded with the model-space eigenvectors; each iteration adds the Olsen
 // correction vectors of the unconverged roots (paper section 4 uses the
@@ -194,6 +219,8 @@ SolverResult solve_davidson(SigmaOperator& op,
   SolverResult res;
 
   std::vector<std::vector<double>> basis = precond.initial_guesses(dim, nroots);
+  if (!opt.restart_path.empty() || !opt.initial_vector.empty())
+    basis[0] = warm_start_vector(precond, dim, opt);
   for (auto& b : basis) normalize(b);
   // Re-orthogonalize the seeds (unit-vector fallback guesses can overlap
   // after normalization in pathological cases).
@@ -338,8 +365,7 @@ SolverResult solve_subspace2(SigmaOperator& op,
   const std::size_t dim = op.space().dimension();
   SolverResult res;
 
-  std::vector<double> c = precond.initial_guess(dim);
-  normalize(c);
+  std::vector<double> c = warm_start_vector(precond, dim, opt);
   std::vector<double> sigma(dim);
   op.apply(c, sigma);
   res.iterations = 1;
@@ -399,6 +425,20 @@ SolverResult solve_subspace2(SigmaOperator& op,
       for (auto& x : sigma) x /= nn;
     }
     e = dot(c, sigma);
+
+    if (!opt.checkpoint_path.empty() && opt.checkpoint_interval != 0 &&
+        iter % opt.checkpoint_interval == 0) {
+      // Warm-restart checkpoint: the subspace method rebuilds H t after a
+      // restart, so only the vector and the histories are persisted.
+      Checkpoint ck;
+      ck.iteration = iter;
+      ck.method = static_cast<std::uint32_t>(opt.method);
+      ck.last_e = e;
+      ck.c = c;
+      ck.energy_history = res.energy_history;
+      ck.residual_history = res.residual_history;
+      save_checkpoint(opt.checkpoint_path, ck);
+    }
   }
 
   res.converged = false;
@@ -413,8 +453,7 @@ SolverResult solve_single_vector(SigmaOperator& op,
   const std::size_t dim = op.space().dimension();
   SolverResult res;
 
-  std::vector<double> c = precond.initial_guess(dim);
-  normalize(c);
+  std::vector<double> c;
   std::vector<double> sigma(dim);
 
   // State carried between iterations for the auto-adjusted step length
@@ -424,8 +463,37 @@ SolverResult solve_single_vector(SigmaOperator& op,
   double e_prev = 0.0, b_prev = 0.0, tt_prev = 0.0, s2_prev = 1.0,
          lambda_prev = 0.0;
   double last_e = 0.0;
+  std::size_t first_iter = 1;
 
-  for (std::size_t iter = 1; iter <= opt.max_iterations; ++iter) {
+  if (!opt.restart_path.empty()) {
+    // Full restart: restore every word of the inter-iteration state.  The
+    // CI vector is used verbatim -- renormalizing (dividing by a norm of
+    // ~1.0) would perturb the bits and break the trajectory guarantee.
+    const Checkpoint ck = load_checkpoint(opt.restart_path);
+    XFCI_REQUIRE(ck.c.size() == dim,
+                 "checkpoint CI dimension does not match this problem");
+    XFCI_REQUIRE(ck.method == static_cast<std::uint32_t>(opt.method),
+                 "checkpoint was written by a different solver method");
+    c = ck.c;
+    lambda = ck.lambda;
+    have_prev = ck.have_prev;
+    e_prev = ck.e_prev;
+    b_prev = ck.b_prev;
+    tt_prev = ck.tt_prev;
+    s2_prev = ck.s2_prev;
+    lambda_prev = ck.lambda_prev;
+    last_e = ck.last_e;
+    res.energy_history = ck.energy_history;
+    res.residual_history = ck.residual_history;
+    first_iter = static_cast<std::size_t>(ck.iteration) + 1;
+    res.iterations = static_cast<std::size_t>(ck.iteration);
+    res.energy = last_e + core;
+    res.vector = c;
+  } else {
+    c = warm_start_vector(precond, dim, opt);
+  }
+
+  for (std::size_t iter = first_iter; iter <= opt.max_iterations; ++iter) {
     op.apply(c, sigma);
     res.iterations = iter;
     const double e = dot(c, sigma);
@@ -522,6 +590,25 @@ SolverResult solve_single_vector(SigmaOperator& op,
     s2_prev = s2;
     lambda_prev = lambda;
     have_prev = true;
+
+    if (!opt.checkpoint_path.empty() && opt.checkpoint_interval != 0 &&
+        iter % opt.checkpoint_interval == 0) {
+      Checkpoint ck;
+      ck.iteration = iter;
+      ck.method = static_cast<std::uint32_t>(opt.method);
+      ck.have_prev = have_prev;
+      ck.lambda = lambda;
+      ck.e_prev = e_prev;
+      ck.b_prev = b_prev;
+      ck.tt_prev = tt_prev;
+      ck.s2_prev = s2_prev;
+      ck.lambda_prev = lambda_prev;
+      ck.last_e = last_e;
+      ck.c = c;
+      ck.energy_history = res.energy_history;
+      ck.residual_history = res.residual_history;
+      save_checkpoint(opt.checkpoint_path, ck);
+    }
   }
 
   res.converged = false;

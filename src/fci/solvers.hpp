@@ -52,6 +52,21 @@ struct SolverOptions {
   /// the transpose-parity projection backing the Ms = 0 "Vector Symm."
   /// shortcut).  Must commute with H on the states of interest.
   std::function<void(std::vector<double>&)> purify;
+  /// Optional warm start: normalized and used instead of the model-space
+  /// guess (every method).  Must have the CI dimension when non-empty.
+  std::vector<double> initial_vector;
+  /// When non-empty, the solver writes its iteration state here every
+  /// `checkpoint_interval` iterations (atomic write-then-rename; see
+  /// checkpoint.hpp).  Supported by the single-vector methods and
+  /// kSubspace2.
+  std::string checkpoint_path;
+  std::size_t checkpoint_interval = 1;
+  /// When non-empty, the solver resumes from this checkpoint.  For the
+  /// single-vector methods the restored run continues the uninterrupted
+  /// run's convergence trajectory bitwise (the checkpoint must have been
+  /// written by the same method); the subspace methods use the checkpoint
+  /// vector as a warm start.
+  std::string restart_path;
 };
 
 struct SolverResult {

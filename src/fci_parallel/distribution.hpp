@@ -5,6 +5,7 @@
 // blocked, each blocked matrix is distributed separately."
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "fci/ci_space.hpp"
@@ -12,12 +13,20 @@
 namespace xfci::fcp {
 
 /// Per-block even column split across ranks; answers ownership and local
-/// size queries for the simulator's communication accounting.
+/// size queries for the simulator's communication accounting.  After a
+/// rank failure, redistribute() rebuilds the split over the survivors
+/// (graceful degradation: the dead rank's alpha-column block is spread
+/// over the remaining P-1 ranks).
 class ColumnDistribution {
  public:
   ColumnDistribution(const fci::CiSpace& space, std::size_t num_ranks);
 
   std::size_t num_ranks() const { return num_ranks_; }
+
+  /// Rebuilds every block's column split over the ranks with a nonzero
+  /// entry in `alive` (size num_ranks()); dead ranks end up owning
+  /// nothing.  At least one rank must survive.
+  void redistribute(const std::vector<std::uint8_t>& alive);
 
   /// Rank owning column `col` (alpha address) of block index `b`.
   std::size_t owner(std::size_t b, std::size_t col) const;

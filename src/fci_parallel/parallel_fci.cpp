@@ -79,6 +79,7 @@ PhaseBreakdown PhaseBreakdown::averaged() const {
   a.transpose /= n;
   a.vector_ops /= n;
   a.load_imbalance /= n;
+  a.recovery /= n;
   a.total /= n;
   a.comm_words /= n;
   a.mixed_comm_words /= n;
@@ -92,7 +93,9 @@ ParallelSigma::ParallelSigma(const fci::SigmaContext& context,
     : ctx_(context),
       options_(options),
       machine_(options.num_ranks, options.cost),
-      dist_(context.space(), options.num_ranks) {
+      dist_(context.space(), options.num_ranks),
+      dist_alive_(options.num_ranks, 1) {
+  machine_.set_fault_plan(options_.faults);
   const auto& space = context.space();
   block_of_halpha_.assign(space.group().num_irreps(), kNone);
   for (std::size_t b = 0; b < space.blocks().size(); ++b)
@@ -259,7 +262,9 @@ void ParallelSigma::alpha_side_phase(std::span<const double> c,
   // DGEMM path: all-to-all transpose into the beta-column layout, run the
   // same static routine on the other spin, transpose back.
   const fci::CiSpace& tspace = space.transposed();
-  const ColumnDistribution tdist(tspace, nranks);
+  ColumnDistribution tdist(tspace, nranks);
+  if (simulate() && machine_.num_alive() < nranks)
+    tdist.redistribute(machine_.alive_mask());
 
   if (!simulate()) {
     const Timer transpose_in;
@@ -345,6 +350,170 @@ double total_comm_words(const pv::Machine& m) {
 }
 }  // namespace
 
+// Per-item work buffers of the mixed-spin phase, hoisted out of the item
+// loop so reassignment retries reuse the same storage.
+struct ParallelSigma::MixedScratch {
+  std::vector<double> gather, acc;
+  std::vector<std::size_t> offs;
+  std::vector<const double*> ccols;
+  std::vector<double*> scols;
+};
+
+pv::OpOutcome ParallelSigma::robust_one_sided(bool accumulate,
+                                              std::size_t rank,
+                                              std::size_t owner,
+                                              double words) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (!machine_.alive(rank) || !machine_.alive(owner))
+      return pv::OpOutcome::kDropped;
+    const pv::OpOutcome out = accumulate
+                                  ? machine_.record_acc(rank, owner, words)
+                                  : machine_.record_get(rank, owner, words);
+    if (out == pv::OpOutcome::kDelivered) return out;
+    // The drop is terminal if either end just died (op-count triggers fire
+    // mid-op); otherwise it is transient: the requester waits out the ack
+    // timeout and retransmits.  Dropped ops are lost before the target
+    // applies their payload, so a retransmit lands exactly once.
+    if (!machine_.alive(rank) || !machine_.alive(owner))
+      return pv::OpOutcome::kDropped;
+    XFCI_REQUIRE(attempt < options_.max_op_retries,
+                 "one-sided op exceeded its retransmission budget");
+    machine_.charge(rank, options_.cost.ack_timeout);
+    breakdown_.recovery += options_.cost.ack_timeout;
+    breakdown_.ops_retried += 1;
+  }
+}
+
+void ParallelSigma::maybe_redistribute() {
+  if (!simulate()) return;
+  // Loop: the recovery barriers below may declare further (time-triggered)
+  // deaths, which then need their own redistribution pass.
+  for (;;) {
+    const std::vector<std::uint8_t> alive = machine_.alive_mask();
+    if (alive == dist_alive_) return;
+    std::size_t newly_dead = 0;
+    double lost_words = 0.0;
+    for (std::size_t r = 0; r < alive.size(); ++r) {
+      if (alive[r] == 0 && dist_alive_[r] != 0) {
+        ++newly_dead;
+        lost_words += static_cast<double>(dist_.local_words(r));
+      }
+    }
+    const double t0 = machine_.barrier();
+    dist_.redistribute(alive);
+    dist_alive_ = alive;
+    if (newly_dead > 0) {
+      breakdown_.ranks_lost += newly_dead;
+      // Graceful degradation: each survivor refetches its share of the
+      // dead ranks' coefficient blocks (from the lowest surviving rank,
+      // which serves the recovery copy) and installs it locally.
+      const std::size_t num_alive = machine_.num_alive();
+      const double share =
+          lost_words / static_cast<double>(num_alive);
+      std::size_t root = 0;
+      while (root < alive.size() && alive[root] == 0) ++root;
+      for (std::size_t r = 0; r < alive.size(); ++r) {
+        if (alive[r] == 0) continue;
+        robust_one_sided(false, r, root, share);
+        machine_.charge_indexed(r, share);
+      }
+    }
+    const double t1 = machine_.barrier();
+    breakdown_.recovery += t1 - t0;
+  }
+}
+
+bool ParallelSigma::run_mixed_item(std::size_t rank, std::size_t hk,
+                                   std::size_t ik, std::span<const double> c,
+                                   std::span<double> sigma,
+                                   MixedScratch& s) {
+  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
+  const fci::CiSpace& space = ctx_.space();
+  const auto& alist = ctx_.alpha_create()->list(hk, ik);
+
+  // Layout of the gathered / accumulation buffers.
+  std::size_t total = 0;
+  s.offs.assign(alist.size(), kNone);
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    const std::size_t b = block_of_halpha_[alist[ai].irrep];
+    if (b == kNone) continue;
+    s.offs[ai] = total;
+    total += space.blocks()[b].nb;
+  }
+  s.gather.resize(total);
+  s.acc.assign(total, 0.0);
+  s.ccols.assign(alist.size(), nullptr);
+  s.scols.assign(alist.size(), nullptr);
+
+  // One-sided gather of the reachable C columns (DDI_GET).
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    if (s.offs[ai] == kNone) continue;
+    const std::size_t b = block_of_halpha_[alist[ai].irrep];
+    const auto& blk = space.blocks()[b];
+    const std::size_t col = alist[ai].address;
+    for (;;) {
+      std::size_t owner = dist_.owner(b, col);
+      if (!machine_.alive(owner)) {
+        // The column's owner died: redistribute, then retarget.
+        maybe_redistribute();
+        owner = dist_.owner(b, col);
+      }
+      if (robust_one_sided(false, rank, owner, double(blk.nb)) ==
+          pv::OpOutcome::kDelivered)
+        break;
+      if (!machine_.alive(rank)) return false;  // the worker itself died
+    }
+    const double* src = c.data() + blk.offset + col * blk.nb;
+    std::copy(src, src + blk.nb, s.gather.begin() + s.offs[ai]);
+    s.ccols[ai] = s.gather.data() + s.offs[ai];
+    s.scols[ai] = s.acc.data() + s.offs[ai];
+  }
+
+  // Local dense work (Eqs. 4-6).
+  fci::SigmaStats stats;
+  fci::sigma_mixed_spin_core(ctx_, hk, ik, s.ccols, s.scols, stats);
+  for (const auto& sh : stats.dgemm_shapes) {
+    machine_.charge_dgemm(rank, sh[0], sh[1], sh[2]);
+    // D build + E scatter: one gather and one scatter pass over each
+    // intermediate matrix.
+    machine_.charge_indexed(rank, 2.0 * static_cast<double>(sh[0] * sh[1]));
+  }
+
+  // One-sided accumulate of the sigma columns (DDI_ACC).  Two-phase
+  // commit: the targets stage the payloads and apply them only once every
+  // accumulate of the item has arrived, so a worker death mid-item leaves
+  // sigma untouched and the reassigned item re-sends everything.
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    if (s.scols[ai] == nullptr) continue;
+    const std::size_t b = block_of_halpha_[alist[ai].irrep];
+    const auto& blk = space.blocks()[b];
+    const std::size_t col = alist[ai].address;
+    for (;;) {
+      std::size_t owner = dist_.owner(b, col);
+      if (!machine_.alive(owner)) {
+        maybe_redistribute();
+        owner = dist_.owner(b, col);
+      }
+      if (robust_one_sided(true, rank, owner, double(blk.nb)) ==
+          pv::OpOutcome::kDelivered)
+        break;
+      if (!machine_.alive(rank)) return false;
+    }
+  }
+  // Every accumulate delivered: the staged updates are applied.
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    if (s.scols[ai] == nullptr) continue;
+    const std::size_t b = block_of_halpha_[alist[ai].irrep];
+    const auto& blk = space.blocks()[b];
+    const std::size_t col = alist[ai].address;
+    double* dst = sigma.data() + blk.offset + col * blk.nb;
+    for (std::size_t j = 0; j < blk.nb; ++j) dst[j] += s.scols[ai][j];
+  }
+  return true;
+}
+
 void ParallelSigma::mixed_phase_dgemm(std::span<const double> c,
                                       std::span<double> sigma) {
   XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
@@ -366,72 +535,39 @@ void ParallelSigma::mixed_phase_dgemm(std::span<const double> c,
     return;
   }
 
+  maybe_redistribute();
   const pv::TaskPool pool(items.size(), nranks, options_.lb);
 
   const double t0 = machine_.barrier();
   const double comm0 = total_comm_words(machine_);
 
-  std::vector<double> gather_buf;
-  std::vector<double> acc_buf;
-  std::vector<const double*> ccols;
-  std::vector<double*> scols;
-
+  MixedScratch scratch;
   for (std::size_t chunk = 0; chunk < pool.num_chunks(); ++chunk) {
     // Dynamic load balancing: the next chunk goes to the earliest rank.
-    const std::size_t r = machine_.earliest_rank();
+    std::size_t r = machine_.earliest_rank();
     machine_.record_dlb_request(r);
     const auto [ibegin, iend] = pool.chunk(chunk);
-    for (std::size_t it = ibegin; it < iend; ++it) {
+    std::size_t retries = 0;
+    std::size_t it = ibegin;
+    while (it < iend) {
       const auto [hk, ik] = items[it];
-      const auto& alist = ctx_.alpha_create()->list(hk, ik);
-
-      // Layout of the gathered / accumulation buffers.
-      std::size_t total = 0;
-      std::vector<std::size_t> offs(alist.size(), kNone);
-      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-        const std::size_t b = block_of_halpha_[alist[ai].irrep];
-        if (b == kNone) continue;
-        offs[ai] = total;
-        total += space.blocks()[b].nb;
+      if (run_mixed_item(r, hk, ik, c, sigma, scratch)) {
+        ++it;  // item committed atomically; never re-executed
+        continue;
       }
-      gather_buf.resize(total);
-      acc_buf.assign(total, 0.0);
-      ccols.assign(alist.size(), nullptr);
-      scols.assign(alist.size(), nullptr);
-
-      // One-sided gather of the reachable C columns (DDI_GET).
-      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-        if (offs[ai] == kNone) continue;
-        const std::size_t b = block_of_halpha_[alist[ai].irrep];
-        const auto& blk = space.blocks()[b];
-        const std::size_t col = alist[ai].address;
-        machine_.record_get(r, dist_.owner(b, col), double(blk.nb));
-        const double* src = c.data() + blk.offset + col * blk.nb;
-        std::copy(src, src + blk.nb, gather_buf.begin() + offs[ai]);
-        ccols[ai] = gather_buf.data() + offs[ai];
-        scols[ai] = acc_buf.data() + offs[ai];
-      }
-
-      // Local dense work (Eqs. 4-6).
-      fci::SigmaStats stats;
-      fci::sigma_mixed_spin_core(ctx_, hk, ik, ccols, scols, stats);
-      for (const auto& s : stats.dgemm_shapes) {
-        machine_.charge_dgemm(r, s[0], s[1], s[2]);
-        // D build + E scatter: one gather and one scatter pass over each
-        // intermediate matrix.
-        machine_.charge_indexed(r, 2.0 * static_cast<double>(s[0] * s[1]));
-      }
-
-      // One-sided accumulate of the sigma columns (DDI_ACC).
-      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-        if (scols[ai] == nullptr) continue;
-        const std::size_t b = block_of_halpha_[alist[ai].irrep];
-        const auto& blk = space.blocks()[b];
-        const std::size_t col = alist[ai].address;
-        machine_.record_acc(r, dist_.owner(b, col), double(blk.nb));
-        double* dst = sigma.data() + blk.offset + col * blk.nb;
-        for (std::size_t j = 0; j < blk.nb; ++j) dst[j] += scols[ai][j];
-      }
+      // The worker died mid-item.  Items before `it` committed; this one
+      // left sigma untouched.  The DLB manager notices the silence after a
+      // task timeout and reassigns the rest of the aggregated task to the
+      // (new) earliest surviving rank.
+      XFCI_REQUIRE(retries < options_.max_task_retries,
+                   "aggregated DLB task exceeded its reassignment budget");
+      ++retries;
+      breakdown_.tasks_reassigned += 1;
+      maybe_redistribute();
+      r = machine_.earliest_rank();
+      machine_.charge(r, options_.cost.task_timeout);
+      breakdown_.recovery += options_.cost.task_timeout;
+      machine_.record_dlb_request(r);
     }
   }
   const double t1 = machine_.barrier();
@@ -457,8 +593,16 @@ void ParallelSigma::mixed_phase_dgemm_threads(
   const pv::TaskPool pool(items.size(), team_->size(), options_.lb);
   pv::OrderedSequencer commit;
   std::vector<double> flops(pool.num_chunks(), 0.0);
+  std::vector<double> rework(pool.num_chunks(), 0.0);
+  std::vector<std::uint8_t> reassigned(pool.num_chunks(), 0);
+  // Per-worker claim counters feeding the fault plan's worker-death
+  // schedule; each worker touches only its own slot.
+  std::vector<std::size_t> claims(team_->size(), 0);
+  const pv::FaultPlan& plan = options_.faults;
 
-  team_->for_pool(pool, [&](std::size_t chunk, std::size_t) {
+  team_->for_pool_resilient(pool, [&](std::size_t chunk,
+                                      std::size_t tid) -> bool {
+    const bool dies = plan.worker_death_claim(tid) == ++claims[tid];
     const auto [ibegin, iend] = pool.chunk(chunk);
     std::vector<std::vector<double>> accs(iend - ibegin);
     std::vector<std::vector<std::size_t>> offsets(iend - ibegin);
@@ -467,39 +611,55 @@ void ParallelSigma::mixed_phase_dgemm_threads(
     std::vector<double*> scols;
     double chunk_flops = 0.0;
 
-    for (std::size_t it = ibegin; it < iend; ++it) {
-      const auto [hk, ik] = items[it];
-      const auto& alist = ctx_.alpha_create()->list(hk, ik);
+    auto compute_chunk = [&] {
+      chunk_flops = 0.0;
+      for (std::size_t it = ibegin; it < iend; ++it) {
+        const auto [hk, ik] = items[it];
+        const auto& alist = ctx_.alpha_create()->list(hk, ik);
 
-      std::size_t total = 0;
-      auto& offs = offsets[it - ibegin];
-      offs.assign(alist.size(), kNone);
-      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-        const std::size_t b = block_of_halpha_[alist[ai].irrep];
-        if (b == kNone) continue;
-        offs[ai] = total;
-        total += space.blocks()[b].nb;
+        std::size_t total = 0;
+        auto& offs = offsets[it - ibegin];
+        offs.assign(alist.size(), kNone);
+        for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+          const std::size_t b = block_of_halpha_[alist[ai].irrep];
+          if (b == kNone) continue;
+          offs[ai] = total;
+          total += space.blocks()[b].nb;
+        }
+        gather_buf.resize(total);
+        auto& acc = accs[it - ibegin];
+        acc.assign(total, 0.0);
+        ccols.assign(alist.size(), nullptr);
+        scols.assign(alist.size(), nullptr);
+
+        for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+          if (offs[ai] == kNone) continue;
+          const std::size_t b = block_of_halpha_[alist[ai].irrep];
+          const auto& blk = space.blocks()[b];
+          const std::size_t col = alist[ai].address;
+          const double* src = c.data() + blk.offset + col * blk.nb;
+          std::copy(src, src + blk.nb, gather_buf.begin() + offs[ai]);
+          ccols[ai] = gather_buf.data() + offs[ai];
+          scols[ai] = acc.data() + offs[ai];
+        }
+
+        fci::SigmaStats stats;
+        fci::sigma_mixed_spin_core(ctx_, hk, ik, ccols, scols, stats);
+        chunk_flops += stats.dgemm_flops;
       }
-      gather_buf.resize(total);
-      auto& acc = accs[it - ibegin];
-      acc.assign(total, 0.0);
-      ccols.assign(alist.size(), nullptr);
-      scols.assign(alist.size(), nullptr);
+    };
 
-      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-        if (offs[ai] == kNone) continue;
-        const std::size_t b = block_of_halpha_[alist[ai].irrep];
-        const auto& blk = space.blocks()[b];
-        const std::size_t col = alist[ai].address;
-        const double* src = c.data() + blk.offset + col * blk.nb;
-        std::copy(src, src + blk.nb, gather_buf.begin() + offs[ai]);
-        ccols[ai] = gather_buf.data() + offs[ai];
-        scols[ai] = acc.data() + offs[ai];
-      }
-
-      fci::SigmaStats stats;
-      fci::sigma_mixed_spin_core(ctx_, hk, ik, ccols, scols, stats);
-      chunk_flops += stats.dgemm_flops;
+    compute_chunk();
+    if (dies) {
+      // The worker crashed with its results unsent.  The replacement
+      // re-executes the chunk inline (same OS thread, so the ordered
+      // commit below happens at the chunk's normal turn and the commit
+      // gate never stalls on a dead worker); the re-execution time is the
+      // recovery cost.
+      const Timer redo;
+      compute_chunk();
+      rework[chunk] = redo.seconds();
+      reassigned[chunk] = 1;
     }
 
     commit.wait_turn(chunk);
@@ -520,10 +680,15 @@ void ParallelSigma::mixed_phase_dgemm_threads(
     }
     commit.complete(chunk);
     flops[chunk] = chunk_flops;
+    return !dies;
   });
 
   breakdown_.mixed += timer.seconds();
   for (double f : flops) breakdown_.flops += f;
+  for (std::size_t ch = 0; ch < pool.num_chunks(); ++ch) {
+    breakdown_.recovery += rework[ch];
+    breakdown_.tasks_reassigned += reassigned[ch];
+  }
 }
 
 void ParallelSigma::mixed_phase_moc(std::span<const double> c,
@@ -539,6 +704,12 @@ void ParallelSigma::mixed_phase_moc(std::span<const double> c,
   const auto& btable = *ctx_.beta_create();
   const auto& eri = ctx_.ints().eri;
   const std::size_t n = space.norb();
+
+  // Deaths declared earlier shrink the column split before the phase; the
+  // MOC baseline implements no task-level recovery beyond that (it is the
+  // historical practice the paper eliminates), so mid-phase faults only
+  // show up in the accounting (dropped-op counters, frozen clocks).
+  maybe_redistribute();
 
   // Each rank computes its local sigma columns: for every alpha single
   // excitation J_a -> I_a it gathers the remote J_a column (no reuse across
@@ -645,6 +816,9 @@ void ParallelSigma::apply_dgemm(std::span<const double> c,
                   sigma.size() == c.size(),
               "phase vectors must span the CI dimension (checked in apply)");
   const fci::CiSpace& space = ctx_.space();
+  // Absorb any deaths declared at earlier barriers before handing out
+  // column ownership for this sigma (no-op while every rank is alive).
+  maybe_redistribute();
   const int parity =
       options_.ms0_transpose ? fci::transpose_parity(space, c) : 0;
 
@@ -708,6 +882,7 @@ void ParallelSigma::apply_moc(std::span<const double> c,
   XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
                   sigma.size() == c.size(),
               "phase vectors must span the CI dimension (checked in apply)");
+  maybe_redistribute();
   beta_side_phase(ctx_.transposed(), c, sigma, /*moc_kernel=*/true);
   if (ctx_.space().nalpha() >= 1) alpha_side_phase(c, sigma, true);
   mixed_phase_moc(c, sigma);

@@ -69,6 +69,13 @@ struct ParallelOptions {
   ExecutionMode execution = ExecutionMode::kSimulate;
   /// Thread count for ExecutionMode::kThreads (0 = hardware concurrency).
   std::size_t num_threads = 0;
+  /// Fault injection: installed into the simulated machine (kSimulate);
+  /// the threads backend consults the worker-death schedule (kThreads).
+  pv::FaultPlan faults;
+  /// Reassignments allowed per aggregated DLB task before the run aborts.
+  std::size_t max_task_retries = 3;
+  /// Retransmissions allowed per one-sided op before the run aborts.
+  std::size_t max_op_retries = 8;
 };
 
 /// Simulated-time breakdown accumulated over sigma applications; the rows
@@ -80,13 +87,20 @@ struct PhaseBreakdown {
   double transpose = 0.0;       ///< local + distributed transposes ("Vector Symm.")
   double vector_ops = 0.0;      ///< solver vector work per iteration
   double load_imbalance = 0.0;  ///< barrier spread of the dynamic phase
+  double recovery = 0.0;        ///< fault-recovery time (timeouts, refetch,
+                                ///< redistribution); overlaps the phase rows
   double total = 0.0;           ///< wall (simulated) time of the sigmas
   double comm_words = 0.0;      ///< one-sided words moved (gets + 2x accs)
   double mixed_comm_words = 0.0;  ///< words moved by the mixed-spin phase
   double flops = 0.0;           ///< charged floating-point operations
   std::size_t count = 0;        ///< sigma applications accumulated
 
-  /// Per-sigma averages.
+  // Recovery event counters (cumulative, not averaged by averaged()).
+  std::size_t tasks_reassigned = 0;  ///< DLB chunks redone after a death
+  std::size_t ops_retried = 0;       ///< one-sided retransmissions
+  std::size_t ranks_lost = 0;        ///< rank deaths absorbed by survivors
+
+  /// Per-sigma averages (event counters stay cumulative).
   PhaseBreakdown averaged() const;
 };
 
@@ -113,6 +127,8 @@ class ParallelSigma : public fci::SigmaOperator {
   std::size_t num_threads() const { return team_ ? team_->size() : 1; }
 
  private:
+  struct MixedScratch;
+
   void apply_dgemm(std::span<const double> c, std::span<double> sigma);
   void apply_moc(std::span<const double> c, std::span<double> sigma);
   void charge_kernel_stats(std::size_t rank, const fci::SigmaStats& stats);
@@ -129,10 +145,30 @@ class ParallelSigma : public fci::SigmaOperator {
   void charge_solver_vector_ops();
   void add_vectors_threaded(std::span<double> dst, std::span<const double> a);
 
+  /// Issues one one-sided op with bounded retransmission: a transient drop
+  /// costs the requester an ack timeout and a retry; returns kDropped only
+  /// when the requester or the target is dead (the caller resolves that by
+  /// redistributing / reassigning).
+  pv::OpOutcome robust_one_sided(bool accumulate, std::size_t rank,
+                                 std::size_t owner, double words);
+  /// Runs one mixed-spin item (gather, dense core, accumulate) on `rank`.
+  /// The item commits atomically: sigma is updated only after every
+  /// accumulate has been delivered, so a false return (the rank died
+  /// mid-item) leaves sigma untouched and the item can be reassigned.
+  bool run_mixed_item(std::size_t rank, std::size_t hk, std::size_t ik,
+                      std::span<const double> c, std::span<double> sigma,
+                      MixedScratch& scratch);
+  /// Graceful degradation: if the alive mask changed since the distribution
+  /// was last built, rebuilds the column split over the survivors and
+  /// charges them the refetch of the lost blocks.  No-op (and free) while
+  /// every rank is alive.
+  void maybe_redistribute();
+
   const fci::SigmaContext& ctx_;
   ParallelOptions options_;
   pv::Machine machine_;
   ColumnDistribution dist_;
+  std::vector<std::uint8_t> dist_alive_;      // mask dist_ was built with
   std::vector<std::size_t> block_of_halpha_;  // halpha -> block index
   PhaseBreakdown breakdown_;
   std::unique_ptr<pv::ThreadTeam> team_;  // threads backend (kThreads only)

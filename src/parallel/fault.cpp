@@ -1,0 +1,127 @@
+#include "parallel/fault.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace xfci::pv {
+namespace {
+
+// splitmix64: a counter-based hash good enough for independent per-op
+// Bernoulli draws.  Order-independent (unlike a shared stream generator),
+// so the same (seed, rank, op) triple decides the same fate whether the
+// backends evaluate ops serially, interleaved or threaded.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double unit_uniform(std::uint64_t seed, std::size_t rank, std::size_t op,
+                    std::uint64_t salt) {
+  const std::uint64_t h =
+      mix64(seed ^ mix64(static_cast<std::uint64_t>(rank) + salt) ^
+            mix64(static_cast<std::uint64_t>(op) * 0x632BE59BD9B4E019ull));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::kill_rank_at_time(std::size_t rank, double seconds) {
+  XFCI_REQUIRE(seconds >= 0.0, "death time must be non-negative");
+  death_time_[rank] = seconds;
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_rank_at_op(std::size_t rank, std::size_t op) {
+  XFCI_REQUIRE(op >= 1, "op indices are 1-based");
+  death_op_[rank] = op;
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_op(std::size_t rank, std::size_t op) {
+  XFCI_REQUIRE(op >= 1, "op indices are 1-based");
+  drops_[{rank, op}] = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_op(std::size_t rank, std::size_t op,
+                               double seconds) {
+  XFCI_REQUIRE(op >= 1, "op indices are 1-based");
+  XFCI_REQUIRE(seconds >= 0.0, "delay must be non-negative");
+  delays_[{rank, op}] = seconds;
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow_rank(std::size_t rank, double factor) {
+  XFCI_REQUIRE(factor >= 1.0, "straggler factor must be >= 1");
+  slow_[rank] = factor;
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_worker_at_claim(std::size_t tid,
+                                           std::size_t claim) {
+  XFCI_REQUIRE(claim >= 1, "claim counts are 1-based");
+  worker_claim_[tid] = claim;
+  return *this;
+}
+
+FaultPlan& FaultPlan::randomize(std::uint64_t seed, double drop_prob,
+                                double delay_prob, double max_delay) {
+  XFCI_REQUIRE(drop_prob >= 0.0 && drop_prob <= 1.0 && delay_prob >= 0.0 &&
+                   delay_prob <= 1.0 && max_delay >= 0.0,
+               "randomize: probabilities in [0,1], max_delay >= 0");
+  randomized_ = true;
+  seed_ = seed;
+  drop_prob_ = drop_prob;
+  delay_prob_ = delay_prob;
+  max_delay_ = max_delay;
+  return *this;
+}
+
+bool FaultPlan::empty() const {
+  return !randomized_ && slow_.empty() && death_time_.empty() &&
+         death_op_.empty() && worker_claim_.empty() && delays_.empty() &&
+         drops_.empty();
+}
+
+double FaultPlan::slowdown(std::size_t rank) const {
+  const auto it = slow_.find(rank);
+  return it == slow_.end() ? 1.0 : it->second;
+}
+
+double FaultPlan::death_time(std::size_t rank) const {
+  const auto it = death_time_.find(rank);
+  return it == death_time_.end() ? std::numeric_limits<double>::infinity()
+                                 : it->second;
+}
+
+std::size_t FaultPlan::death_op(std::size_t rank) const {
+  const auto it = death_op_.find(rank);
+  return it == death_op_.end() ? 0 : it->second;
+}
+
+std::size_t FaultPlan::worker_death_claim(std::size_t tid) const {
+  const auto it = worker_claim_.find(tid);
+  return it == worker_claim_.end() ? 0 : it->second;
+}
+
+FaultPlan::Decision FaultPlan::on_one_sided(std::size_t rank,
+                                            std::size_t op) const {
+  Decision d;
+  if (drops_.count({rank, op}) != 0) d.drop = true;
+  if (const auto it = delays_.find({rank, op}); it != delays_.end())
+    d.delay = it->second;
+  if (randomized_) {
+    if (drop_prob_ > 0.0 &&
+        unit_uniform(seed_, rank, op, /*salt=*/0x715EED) < drop_prob_)
+      d.drop = true;
+    if (delay_prob_ > 0.0 &&
+        unit_uniform(seed_, rank, op, /*salt=*/0xDE1A4) < delay_prob_)
+      d.delay += max_delay_ * unit_uniform(seed_, rank, op, /*salt=*/0xD3) ;
+  }
+  return d;
+}
+
+}  // namespace xfci::pv

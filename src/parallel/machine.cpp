@@ -9,54 +9,138 @@ Machine::Machine(std::size_t num_ranks, x1::CostModel model)
       clocks_(num_ranks, 0.0),
       flops_(num_ranks, 0.0),
       recv_busy_(num_ranks, 0.0),
-      counters_(num_ranks) {
+      counters_(num_ranks),
+      alive_(num_ranks, 1),
+      slowdown_(num_ranks, 1.0),
+      op_index_(num_ranks, 0) {
   XFCI_REQUIRE(num_ranks >= 1, "machine needs at least one rank");
 }
 
+void Machine::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  std::fill(alive_.begin(), alive_.end(), std::uint8_t{1});
+  std::fill(op_index_.begin(), op_index_.end(), std::size_t{0});
+  for (std::size_t r = 0; r < clocks_.size(); ++r)
+    slowdown_[r] = plan_.slowdown(r);
+}
+
+std::size_t Machine::num_alive() const {
+  std::size_t n = 0;
+  for (const auto a : alive_) n += a;
+  return n;
+}
+
+void Machine::kill_rank(std::size_t rank) {
+  alive_.at(rank) = 0;
+}
+
 std::size_t Machine::earliest_rank() const {
-  std::size_t best = 0;
-  for (std::size_t r = 1; r < clocks_.size(); ++r)
-    if (clocks_[r] < clocks_[best]) best = r;
+  std::size_t best = clocks_.size();
+  for (std::size_t r = 0; r < clocks_.size(); ++r) {
+    if (alive_[r] == 0) continue;
+    if (best == clocks_.size() || clocks_[r] < clocks_[best]) best = r;
+  }
+  XFCI_REQUIRE(best < clocks_.size(),
+               "every rank has failed; the run cannot continue");
   return best;
 }
 
-void Machine::record_get(std::size_t rank, std::size_t owner, double words) {
-  if (rank != owner) {
-    charge(rank, model_.get_seconds(words));
-    counters_.at(rank).get_words += words;
-  } else {
-    charge(rank, model_.indexed_seconds(words));
+// Shared entry of the one-sided recorders: advances the rank's op counter
+// and fires a scripted crash-on-op.  Returns kDropped (and reports no op
+// index) when the rank is dead or died issuing this very operation.
+OpOutcome Machine::begin_one_sided(std::size_t rank, std::size_t* op_index) {
+  if (alive_.at(rank) == 0) return OpOutcome::kDropped;
+  const std::size_t n = ++op_index_[rank];
+  if (n == plan_.death_op(rank)) {
+    kill_rank(rank);
+    return OpOutcome::kDropped;
   }
+  *op_index = n;
+  return OpOutcome::kDelivered;
+}
+
+OpOutcome Machine::record_get(std::size_t rank, std::size_t owner,
+                              double words) {
+  std::size_t n = 0;
+  if (begin_one_sided(rank, &n) == OpOutcome::kDropped)
+    return OpOutcome::kDropped;
   ++counters_.at(rank).get_calls;
+  if (rank == owner) {
+    charge(rank, model_.indexed_seconds(words));
+    return OpOutcome::kDelivered;
+  }
+  charge(rank, model_.get_seconds(words));
+  counters_.at(rank).get_words += words;
+  const FaultPlan::Decision d = plan_.on_one_sided(rank, n);
+  if (d.delay > 0.0) {
+    charge(rank, d.delay);
+    ++counters_.at(rank).ops_delayed;
+  }
+  if (d.drop || alive_.at(owner) == 0) {
+    ++counters_.at(rank).ops_dropped;
+    return OpOutcome::kDropped;
+  }
+  return OpOutcome::kDelivered;
 }
 
-void Machine::record_acc(std::size_t rank, std::size_t owner, double words) {
-  if (rank != owner) {
-    charge(rank, model_.acc_seconds(words));
-    counters_.at(rank).acc_words += words;
-    recv_busy_.at(owner) += model_.acc_target_seconds(words);
-  } else {
-    charge(rank, model_.indexed_seconds(words));
-  }
+OpOutcome Machine::record_acc(std::size_t rank, std::size_t owner,
+                              double words) {
+  std::size_t n = 0;
+  if (begin_one_sided(rank, &n) == OpOutcome::kDropped)
+    return OpOutcome::kDropped;
   ++counters_.at(rank).acc_calls;
+  if (rank == owner) {
+    charge(rank, model_.indexed_seconds(words));
+    return OpOutcome::kDelivered;
+  }
+  charge(rank, model_.acc_seconds(words));
+  counters_.at(rank).acc_words += words;
+  const FaultPlan::Decision d = plan_.on_one_sided(rank, n);
+  if (d.delay > 0.0) {
+    charge(rank, d.delay);
+    ++counters_.at(rank).ops_delayed;
+  }
+  // A dropped accumulate is lost before the target applies it (the DDI_ACC
+  // mutex was never taken), so a retransmit lands exactly once.
+  if (d.drop || alive_.at(owner) == 0) {
+    ++counters_.at(rank).ops_dropped;
+    return OpOutcome::kDropped;
+  }
+  recv_busy_.at(owner) += model_.acc_target_seconds(words);
+  return OpOutcome::kDelivered;
 }
 
-void Machine::record_put(std::size_t rank, std::size_t owner, double words) {
-  if (rank != owner) {
-    charge(rank, model_.put_seconds(words));
-    counters_.at(rank).put_words += words;
-    // The target's node absorbs the arriving payload at its receive
-    // bandwidth (same congestion bound as an accumulate, but the data only
-    // lands once).
-    recv_busy_.at(owner) += model_.recv_target_seconds(words);
-  } else {
-    charge(rank, model_.indexed_seconds(words));
-  }
+OpOutcome Machine::record_put(std::size_t rank, std::size_t owner,
+                              double words) {
+  std::size_t n = 0;
+  if (begin_one_sided(rank, &n) == OpOutcome::kDropped)
+    return OpOutcome::kDropped;
   ++counters_.at(rank).put_calls;
+  if (rank == owner) {
+    charge(rank, model_.indexed_seconds(words));
+    return OpOutcome::kDelivered;
+  }
+  charge(rank, model_.put_seconds(words));
+  counters_.at(rank).put_words += words;
+  const FaultPlan::Decision d = plan_.on_one_sided(rank, n);
+  if (d.delay > 0.0) {
+    charge(rank, d.delay);
+    ++counters_.at(rank).ops_delayed;
+  }
+  if (d.drop || alive_.at(owner) == 0) {
+    ++counters_.at(rank).ops_dropped;
+    return OpOutcome::kDropped;
+  }
+  // The target's node absorbs the arriving payload at its receive
+  // bandwidth (same congestion bound as an accumulate, but the data only
+  // lands once).
+  recv_busy_.at(owner) += model_.recv_target_seconds(words);
+  return OpOutcome::kDelivered;
 }
 
 void Machine::record_alltoall(std::size_t rank, std::size_t peers,
                               double remote_words) {
+  if (alive_.at(rank) == 0) return;
   if (peers == 0 || remote_words <= 0.0) return;
   charge(rank, static_cast<double>(peers) * model_.get_latency +
                    8.0 * remote_words / model_.get_bandwidth);
@@ -64,19 +148,23 @@ void Machine::record_alltoall(std::size_t rank, std::size_t peers,
   counters_.at(rank).get_calls += peers;
   // Receiver congestion (symmetric with record_acc): the words this rank
   // pulls occupy its own node's receive bandwidth, and serving them
-  // occupies the source nodes' -- attributed evenly across the peers since
-  // the all-to-all spreads the traffic.  Without this the Vector-Symm
-  // transpose phases could beat the node-bandwidth bound.
+  // occupies the source nodes' -- attributed evenly across the surviving
+  // peers since the all-to-all spreads the traffic.  Without this the
+  // Vector-Symm transpose phases could beat the node-bandwidth bound.
   recv_busy_.at(rank) += model_.recv_target_seconds(remote_words);
-  const std::size_t others = clocks_.size() - 1;
+  std::size_t others = 0;
+  for (std::size_t q = 0; q < clocks_.size(); ++q)
+    if (q != rank && alive_[q] != 0) ++others;
   if (others > 0) {
     const double served = remote_words / static_cast<double>(others);
     for (std::size_t q = 0; q < clocks_.size(); ++q)
-      if (q != rank) recv_busy_.at(q) += model_.recv_target_seconds(served);
+      if (q != rank && alive_[q] != 0)
+        recv_busy_.at(q) += model_.recv_target_seconds(served);
   }
 }
 
 void Machine::record_dlb_request(std::size_t rank) {
+  if (alive_.at(rank) == 0) return;
   // Serialized at the server: the request starts when both the rank and
   // the server are free.
   const double start = std::max(clocks_.at(rank), server_free_);
@@ -86,23 +174,47 @@ void Machine::record_dlb_request(std::size_t rank) {
 }
 
 double Machine::barrier() {
-  const auto [lo_it, hi_it] =
-      std::minmax_element(clocks_.begin(), clocks_.end());
-  double t = *hi_it;
-  last_imbalance_ = *hi_it - *lo_it;
+  // Time-triggered deaths are declared at barrier entry: a rank whose
+  // clock passed its scripted death time missed the barrier.  Its work up
+  // to here counts as delivered; everything after is the survivors'.
+  for (std::size_t r = 0; r < clocks_.size(); ++r)
+    if (alive_[r] != 0 && clocks_[r] >= plan_.death_time(r)) kill_rank(r);
+
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (std::size_t r = 0; r < clocks_.size(); ++r) {
+    if (alive_[r] == 0) continue;
+    lo = first ? clocks_[r] : std::min(lo, clocks_[r]);
+    hi = first ? clocks_[r] : std::max(hi, clocks_[r]);
+    first = false;
+  }
+  XFCI_REQUIRE(!first, "barrier with every rank failed");
+  double t = hi;
+  last_imbalance_ = hi - lo;
   // Receiver congestion: a node cannot have absorbed accumulates faster
   // than its receive bandwidth allows.
-  for (double b : recv_busy_) t = std::max(t, b);
+  for (std::size_t r = 0; r < clocks_.size(); ++r)
+    if (alive_[r] != 0) t = std::max(t, recv_busy_[r]);
   t = std::max(t, server_free_);
   t += model_.barrier_cost;
-  std::fill(clocks_.begin(), clocks_.end(), t);
+  for (std::size_t r = 0; r < clocks_.size(); ++r)
+    if (alive_[r] != 0) clocks_[r] = t;
+  // Dead ranks keep their frozen clocks; their congestion state is moot.
   std::fill(recv_busy_.begin(), recv_busy_.end(), t);
   server_free_ = t;
   return t;
 }
 
 double Machine::elapsed() const {
-  return *std::max_element(clocks_.begin(), clocks_.end());
+  double t = 0.0;
+  bool first = true;
+  for (std::size_t r = 0; r < clocks_.size(); ++r) {
+    if (alive_[r] == 0) continue;
+    t = first ? clocks_[r] : std::max(t, clocks_[r]);
+    first = false;
+  }
+  XFCI_REQUIRE(!first, "elapsed() with every rank failed");
+  return t;
 }
 
 void Machine::reset() {
@@ -112,6 +224,8 @@ void Machine::reset() {
   server_free_ = 0.0;
   last_imbalance_ = 0.0;
   for (auto& c : counters_) c = CommCounters{};
+  std::fill(alive_.begin(), alive_.end(), std::uint8_t{1});
+  std::fill(op_index_.begin(), op_index_.end(), std::size_t{0});
 }
 
 }  // namespace xfci::pv

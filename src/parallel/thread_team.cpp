@@ -47,9 +47,16 @@ void ThreadTeam::claim_loop(std::size_t tid) {
     if (i >= count_) break;
     // Each index is claimed by exactly one worker (the fetch-and-add is the
     // ownership handoff); a null body here means a region raced its setup.
-    XFCI_DCHECK(body_ != nullptr, "claimed a task with no active region");
+    XFCI_DCHECK(body_ != nullptr || retire_body_ != nullptr,
+                "claimed a task with no active region");
     try {
-      (*body_)(i, tid);
+      if (retire_body_ != nullptr) {
+        // Resilient region: a false return is a worker crash -- this
+        // worker claims nothing further; survivors drain the rest.
+        if (!(*retire_body_)(i, tid)) break;
+      } else {
+        (*body_)(i, tid);
+      }
     } catch (...) {
       {
         std::lock_guard<std::mutex> lk(mu_);
@@ -80,10 +87,12 @@ void ThreadTeam::worker_main(std::size_t tid) {
   }
 }
 
-void ThreadTeam::run_region(std::size_t count, const IndexBody& body) {
+void ThreadTeam::run_region(std::size_t count, const IndexBody* body,
+                            const RetireBody* retire) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    body_ = &body;
+    body_ = body;
+    retire_body_ = retire;
     count_ = count;
     next_.store(0, std::memory_order_relaxed);
     error_ = nullptr;
@@ -96,6 +105,7 @@ void ThreadTeam::run_region(std::size_t count, const IndexBody& body) {
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [&] { return working_ == 0; });
     body_ = nullptr;
+    retire_body_ = nullptr;
   }
   if (error_) std::rethrow_exception(error_);
 }
@@ -111,12 +121,36 @@ void ThreadTeam::for_dynamic(std::size_t count, const IndexBody& body) {
     for (std::size_t i = 0; i < count; ++i) body(i, tid);
     return;
   }
-  run_region(count, body);
+  run_region(count, &body, nullptr);
 }
 
 void ThreadTeam::for_pool(const TaskPool& pool, const IndexBody& body) {
   XFCI_REQUIRE(static_cast<bool>(body), "for_pool: body must be callable");
   for_dynamic(pool.num_chunks(), body);
+}
+
+void ThreadTeam::for_pool_resilient(const TaskPool& pool,
+                                    const RetireBody& body) {
+  XFCI_REQUIRE(static_cast<bool>(body),
+               "for_pool_resilient: body must be callable");
+  const std::size_t count = pool.num_chunks();
+  if (count == 0) return;
+  if (nthreads_ == 1 || count == 1 || tl_in_region) {
+    // Serial / nested fallback: the lone worker claims in index order; a
+    // retirement with chunks still pending is unrecoverable (nobody is
+    // left to claim them) -- the same abort as the parallel path below.
+    const std::size_t tid = tl_in_region ? tl_tid : 0;
+    for (std::size_t i = 0; i < count; ++i)
+      if (!body(i, tid))
+        XFCI_REQUIRE(i + 1 == count,
+                     "every worker retired with tasks outstanding");
+    return;
+  }
+  run_region(count, nullptr, &body);
+  // Claims are handed out in index order, so if the counter never reached
+  // `count`, every worker retired while chunks remained unclaimed.
+  XFCI_REQUIRE(next_.load(std::memory_order_relaxed) >= count,
+               "every worker retired with tasks outstanding");
 }
 
 void ThreadTeam::for_static(std::size_t count, const RangeBody& body) {

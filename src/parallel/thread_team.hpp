@@ -63,6 +63,17 @@ class ThreadTeam {
   /// SHMEM_SWAP server replaced by a fetch-and-add.
   void for_pool(const TaskPool& pool, const IndexBody& body);
 
+  /// body(chunk_index, tid) -> keep_claiming: returning false retires the
+  /// worker after the current chunk (a simulated worker crash under fault
+  /// injection).  The body must leave the chunk fully handled before
+  /// retiring -- in the recovery scheme the replacement worker re-executes
+  /// it inline, then commits at the chunk's normal turn, so ordered-commit
+  /// gates never stall on a dead worker.  Remaining chunks are claimed by
+  /// the survivors; if every worker retires while chunks remain unclaimed
+  /// the region throws xfci::Error.
+  using RetireBody = std::function<bool(std::size_t, std::size_t)>;
+  void for_pool_resilient(const TaskPool& pool, const RetireBody& body);
+
   /// Static partition: [0, count) split into size() near-equal contiguous
   /// slices, slice i handed to some worker as body(begin, end, i).  The
   /// slice boundaries depend only on `count` and size(), never on
@@ -77,7 +88,8 @@ class ThreadTeam {
  private:
   void claim_loop(std::size_t tid);
   void worker_main(std::size_t tid);
-  void run_region(std::size_t count, const IndexBody& body);
+  void run_region(std::size_t count, const IndexBody* body,
+                  const RetireBody* retire);
 
   std::size_t nthreads_;
   std::vector<std::thread> workers_;
@@ -90,6 +102,7 @@ class ThreadTeam {
   bool stop_ = false;
 
   const IndexBody* body_ = nullptr;
+  const RetireBody* retire_body_ = nullptr;
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};
   std::exception_ptr error_;

@@ -62,6 +62,8 @@ CostModel CostModel::with_overhead_scale(double factor) const {
   m.acc_lock_overhead *= factor;
   m.dlb_latency *= factor;
   m.barrier_cost *= factor;
+  m.ack_timeout *= factor;
+  m.task_timeout *= factor;
   return m;
 }
 

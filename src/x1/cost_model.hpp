@@ -46,6 +46,15 @@ struct CostModel {
 
   double node_bandwidth = 12.0e9;    ///< aggregate receive bytes/s per MSP
 
+  /// Fault-detection timeouts of the recovery layer (scaled like the other
+  /// fixed overheads by with_overhead_scale):
+  /// time before a requester declares an unacknowledged one-sided op lost
+  /// and retransmits it...
+  double ack_timeout = 25.0e-6;
+  /// ...and time before the DLB manager declares a silent worker dead and
+  /// reassigns its aggregated task to a survivor.
+  double task_timeout = 200.0e-6;
+
   /// Scalar cost of generating one Hamiltonian element in the MOC
   /// algorithm (index arithmetic + integral address computation on the
   /// X1's weak 400 MHz scalar unit).  This work is replicated on every

@@ -131,6 +131,79 @@ TEST(ThreadTeamStress, ExceptionPropagatesAndTeamStaysUsable) {
   }
 }
 
+TEST(ThreadTeamStress, ResilientPoolSurvivesStragglersAndWorkerDeaths) {
+  // Randomized kill/straggler schedule against for_pool_resilient: some
+  // workers retire after a pre-drawn number of claims (mimicking the
+  // kThreads fault model, where the dying worker commits its last chunk
+  // before leaving), others are slowed.  Survivors must still claim every
+  // chunk exactly once and commit in index order.
+  ThreadTeam team(4);
+  Rng rng(6);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t items = 256 + rng.index(2000);
+    TaskPoolParams params;
+    params.nfine_per_rank = 1 + rng.index(16);
+    const TaskPool pool(items, team.size(), params);
+    const std::size_t nchunks = pool.num_chunks();
+
+    // Up to size()-1 workers die; at least one always survives.
+    std::vector<std::size_t> kill_at(team.size(), 0);  // 0 = immortal
+    const std::size_t ndead = rng.index(team.size());
+    for (std::size_t k = 0; k < ndead; ++k)
+      kill_at[1 + rng.index(team.size() - 1)] = 1 + rng.index(4);
+    std::vector<std::size_t> slow(nchunks);
+    for (auto& s : slow) s = rng.index(500);
+
+    std::vector<std::size_t> claims(team.size(), 0);
+    std::vector<std::atomic<int>> touched(items);
+    OrderedSequencer seq;
+    std::vector<std::size_t> order;
+    order.reserve(nchunks);
+    team.for_pool_resilient(pool, [&](std::size_t ci, std::size_t tid) {
+      const bool dies =
+          kill_at[tid] != 0 && ++claims[tid] == kill_at[tid];
+      const auto [b, e] = pool.chunk(ci);
+      spin(slow[ci]);
+      for (std::size_t i = b; i < e; ++i)
+        touched[i].fetch_add(1, std::memory_order_relaxed);
+      seq.wait_turn(ci);
+      order.push_back(ci);
+      seq.complete(ci);
+      return !dies;  // the dying worker still committed its chunk
+    });
+    for (std::size_t i = 0; i < items; ++i)
+      ASSERT_EQ(touched[i].load(), 1) << "round " << round << " item " << i;
+    ASSERT_EQ(order.size(), nchunks);
+    for (std::size_t i = 0; i < nchunks; ++i)
+      ASSERT_EQ(order[i], i) << "round " << round;
+  }
+}
+
+TEST(ThreadTeamStress, ResilientPoolAllWorkersRetiringThrows) {
+  ThreadTeam team(4);
+  TaskPoolParams params;
+  params.nfine_per_rank = 8;
+  const TaskPool pool(512, team.size(), params);
+  ASSERT_GT(pool.num_chunks(), team.size());
+  EXPECT_THROW(
+      team.for_pool_resilient(
+          pool, [&](std::size_t, std::size_t) { return false; }),
+      xfci::Error);
+  // The team must come back clean after the failed region.
+  std::atomic<std::size_t> ok{0};
+  team.for_dynamic(100, [&](std::size_t, std::size_t) {
+    ok.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_EQ(ok.load(), 100u);
+
+  // Same contract on the serial path.
+  ThreadTeam serial(1);
+  EXPECT_THROW(
+      serial.for_pool_resilient(
+          pool, [&](std::size_t, std::size_t) { return false; }),
+      xfci::Error);
+}
+
 TEST(OrderedSequencerStress, CommitsRetireInIndexOrder) {
   ThreadTeam team(4);
   Rng rng(5);

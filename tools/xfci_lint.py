@@ -16,6 +16,12 @@ entry-require       Public entry points in src/fci/, src/fci_parallel/ and
                     NEAR_TOP lines of the body.  Suppress intentionally
                     unchecked functions with `// lint: no-require` on the
                     signature line.
+catch-swallow       No `catch (...)` that swallows the exception: the body
+                    must rethrow (`throw;`), capture it for later
+                    (`std::current_exception`/`std::rethrow_exception`), or
+                    at minimum log it.  Silent catch-alls turn faults into
+                    wrong answers — the recovery layer (DESIGN.md, "Failure
+                    model") depends on errors surfacing.
 self-contained      (--compile-headers) every header under src/ compiles as
                     its own translation unit.
 
@@ -225,6 +231,23 @@ def check_entry_require(path: str, raw: str, code: str,
                         f"check or suppress with `// {SUPPRESS}`"))
 
 
+HANDLES_EXCEPTION = re.compile(
+    r"\bthrow\b|\brethrow_exception\b|\bcurrent_exception\b|"
+    r"\bcerr\b|\bclog\b|\bfprintf\b|\blog\w*\s*\(")
+
+
+def check_catch_swallow(path: str, code: str, findings: list) -> None:
+    for m in re.finditer(r"\bcatch\s*\(\s*\.\.\.\s*\)\s*\{", code):
+        open_brace = code.index("{", m.end() - 1)
+        body = code[open_brace:_body_extent(code, open_brace) + 1]
+        if HANDLES_EXCEPTION.search(body):
+            continue
+        findings.append(
+            Finding(path, line_of(code, m.start()), "catch-swallow",
+                    "`catch (...)` swallows the exception; rethrow, store "
+                    "std::current_exception(), or log before continuing"))
+
+
 def lint_tree(root: str) -> list:
     findings = []
     src = os.path.join(root, "src")
@@ -238,6 +261,7 @@ def lint_tree(root: str) -> list:
                 raw = fh.read()
             code = strip_comments_and_strings(raw)
             check_raw_assert(rel, code, findings)
+            check_catch_swallow(rel, code, findings)
             if fn.endswith((".hpp", ".h")):
                 check_using_namespace(rel, code, findings)
                 check_pragma_once(rel, raw, findings)
@@ -303,6 +327,35 @@ BAD_NO_PRAGMA = """\
 #endif
 """
 
+BAD_CATCH_CPP = """\
+namespace xfci::fci {
+void f() {
+  try {
+    g();
+  } catch (...) {
+  }
+}
+}  // namespace xfci::fci
+"""
+
+GOOD_CATCH_CPP = """\
+#include <exception>
+namespace xfci::fci {
+void f(std::exception_ptr& err) {
+  try {
+    g();
+  } catch (...) {
+    if (!err) err = std::current_exception();
+  }
+  try {
+    h();
+  } catch (...) {
+    throw;
+  }
+}
+}  // namespace xfci::fci
+"""
+
 BAD_ENTRY_CPP = """\
 #include "common/error.hpp"
 namespace xfci::fci {
@@ -350,13 +403,17 @@ def self_test() -> int:
     # Commented-out assert must not trip it either.
     expect("commented assert allowed", "ca.cpp",
            "// assert(false) would be wrong here\n", "raw-assert", False)
+    expect("seeded swallowing catch-all", "bad_catch.cpp", BAD_CATCH_CPP,
+           "catch-swallow", True)
+    expect("storing/rethrowing catch-all passes", "good_catch.cpp",
+           GOOD_CATCH_CPP, "catch-swallow", False)
 
     if failures:
         print("xfci_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("xfci_lint self-test passed (8 cases).")
+    print("xfci_lint self-test passed (10 cases).")
     return 0
 
 
