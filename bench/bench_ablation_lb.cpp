@@ -79,7 +79,7 @@ int main() {
     op.apply(c, s);
     std::size_t calls = 0;
     for (std::size_t r = 0; r < 64; ++r)
-      calls += op.machine().counters(r).dlb_calls;
+      calls += op.ddi().counters(r).dlb_calls;
     print_row({cfg.name, fmt_seconds(op.breakdown().mixed),
                fmt_seconds(op.breakdown().load_imbalance),
                std::to_string(calls)},

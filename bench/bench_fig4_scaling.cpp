@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "fci_parallel/driver_cli.hpp"
 #include "fci_parallel/parallel_fci.hpp"
 #include "systems/standard_systems.hpp"
 
@@ -23,7 +24,8 @@ namespace xf = xfci::fci;
 namespace fcp = xfci::fcp;
 using namespace xfci::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = fcp::DriverCli::parse(argc, argv);
   xs::SpaceOptions o;
   o.basis = "x-dzp";
   o.max_orbitals = 15;
@@ -41,6 +43,10 @@ int main() {
       sys.nalpha + sys.nbeta, sys.tables.norb, space.dimension(),
       sys.tables.group.irrep_name(sys.ground_irrep).c_str(), sys.nalpha,
       sys.nbeta);
+  if (cli.backend != fcp::ExecutionMode::kSimulate)
+    std::printf("backend: %s (wall-clock seconds, %zu ranks per row "
+                "executed by the thread team)\n\n",
+                cli.backend_name(), cli.num_ranks);
 
   xfci::Rng rng(11);
   const auto c = rng.signed_vector(space.dimension());
@@ -51,10 +57,10 @@ int main() {
   for (std::size_t p : {16, 32, 64, 128}) {
     double row[6] = {};
     for (int alg = 0; alg < 2; ++alg) {
-      fcp::ParallelOptions opt;
+      // Shared driver defaults (overhead-scaled cost model, backend
+      // selection); the MSP sweep overrides the rank count per row.
+      fcp::ParallelOptions opt = cli.parallel_options();
       opt.num_ranks = p;
-      // Overheads scaled with the problem size (EXPERIMENTS.md).
-      opt.cost = opt.cost.with_overhead_scale(0.02);
       opt.algorithm =
           (alg == 0) ? xf::Algorithm::kMoc : xf::Algorithm::kDgemm;
       fcp::ParallelSigma op(ctx, opt);

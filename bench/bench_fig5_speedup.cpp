@@ -10,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "fci_parallel/driver_cli.hpp"
 #include "fci_parallel/parallel_fci.hpp"
 #include "systems/standard_systems.hpp"
 
@@ -18,7 +19,8 @@ namespace xf = xfci::fci;
 namespace fcp = xfci::fcp;
 using namespace xfci::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = fcp::DriverCli::parse(argc, argv);
   xs::SpaceOptions o;
   o.basis = "x-dzp";
   o.max_orbitals = 17;
@@ -35,6 +37,9 @@ int main() {
       "CI dimension %zu, irrep %s\n\n",
       space.dimension(),
       sys.tables.group.irrep_name(sys.ground_irrep).c_str());
+  if (cli.backend != fcp::ExecutionMode::kSimulate)
+    std::printf("backend: %s (wall-clock seconds per sigma)\n\n",
+                cli.backend_name());
 
   xfci::Rng rng(4);
   const auto c = rng.signed_vector(space.dimension());
@@ -44,17 +49,16 @@ int main() {
   print_rule(6);
   double t16 = 0.0;
   for (std::size_t p : {16, 32, 64, 128, 256}) {
-    fcp::ParallelOptions opt;
+    // Shared driver defaults (overhead-scaled cost model, backend
+    // selection); the MSP sweep overrides the rank count per row.
+    fcp::ParallelOptions opt = cli.parallel_options();
     opt.num_ranks = p;
-    // Overheads scaled with the problem size (EXPERIMENTS.md).
-    opt.cost = opt.cost.with_overhead_scale(0.02);
     fcp::ParallelSigma op(ctx, opt);
     std::vector<double> s(c.size());
     op.apply(c, s);
     const double t = op.breakdown().total;
     if (p == 16) t16 = t;
-    double flops = 0.0;
-    for (std::size_t r = 0; r < p; ++r) flops += op.machine().flops(r);
+    const double flops = op.ddi().total_flops();
     const double gf = flops / static_cast<double>(p) / t / 1e9;
     const double speedup = 16.0 * t16 / t;
     print_row({std::to_string(p), fmt_seconds(t), fmt(speedup, "%.1f"),

@@ -4,7 +4,9 @@
 //
 //   $ ./examples/c2_on_simulated_x1 [num_msps] [options]
 //
-// Options:
+// Options (shared driver flags, see fci_parallel/driver_cli.hpp):
+//   --backend sim|threads  execution backend (default: simulated X1)
+//   --threads N         worker threads for --backend threads (0 = auto)
 //   --faults            seeded fault demo: kill one MSP mid-sigma and drop
 //                       an accumulate; the run recovers, converges to the
 //                       same energy, and the breakdown shows what the
@@ -20,10 +22,8 @@
 //   $ c2_on_simulated_x1 16 --restart /tmp/c2.ck
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 
+#include "fci_parallel/driver_cli.hpp"
 #include "fci_parallel/parallel_fci.hpp"
 #include "systems/standard_systems.hpp"
 
@@ -32,23 +32,8 @@ namespace xf = xfci::fci;
 namespace fcp = xfci::fcp;
 
 int main(int argc, char** argv) {
-  std::size_t msps = 16;
-  bool faults = false;
-  std::string checkpoint, restart;
-  std::size_t max_iters = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--faults") == 0) {
-      faults = true;
-    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
-      checkpoint = argv[++i];
-    } else if (std::strcmp(argv[i], "--restart") == 0 && i + 1 < argc) {
-      restart = argv[++i];
-    } else if (std::strcmp(argv[i], "--max-iters") == 0 && i + 1 < argc) {
-      max_iters = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else {
-      msps = static_cast<std::size_t>(std::atoi(argv[i]));
-    }
-  }
+  const auto cli = fcp::DriverCli::parse(argc, argv);
+  const std::size_t msps = cli.num_ranks;
 
   xs::SpaceOptions o;
   o.basis = "x-dz";
@@ -61,12 +46,14 @@ int main(int argc, char** argv) {
   std::printf("C2 X 1Sigma_g+  FCI(%zu,%zu) in %s, %zu determinants\n",
               sys.nalpha + sys.nbeta, sys.tables.norb,
               sys.tables.group.name().c_str(), space.dimension());
-  std::printf("running on %zu simulated Cray-X1 MSPs\n", msps);
+  if (cli.backend == fcp::ExecutionMode::kSimulate)
+    std::printf("running on %zu simulated Cray-X1 MSPs\n", msps);
+  else
+    std::printf("running on %zu ranks (backend: %s)\n", msps,
+                cli.backend_name());
 
-  fcp::ParallelOptions popt;
-  popt.num_ranks = msps;
-  popt.cost = popt.cost.with_overhead_scale(0.02);
-  if (faults) {
+  fcp::ParallelOptions popt = cli.parallel_options();
+  if (cli.faults) {
     // Deterministic plan: MSP 3 dies on its 40th one-sided op (mid mixed
     // phase of an early sigma) and MSP 0's 7th op is silently dropped.
     popt.faults.kill_rank_at_op(3 % msps, 40).drop_op(0, 7);
@@ -78,9 +65,9 @@ int main(int argc, char** argv) {
   xf::SolverOptions sopt;
   sopt.method = xf::Method::kAutoAdjusted;
   sopt.residual_tolerance = 1e-5;
-  sopt.checkpoint_path = checkpoint;
-  sopt.restart_path = restart;
-  if (max_iters != 0) sopt.max_iterations = max_iters;
+  sopt.checkpoint_path = cli.checkpoint;
+  sopt.restart_path = cli.restart;
+  if (cli.max_iters != 0) sopt.max_iterations = cli.max_iters;
 
   const auto res = fcp::run_parallel_fci(sys.tables, sys.nalpha, sys.nbeta,
                                          0, popt, sopt);
@@ -88,14 +75,19 @@ int main(int argc, char** argv) {
   std::printf("E(FCI)      = %.8f Eh  (%s, %zu iterations)\n",
               res.solve.energy, res.solve.converged ? "converged" : "NOT converged",
               res.solve.iterations);
-  if (!res.solve.converged && !checkpoint.empty())
-    std::printf("              (resume with --restart %s)\n", checkpoint.c_str());
-  std::printf("simulated   = %.3f s total, %.3f ms per sigma\n",
+  if (!res.solve.converged && !cli.checkpoint.empty())
+    std::printf("              (resume with --restart %s)\n",
+                cli.checkpoint.c_str());
+  std::printf("%s   = %.3f s total, %.3f ms per sigma\n",
+              cli.backend == fcp::ExecutionMode::kSimulate ? "simulated"
+                                                           : "wall time",
               res.total_seconds, res.per_sigma.total * 1e3);
   std::printf("sustained   = %.2f GF per MSP\n\n", res.gflops_per_rank);
 
   const auto& b = res.per_sigma;
-  std::printf("per-sigma phase breakdown (simulated ms):\n");
+  std::printf("per-sigma phase breakdown (%s ms):\n",
+              cli.backend == fcp::ExecutionMode::kSimulate ? "simulated"
+                                                           : "wall-clock");
   std::printf("  same-spin (beta+alpha)   %8.3f\n",
               (b.beta_side + b.alpha_side) * 1e3);
   std::printf("  mixed-spin (alpha-beta)  %8.3f\n", b.mixed * 1e3);

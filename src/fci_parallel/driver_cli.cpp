@@ -1,0 +1,69 @@
+#include "fci_parallel/driver_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xfci::fcp {
+namespace {
+
+[[noreturn]] void usage_error(const char* prog, const char* bad) {
+  std::fprintf(stderr,
+               "%s: unknown or incomplete argument '%s'\n"
+               "usage: %s [num_ranks] [--backend sim|threads] [--threads N]\n"
+               "          [--faults] [--checkpoint PATH] [--restart PATH]\n"
+               "          [--max-iters N]\n",
+               prog, bad, prog);
+  std::exit(2);
+}
+
+}  // namespace
+
+DriverCli DriverCli::parse(int argc, char** argv,
+                           std::size_t default_ranks) {
+  DriverCli cli;
+  cli.num_ranks = default_ranks;
+  const char* prog = (argc > 0) ? argv[0] : "driver";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--faults") == 0) {
+      cli.faults = true;
+    } else if (std::strcmp(arg, "--backend") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      if (std::strcmp(name, "sim") == 0)
+        cli.backend = ExecutionMode::kSimulate;
+      else if (std::strcmp(name, "threads") == 0)
+        cli.backend = ExecutionMode::kThreads;
+      else
+        usage_error(prog, name);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      cli.num_threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(arg, "--checkpoint") == 0 && i + 1 < argc) {
+      cli.checkpoint = argv[++i];
+    } else if (std::strcmp(arg, "--restart") == 0 && i + 1 < argc) {
+      cli.restart = argv[++i];
+    } else if (std::strcmp(arg, "--max-iters") == 0 && i + 1 < argc) {
+      cli.max_iters = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg[0] >= '0' && arg[0] <= '9') {
+      cli.num_ranks = static_cast<std::size_t>(std::atoi(arg));
+    } else {
+      usage_error(prog, arg);
+    }
+  }
+  return cli;
+}
+
+ParallelOptions DriverCli::parallel_options() const {
+  ParallelOptions popt;
+  popt.num_ranks = num_ranks;
+  popt.cost = popt.cost.with_overhead_scale(overhead_scale);
+  popt.execution = backend;
+  popt.num_threads = num_threads;
+  return popt;
+}
+
+const char* DriverCli::backend_name() const {
+  return backend == ExecutionMode::kThreads ? "threads" : "sim";
+}
+
+}  // namespace xfci::fcp

@@ -1,0 +1,47 @@
+#pragma once
+// Shared command-line plumbing for the executables that drive the parallel
+// FCI stack (examples/c2_on_simulated_x1 and the bench_fig* drivers): rank
+// count, execution backend, fault/checkpoint options, and the common
+// ParallelOptions defaults, so every driver accepts the same flags instead
+// of growing its own copy of the parsing loop.
+
+#include <cstddef>
+#include <string>
+
+#include "fci_parallel/options.hpp"
+
+namespace xfci::fcp {
+
+/// Parsed driver options.  Flags (all optional):
+///   [N]                  bare integer: number of ranks / simulated MSPs
+///   --backend sim|threads  execution backend (default: sim)
+///   --threads N          worker threads for --backend threads (0 = auto)
+///   --faults             enable the driver's seeded fault demo
+///   --checkpoint PATH    write solver state to PATH every iteration
+///   --restart PATH       resume from a checkpoint
+///   --max-iters N        stop after N iterations
+/// Unknown flags abort with a usage message on stderr.
+struct DriverCli {
+  std::size_t num_ranks = 16;
+  ExecutionMode backend = ExecutionMode::kSimulate;
+  std::size_t num_threads = 0;
+  bool faults = false;
+  std::string checkpoint;
+  std::string restart;
+  std::size_t max_iters = 0;
+  /// Cost-model overhead scaling shared by the small-system drivers
+  /// (EXPERIMENTS.md): latencies scaled with the problem size.
+  double overhead_scale = 0.02;
+
+  static DriverCli parse(int argc, char** argv,
+                         std::size_t default_ranks = 16);
+
+  /// ParallelOptions with the shared defaults applied: the chosen backend,
+  /// thread count, and the overhead-scaled cost model.
+  ParallelOptions parallel_options() const;
+
+  /// Human-readable backend name ("sim" / "threads").
+  const char* backend_name() const;
+};
+
+}  // namespace xfci::fcp

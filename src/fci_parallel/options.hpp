@@ -1,0 +1,79 @@
+#pragma once
+// Options and reporting types of the distributed FCI driver, shared by the
+// phase engines (phase_engines.hpp), the ParallelSigma operator
+// (parallel_fci.hpp) and the driver CLI helper (driver_cli.hpp).
+
+#include <cstddef>
+
+#include "fci/fci.hpp"
+#include "parallel/fault.hpp"
+#include "parallel/task_pool.hpp"
+#include "x1/cost_model.hpp"
+
+namespace xfci::fcp {
+
+/// Execution backend for the distributed algorithm (selects the pv::Ddi
+/// implementation the phase engines run on).
+enum class ExecutionMode {
+  /// Deterministic discrete-event simulation: ranks are simulated clocks,
+  /// every kernel and communication event charges the calibrated X1 cost
+  /// model (Figs. 4-5 / Table 3 reproductions).
+  kSimulate,
+  /// Real shared-memory execution: the same rank decomposition and task
+  /// pool, but rank work is claimed by a pv::ThreadTeam and the breakdown
+  /// reports wall-clock seconds.  Numerically bitwise-identical to
+  /// kSimulate for every thread count (disjoint writes in the static
+  /// phases, ordered commit in the dynamic mixed-spin phase).
+  kThreads,
+};
+
+struct ParallelOptions {
+  std::size_t num_ranks = 16;
+  fci::Algorithm algorithm = fci::Algorithm::kDgemm;
+  x1::CostModel cost;
+  pv::TaskPoolParams lb;
+  /// Exploit the Ms = 0 transpose symmetry (the paper's "Vector Symm."
+  /// trick for the C2 benchmark): the alpha-side same-spin phase is
+  /// replaced by one distributed transpose of the beta-side result.
+  /// Only effective for nalpha == nbeta and vectors of definite parity.
+  bool ms0_transpose = false;
+  /// Backend: simulated X1 timing or real std::thread execution.
+  ExecutionMode execution = ExecutionMode::kSimulate;
+  /// Thread count for ExecutionMode::kThreads (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  /// Fault injection: installed into the simulated machine (kSimulate);
+  /// the threads backend consults the worker-death schedule (kThreads).
+  pv::FaultPlan faults;
+  /// Reassignments allowed per aggregated DLB task before the run aborts.
+  std::size_t max_task_retries = 3;
+  /// Retransmissions allowed per one-sided op before the run aborts.
+  std::size_t max_op_retries = 8;
+};
+
+/// Simulated-time breakdown accumulated over sigma applications; the rows
+/// of Table 3.
+struct PhaseBreakdown {
+  double beta_side = 0.0;       ///< beta-index same-spin + 1e ("Beta-beta")
+  double alpha_side = 0.0;      ///< alpha-index same-spin + 1e
+  double mixed = 0.0;           ///< alpha-beta routine
+  double transpose = 0.0;       ///< local + distributed transposes ("Vector Symm.")
+  double vector_ops = 0.0;      ///< solver vector work per iteration
+  double load_imbalance = 0.0;  ///< barrier spread of the dynamic phase
+  double recovery = 0.0;        ///< fault-recovery time (timeouts, refetch,
+                                ///< redistribution); overlaps the phase rows
+  double total = 0.0;           ///< wall (simulated) time of the sigmas
+  double comm_words = 0.0;      ///< one-sided words moved (gets + 2x accs)
+  double mixed_comm_words = 0.0;  ///< words moved by the mixed-spin phase
+  double flops = 0.0;           ///< charged floating-point operations
+  std::size_t count = 0;        ///< sigma applications accumulated
+
+  // Recovery event counters (cumulative, not averaged by averaged()).
+  std::size_t tasks_reassigned = 0;  ///< DLB chunks redone after a death
+  std::size_t ops_retried = 0;       ///< one-sided retransmissions
+  std::size_t ranks_lost = 0;        ///< rank deaths absorbed by survivors
+
+  /// Per-sigma averages (event counters stay cumulative).
+  PhaseBreakdown averaged() const;
+};
+
+}  // namespace xfci::fcp

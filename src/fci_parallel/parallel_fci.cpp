@@ -3,68 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/timer.hpp"
-
 namespace xfci::fcp {
 namespace {
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-double dgemm_flops_of(const fci::SigmaStats& stats) {
-  double f = stats.dgemm_flops + 2.0 * stats.indexed_ops;
-  return f;
-}
-
-// Transposed local copies of one rank's column range of every block:
-// tc[b] is an (nb x width) matrix (column j = beta string j, rows = the
-// rank's alpha columns); ts[b] is the matching sigma buffer.
-struct TransposedLocal {
-  std::vector<std::vector<double>> tc, ts;
-  std::vector<fci::ColumnView> views;  // indexed by beta irrep
-  std::size_t words = 0;
-};
-
-TransposedLocal build_beta_local(const fci::CiSpace& space,
-                                 const ColumnDistribution& dist,
-                                 std::size_t rank,
-                                 std::span<const double> c) {
-  const auto& blocks = space.blocks();
-  TransposedLocal t;
-  t.tc.resize(blocks.size());
-  t.ts.resize(blocks.size());
-  t.views.assign(space.group().num_irreps(), fci::ColumnView{});
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    const auto [c0, c1] = dist.columns(b, rank);
-    const std::size_t w = c1 - c0;
-    if (w == 0) continue;
-    const std::size_t nb = blocks[b].nb;
-    auto& tc = t.tc[b];
-    tc.resize(nb * w);
-    const double* src = c.data() + blocks[b].offset + c0 * nb;
-    for (std::size_t i = 0; i < w; ++i)
-      for (std::size_t j = 0; j < nb; ++j) tc[j * w + i] = src[i * nb + j];
-    t.ts[b].assign(nb * w, 0.0);
-    t.views[blocks[b].hbeta] =
-        fci::ColumnView{tc.data(), t.ts[b].data(), w};
-    t.words += nb * w;
-  }
-  return t;
-}
-
-void writeback_beta_local(const fci::CiSpace& space,
-                          const ColumnDistribution& dist, std::size_t rank,
-                          const TransposedLocal& t, std::span<double> sigma) {
-  const auto& blocks = space.blocks();
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    const auto [c0, c1] = dist.columns(b, rank);
-    const std::size_t w = c1 - c0;
-    if (w == 0 || t.ts[b].empty()) continue;
-    const std::size_t nb = blocks[b].nb;
-    double* dst = sigma.data() + blocks[b].offset + c0 * nb;
-    const auto& ts = t.ts[b];
-    for (std::size_t i = 0; i < w; ++i)
-      for (std::size_t j = 0; j < nb; ++j) dst[i * nb + j] += ts[j * w + i];
-  }
+/// Builds the backend the options select.  A future real-transport backend
+/// (MPI / native SHMEM) adds one more case here; nothing else changes.
+std::unique_ptr<pv::Ddi> make_backend(const ParallelOptions& options) {
+  if (options.execution == ExecutionMode::kThreads)
+    return pv::make_threads_ddi(options.num_ranks, options.num_threads,
+                                options.faults);
+  return pv::make_simulated_ddi(options.num_ranks, options.cost,
+                                options.faults);
 }
 
 }  // namespace
@@ -88,725 +39,46 @@ PhaseBreakdown PhaseBreakdown::averaged() const {
   return a;
 }
 
+PhaseState ParallelSigma::phase_state() {
+  return PhaseState{ctx_,        options_,         *ddi_,      dist_,
+                    dist_alive_, block_of_halpha_, breakdown_};
+}
+
 ParallelSigma::ParallelSigma(const fci::SigmaContext& context,
                              const ParallelOptions& options)
     : ctx_(context),
       options_(options),
-      machine_(options.num_ranks, options.cost),
+      ddi_(make_backend(options)),
       dist_(context.space(), options.num_ranks),
-      dist_alive_(options.num_ranks, 1) {
-  machine_.set_fault_plan(options_.faults);
+      dist_alive_(options.num_ranks, 1),
+      recovery_(phase_state()),
+      same_spin_(phase_state()),
+      mixed_(phase_state(), recovery_) {
   const auto& space = context.space();
   block_of_halpha_.assign(space.group().num_irreps(), kNone);
   for (std::size_t b = 0; b < space.blocks().size(); ++b)
     block_of_halpha_[space.blocks()[b].halpha] = b;
-  if (options_.execution == ExecutionMode::kThreads) {
-    team_ = std::make_unique<pv::ThreadTeam>(options_.num_threads);
-    // The transposed context is built lazily; materialize it now, before
-    // any worker thread can race on the first touch.
+  if (ddi_->concurrent()) {
+    // Shared tables are built lazily; materialize them now, before any
+    // worker thread can race on the first touch.
     ctx_.transposed();
     space.transposed();
   }
 }
 
-void ParallelSigma::add_vectors_threaded(std::span<double> dst,
-                                         std::span<const double> a) {
-  XFCI_REQUIRE(dst.size() == a.size(),
-               "vector add: operand sizes must match");
-  team_->for_static(dst.size(),
-                    [&](std::size_t b, std::size_t e, std::size_t) {
-                      for (std::size_t i = b; i < e; ++i) dst[i] += a[i];
-                    });
-}
-
-void ParallelSigma::charge_kernel_stats(std::size_t rank,
-                                        const fci::SigmaStats& stats) {
-  for (const auto& s : stats.dgemm_shapes)
-    machine_.charge_dgemm(rank, s[0], s[1], s[2]);
-  machine_.charge_indexed(rank, stats.gather_words + stats.scatter_words);
-  machine_.charge_daxpy_flops(rank, 2.0 * stats.indexed_ops);
-  machine_.charge(rank, options_.cost.moc_element * stats.element_count);
-}
-
-void ParallelSigma::beta_side_phase(const fci::SigmaContext& tctx,
-                                    std::span<const double> c,
-                                    std::span<double> sigma,
-                                    bool moc_kernel) {
-  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
-                  sigma.size() == c.size(),
-              "phase vectors must span the CI dimension (checked in apply)");
-  const fci::CiSpace& space = ctx_.space();
-  const std::size_t nranks = machine_.num_ranks();
-
-  if (!simulate()) {
-    // Threads backend: each rank's transpose-in -> kernel -> transpose-out
-    // block touches only its own sigma columns, so ranks are claimed
-    // dynamically and run concurrently without synchronization.
-    const Timer timer;
-    std::vector<double> flops(nranks, 0.0);
-    team_->for_dynamic(nranks, [&](std::size_t r, std::size_t) {
-      const TransposedLocal local = build_beta_local(space, dist_, r, c);
-      fci::SigmaStats stats;
-      if (moc_kernel)
-        fci::moc_same_spin_columns(tctx, local.views, stats);
-      else
-        fci::sigma_same_spin_columns(tctx, local.views, stats);
-      fci::sigma_one_electron_columns(tctx, local.views, stats);
-      writeback_beta_local(space, dist_, r, local, sigma);
-      flops[r] = dgemm_flops_of(stats);
-    });
-    breakdown_.beta_side += timer.seconds();
-    for (double f : flops) breakdown_.flops += f;
-    return;
-  }
-
-  // Phase: local transposes in ("Vector Symm.").
-  double t0 = machine_.barrier();
-  std::vector<TransposedLocal> locals(nranks);
-  for (std::size_t r = 0; r < nranks; ++r) {
-    locals[r] = build_beta_local(space, dist_, r, c);
-    machine_.charge_indexed(r, static_cast<double>(locals[r].words));
-  }
-  double t1 = machine_.barrier();
-  breakdown_.transpose += t1 - t0;
-
-  // Phase: beta-index same-spin + one-electron, zero communication
-  // (paper Fig. 2a, the "Beta-beta" row of Table 3).
-  for (std::size_t r = 0; r < nranks; ++r) {
-    fci::SigmaStats stats;
-    if (moc_kernel)
-      fci::moc_same_spin_columns(tctx, locals[r].views, stats);
-    else
-      fci::sigma_same_spin_columns(tctx, locals[r].views, stats);
-    fci::sigma_one_electron_columns(tctx, locals[r].views, stats);
-    charge_kernel_stats(r, stats);
-  }
-  double t2 = machine_.barrier();
-  breakdown_.beta_side += t2 - t1;
-
-  // Phase: transpose back.
-  for (std::size_t r = 0; r < nranks; ++r) {
-    writeback_beta_local(space, dist_, r, locals[r], sigma);
-    machine_.charge_indexed(r, static_cast<double>(locals[r].words));
-  }
-  double t3 = machine_.barrier();
-  breakdown_.transpose += t3 - t2;
-}
-
-void ParallelSigma::alpha_side_phase(std::span<const double> c,
-                                     std::span<double> sigma,
-                                     bool moc_kernel) {
-  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
-                  sigma.size() == c.size(),
-              "phase vectors must span the CI dimension (checked in apply)");
-  const fci::CiSpace& space = ctx_.space();
-  const std::size_t nranks = machine_.num_ranks();
-
-  if (moc_kernel) {
-    if (!simulate()) {
-      // Each rank writes only its own sigma columns (disjoint write
-      // ranges), so ranks run concurrently; the collective gather is a
-      // no-op in shared memory.
-      const Timer timer;
-      std::vector<double> flops(nranks, 0.0);
-      team_->for_dynamic(nranks, [&](std::size_t r, std::size_t) {
-        std::vector<fci::ColumnView> views(space.group().num_irreps());
-        for (std::size_t b = 0; b < space.blocks().size(); ++b) {
-          const auto& blk = space.blocks()[b];
-          const auto [c0, c1] = dist_.columns(b, r);
-          views[blk.halpha] =
-              fci::ColumnView{c.data() + blk.offset,
-                              sigma.data() + blk.offset, blk.nb, c0, c1};
-        }
-        fci::SigmaStats stats;
-        fci::moc_same_spin_columns(ctx_, views, stats);
-        fci::sigma_one_electron_columns(ctx_, views, stats);
-        flops[r] = dgemm_flops_of(stats);
-      });
-      breakdown_.alpha_side += timer.seconds();
-      for (double f : flops) breakdown_.flops += f;
-      return;
-    }
-
-    // MOC: the whole vector is gathered onto every rank (collective
-    // gather) and the alpha-side element generation is replicated; each
-    // rank updates only its own sigma columns.
-    double t0 = machine_.barrier();
-    const double remote =
-        static_cast<double>(space.dimension()) *
-        static_cast<double>(nranks - 1) / static_cast<double>(nranks);
-    for (std::size_t r = 0; r < nranks; ++r)
-      machine_.record_alltoall(r, nranks - 1, remote);
-    double t1 = machine_.barrier();
-    breakdown_.transpose += t1 - t0;
-
-    for (std::size_t r = 0; r < nranks; ++r) {
-      std::vector<fci::ColumnView> views(space.group().num_irreps());
-      for (std::size_t b = 0; b < space.blocks().size(); ++b) {
-        const auto& blk = space.blocks()[b];
-        const auto [c0, c1] = dist_.columns(b, r);
-        views[blk.halpha] =
-            fci::ColumnView{c.data() + blk.offset, sigma.data() + blk.offset,
-                            blk.nb, c0, c1};
-      }
-      fci::SigmaStats stats;
-      fci::moc_same_spin_columns(ctx_, views, stats);
-      fci::sigma_one_electron_columns(ctx_, views, stats);
-      charge_kernel_stats(r, stats);
-    }
-    double t2 = machine_.barrier();
-    breakdown_.alpha_side += t2 - t1;
-    return;
-  }
-
-  // DGEMM path: all-to-all transpose into the beta-column layout, run the
-  // same static routine on the other spin, transpose back.
-  const fci::CiSpace& tspace = space.transposed();
-  ColumnDistribution tdist(tspace, nranks);
-  if (simulate() && machine_.num_alive() < nranks)
-    tdist.redistribute(machine_.alive_mask());
-
-  if (!simulate()) {
-    const Timer transpose_in;
-    std::vector<double> ct, st_back;
-    space.transpose_vector(std::vector<double>(c.begin(), c.end()), ct);
-    std::vector<double> sig_t(ct.size(), 0.0);
-    breakdown_.transpose += transpose_in.seconds();
-
-    // Static alpha-index work on the transposed layout, one rank per task;
-    // writebacks into sig_t are disjoint per rank.
-    const Timer kernels;
-    std::vector<double> flops(nranks, 0.0);
-    team_->for_dynamic(nranks, [&](std::size_t r, std::size_t) {
-      const TransposedLocal local = build_beta_local(tspace, tdist, r, ct);
-      fci::SigmaStats stats;
-      fci::sigma_same_spin_columns(ctx_, local.views, stats);
-      fci::sigma_one_electron_columns(ctx_, local.views, stats);
-      writeback_beta_local(tspace, tdist, r, local, sig_t);
-      flops[r] = dgemm_flops_of(stats);
-    });
-    breakdown_.alpha_side += kernels.seconds();
-    for (double f : flops) breakdown_.flops += f;
-
-    const Timer transpose_out;
-    tspace.transpose_vector(sig_t, st_back);
-    add_vectors_threaded(sigma, st_back);
-    breakdown_.transpose += transpose_out.seconds();
-    return;
-  }
-
-  double t0 = machine_.barrier();
-  std::vector<double> ct, st_back;
-  space.transpose_vector(std::vector<double>(c.begin(), c.end()), ct);
-  std::vector<double> sig_t(ct.size(), 0.0);
-  for (std::size_t r = 0; r < nranks; ++r) {
-    const double remote = static_cast<double>(tdist.local_words(r)) *
-                          static_cast<double>(nranks - 1) /
-                          static_cast<double>(nranks);
-    machine_.record_alltoall(r, nranks - 1, remote);
-    machine_.charge_indexed(r, static_cast<double>(tdist.local_words(r)));
-  }
-  double t1 = machine_.barrier();
-  breakdown_.transpose += t1 - t0;
-
-  // Static alpha-index work on the transposed layout: each rank owns a
-  // beta-column range, so it holds every alpha string for its rows.
-  std::vector<TransposedLocal> locals(nranks);
-  for (std::size_t r = 0; r < nranks; ++r) {
-    locals[r] = build_beta_local(tspace, tdist, r, ct);
-    machine_.charge_indexed(r, static_cast<double>(locals[r].words));
-    fci::SigmaStats stats;
-    fci::sigma_same_spin_columns(ctx_, locals[r].views, stats);
-    fci::sigma_one_electron_columns(ctx_, locals[r].views, stats);
-    charge_kernel_stats(r, stats);
-    writeback_beta_local(tspace, tdist, r, locals[r], sig_t);
-    machine_.charge_indexed(r, static_cast<double>(locals[r].words));
-  }
-  double t2 = machine_.barrier();
-  breakdown_.alpha_side += t2 - t1;
-
-  // Transpose back and accumulate.
-  tspace.transpose_vector(sig_t, st_back);
-  for (std::size_t i = 0; i < sigma.size(); ++i) sigma[i] += st_back[i];
-  for (std::size_t r = 0; r < nranks; ++r) {
-    const double remote = static_cast<double>(dist_.local_words(r)) *
-                          static_cast<double>(nranks - 1) /
-                          static_cast<double>(nranks);
-    machine_.record_alltoall(r, nranks - 1, remote);
-    machine_.charge_indexed(r, static_cast<double>(dist_.local_words(r)));
-  }
-  double t3 = machine_.barrier();
-  breakdown_.transpose += t3 - t2;
-}
-
-namespace {
-double total_comm_words(const pv::Machine& m) {
-  double w = 0.0;
-  for (std::size_t r = 0; r < m.num_ranks(); ++r) {
-    const auto& cc = m.counters(r);
-    w += cc.get_words + 2.0 * cc.acc_words + cc.put_words;
-  }
-  return w;
-}
-}  // namespace
-
-// Per-item work buffers of the mixed-spin phase, hoisted out of the item
-// loop so reassignment retries reuse the same storage.
-struct ParallelSigma::MixedScratch {
-  std::vector<double> gather, acc;
-  std::vector<std::size_t> offs;
-  std::vector<const double*> ccols;
-  std::vector<double*> scols;
-};
-
-pv::OpOutcome ParallelSigma::robust_one_sided(bool accumulate,
-                                              std::size_t rank,
-                                              std::size_t owner,
-                                              double words) {
-  for (std::size_t attempt = 0;; ++attempt) {
-    if (!machine_.alive(rank) || !machine_.alive(owner))
-      return pv::OpOutcome::kDropped;
-    const pv::OpOutcome out = accumulate
-                                  ? machine_.record_acc(rank, owner, words)
-                                  : machine_.record_get(rank, owner, words);
-    if (out == pv::OpOutcome::kDelivered) return out;
-    // The drop is terminal if either end just died (op-count triggers fire
-    // mid-op); otherwise it is transient: the requester waits out the ack
-    // timeout and retransmits.  Dropped ops are lost before the target
-    // applies their payload, so a retransmit lands exactly once.
-    if (!machine_.alive(rank) || !machine_.alive(owner))
-      return pv::OpOutcome::kDropped;
-    XFCI_REQUIRE(attempt < options_.max_op_retries,
-                 "one-sided op exceeded its retransmission budget");
-    machine_.charge(rank, options_.cost.ack_timeout);
-    breakdown_.recovery += options_.cost.ack_timeout;
-    breakdown_.ops_retried += 1;
-  }
-}
-
-void ParallelSigma::maybe_redistribute() {
-  if (!simulate()) return;
-  // Loop: the recovery barriers below may declare further (time-triggered)
-  // deaths, which then need their own redistribution pass.
-  for (;;) {
-    const std::vector<std::uint8_t> alive = machine_.alive_mask();
-    if (alive == dist_alive_) return;
-    std::size_t newly_dead = 0;
-    double lost_words = 0.0;
-    for (std::size_t r = 0; r < alive.size(); ++r) {
-      if (alive[r] == 0 && dist_alive_[r] != 0) {
-        ++newly_dead;
-        lost_words += static_cast<double>(dist_.local_words(r));
-      }
-    }
-    const double t0 = machine_.barrier();
-    dist_.redistribute(alive);
-    dist_alive_ = alive;
-    if (newly_dead > 0) {
-      breakdown_.ranks_lost += newly_dead;
-      // Graceful degradation: each survivor refetches its share of the
-      // dead ranks' coefficient blocks (from the lowest surviving rank,
-      // which serves the recovery copy) and installs it locally.
-      const std::size_t num_alive = machine_.num_alive();
-      const double share =
-          lost_words / static_cast<double>(num_alive);
-      std::size_t root = 0;
-      while (root < alive.size() && alive[root] == 0) ++root;
-      for (std::size_t r = 0; r < alive.size(); ++r) {
-        if (alive[r] == 0) continue;
-        robust_one_sided(false, r, root, share);
-        machine_.charge_indexed(r, share);
-      }
-    }
-    const double t1 = machine_.barrier();
-    breakdown_.recovery += t1 - t0;
-  }
-}
-
-bool ParallelSigma::run_mixed_item(std::size_t rank, std::size_t hk,
-                                   std::size_t ik, std::span<const double> c,
-                                   std::span<double> sigma,
-                                   MixedScratch& s) {
-  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
-                  sigma.size() == c.size(),
-              "phase vectors must span the CI dimension (checked in apply)");
-  const fci::CiSpace& space = ctx_.space();
-  const auto& alist = ctx_.alpha_create()->list(hk, ik);
-
-  // Layout of the gathered / accumulation buffers.
-  std::size_t total = 0;
-  s.offs.assign(alist.size(), kNone);
-  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-    const std::size_t b = block_of_halpha_[alist[ai].irrep];
-    if (b == kNone) continue;
-    s.offs[ai] = total;
-    total += space.blocks()[b].nb;
-  }
-  s.gather.resize(total);
-  s.acc.assign(total, 0.0);
-  s.ccols.assign(alist.size(), nullptr);
-  s.scols.assign(alist.size(), nullptr);
-
-  // One-sided gather of the reachable C columns (DDI_GET).
-  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-    if (s.offs[ai] == kNone) continue;
-    const std::size_t b = block_of_halpha_[alist[ai].irrep];
-    const auto& blk = space.blocks()[b];
-    const std::size_t col = alist[ai].address;
-    for (;;) {
-      std::size_t owner = dist_.owner(b, col);
-      if (!machine_.alive(owner)) {
-        // The column's owner died: redistribute, then retarget.
-        maybe_redistribute();
-        owner = dist_.owner(b, col);
-      }
-      if (robust_one_sided(false, rank, owner, double(blk.nb)) ==
-          pv::OpOutcome::kDelivered)
-        break;
-      if (!machine_.alive(rank)) return false;  // the worker itself died
-    }
-    const double* src = c.data() + blk.offset + col * blk.nb;
-    std::copy(src, src + blk.nb, s.gather.begin() + s.offs[ai]);
-    s.ccols[ai] = s.gather.data() + s.offs[ai];
-    s.scols[ai] = s.acc.data() + s.offs[ai];
-  }
-
-  // Local dense work (Eqs. 4-6).
-  fci::SigmaStats stats;
-  fci::sigma_mixed_spin_core(ctx_, hk, ik, s.ccols, s.scols, stats);
-  for (const auto& sh : stats.dgemm_shapes) {
-    machine_.charge_dgemm(rank, sh[0], sh[1], sh[2]);
-    // D build + E scatter: one gather and one scatter pass over each
-    // intermediate matrix.
-    machine_.charge_indexed(rank, 2.0 * static_cast<double>(sh[0] * sh[1]));
-  }
-
-  // One-sided accumulate of the sigma columns (DDI_ACC).  Two-phase
-  // commit: the targets stage the payloads and apply them only once every
-  // accumulate of the item has arrived, so a worker death mid-item leaves
-  // sigma untouched and the reassigned item re-sends everything.
-  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-    if (s.scols[ai] == nullptr) continue;
-    const std::size_t b = block_of_halpha_[alist[ai].irrep];
-    const auto& blk = space.blocks()[b];
-    const std::size_t col = alist[ai].address;
-    for (;;) {
-      std::size_t owner = dist_.owner(b, col);
-      if (!machine_.alive(owner)) {
-        maybe_redistribute();
-        owner = dist_.owner(b, col);
-      }
-      if (robust_one_sided(true, rank, owner, double(blk.nb)) ==
-          pv::OpOutcome::kDelivered)
-        break;
-      if (!machine_.alive(rank)) return false;
-    }
-  }
-  // Every accumulate delivered: the staged updates are applied.
-  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-    if (s.scols[ai] == nullptr) continue;
-    const std::size_t b = block_of_halpha_[alist[ai].irrep];
-    const auto& blk = space.blocks()[b];
-    const std::size_t col = alist[ai].address;
-    double* dst = sigma.data() + blk.offset + col * blk.nb;
-    for (std::size_t j = 0; j < blk.nb; ++j) dst[j] += s.scols[ai][j];
-  }
-  return true;
-}
-
-void ParallelSigma::mixed_phase_dgemm(std::span<const double> c,
-                                      std::span<double> sigma) {
-  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
-                  sigma.size() == c.size(),
-              "phase vectors must span the CI dimension (checked in apply)");
-  const fci::CiSpace& space = ctx_.space();
-  if (space.nalpha() < 1 || space.nbeta() < 1) return;
-  const fci::StringSpace& am1 = *ctx_.alpha_m1();
-  const std::size_t nranks = machine_.num_ranks();
-
-  // Flatten the alpha (N-1)-string tasks.
-  std::vector<std::pair<std::size_t, std::size_t>> items;
-  for (std::size_t hk = 0; hk < am1.num_irreps(); ++hk)
-    for (std::size_t ik = 0; ik < am1.count(hk); ++ik)
-      items.emplace_back(hk, ik);
-
-  if (!simulate()) {
-    mixed_phase_dgemm_threads(items, c, sigma);
-    return;
-  }
-
-  maybe_redistribute();
-  const pv::TaskPool pool(items.size(), nranks, options_.lb);
-
-  const double t0 = machine_.barrier();
-  const double comm0 = total_comm_words(machine_);
-
-  MixedScratch scratch;
-  for (std::size_t chunk = 0; chunk < pool.num_chunks(); ++chunk) {
-    // Dynamic load balancing: the next chunk goes to the earliest rank.
-    std::size_t r = machine_.earliest_rank();
-    machine_.record_dlb_request(r);
-    const auto [ibegin, iend] = pool.chunk(chunk);
-    std::size_t retries = 0;
-    std::size_t it = ibegin;
-    while (it < iend) {
-      const auto [hk, ik] = items[it];
-      if (run_mixed_item(r, hk, ik, c, sigma, scratch)) {
-        ++it;  // item committed atomically; never re-executed
-        continue;
-      }
-      // The worker died mid-item.  Items before `it` committed; this one
-      // left sigma untouched.  The DLB manager notices the silence after a
-      // task timeout and reassigns the rest of the aggregated task to the
-      // (new) earliest surviving rank.
-      XFCI_REQUIRE(retries < options_.max_task_retries,
-                   "aggregated DLB task exceeded its reassignment budget");
-      ++retries;
-      breakdown_.tasks_reassigned += 1;
-      maybe_redistribute();
-      r = machine_.earliest_rank();
-      machine_.charge(r, options_.cost.task_timeout);
-      breakdown_.recovery += options_.cost.task_timeout;
-      machine_.record_dlb_request(r);
-    }
-  }
-  const double t1 = machine_.barrier();
-  breakdown_.mixed += t1 - t0;
-  breakdown_.load_imbalance += machine_.last_imbalance();
-  breakdown_.mixed_comm_words += total_comm_words(machine_) - comm0;
-}
-
-void ParallelSigma::mixed_phase_dgemm_threads(
-    const std::vector<std::pair<std::size_t, std::size_t>>& items,
-    std::span<const double> c, std::span<double> sigma) {
-  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
-                  sigma.size() == c.size(),
-              "phase vectors must span the CI dimension (checked in apply)");
-  const fci::CiSpace& space = ctx_.space();
-  const Timer timer;
-
-  // Same aggregated chunking as the simulated DLB, sized for the thread
-  // team; threads claim chunks dynamically (TaskPool order), compute each
-  // chunk into private buffers, and commit the sigma updates in chunk
-  // order.  The global accumulation order therefore equals the serial item
-  // order, so the result is bitwise identical for every thread count.
-  const pv::TaskPool pool(items.size(), team_->size(), options_.lb);
-  pv::OrderedSequencer commit;
-  std::vector<double> flops(pool.num_chunks(), 0.0);
-  std::vector<double> rework(pool.num_chunks(), 0.0);
-  std::vector<std::uint8_t> reassigned(pool.num_chunks(), 0);
-  // Per-worker claim counters feeding the fault plan's worker-death
-  // schedule; each worker touches only its own slot.
-  std::vector<std::size_t> claims(team_->size(), 0);
-  const pv::FaultPlan& plan = options_.faults;
-
-  team_->for_pool_resilient(pool, [&](std::size_t chunk,
-                                      std::size_t tid) -> bool {
-    const bool dies = plan.worker_death_claim(tid) == ++claims[tid];
-    const auto [ibegin, iend] = pool.chunk(chunk);
-    std::vector<std::vector<double>> accs(iend - ibegin);
-    std::vector<std::vector<std::size_t>> offsets(iend - ibegin);
-    std::vector<double> gather_buf;
-    std::vector<const double*> ccols;
-    std::vector<double*> scols;
-    double chunk_flops = 0.0;
-
-    auto compute_chunk = [&] {
-      chunk_flops = 0.0;
-      for (std::size_t it = ibegin; it < iend; ++it) {
-        const auto [hk, ik] = items[it];
-        const auto& alist = ctx_.alpha_create()->list(hk, ik);
-
-        std::size_t total = 0;
-        auto& offs = offsets[it - ibegin];
-        offs.assign(alist.size(), kNone);
-        for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-          const std::size_t b = block_of_halpha_[alist[ai].irrep];
-          if (b == kNone) continue;
-          offs[ai] = total;
-          total += space.blocks()[b].nb;
-        }
-        gather_buf.resize(total);
-        auto& acc = accs[it - ibegin];
-        acc.assign(total, 0.0);
-        ccols.assign(alist.size(), nullptr);
-        scols.assign(alist.size(), nullptr);
-
-        for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-          if (offs[ai] == kNone) continue;
-          const std::size_t b = block_of_halpha_[alist[ai].irrep];
-          const auto& blk = space.blocks()[b];
-          const std::size_t col = alist[ai].address;
-          const double* src = c.data() + blk.offset + col * blk.nb;
-          std::copy(src, src + blk.nb, gather_buf.begin() + offs[ai]);
-          ccols[ai] = gather_buf.data() + offs[ai];
-          scols[ai] = acc.data() + offs[ai];
-        }
-
-        fci::SigmaStats stats;
-        fci::sigma_mixed_spin_core(ctx_, hk, ik, ccols, scols, stats);
-        chunk_flops += stats.dgemm_flops;
-      }
-    };
-
-    compute_chunk();
-    if (dies) {
-      // The worker crashed with its results unsent.  The replacement
-      // re-executes the chunk inline (same OS thread, so the ordered
-      // commit below happens at the chunk's normal turn and the commit
-      // gate never stalls on a dead worker); the re-execution time is the
-      // recovery cost.
-      const Timer redo;
-      compute_chunk();
-      rework[chunk] = redo.seconds();
-      reassigned[chunk] = 1;
-    }
-
-    commit.wait_turn(chunk);
-    for (std::size_t it = ibegin; it < iend; ++it) {
-      const auto [hk, ik] = items[it];
-      const auto& alist = ctx_.alpha_create()->list(hk, ik);
-      const auto& offs = offsets[it - ibegin];
-      const auto& acc = accs[it - ibegin];
-      for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-        if (offs[ai] == kNone) continue;
-        const std::size_t b = block_of_halpha_[alist[ai].irrep];
-        const auto& blk = space.blocks()[b];
-        const std::size_t col = alist[ai].address;
-        double* dst = sigma.data() + blk.offset + col * blk.nb;
-        const double* src = acc.data() + offs[ai];
-        for (std::size_t j = 0; j < blk.nb; ++j) dst[j] += src[j];
-      }
-    }
-    commit.complete(chunk);
-    flops[chunk] = chunk_flops;
-    return !dies;
-  });
-
-  breakdown_.mixed += timer.seconds();
-  for (double f : flops) breakdown_.flops += f;
-  for (std::size_t ch = 0; ch < pool.num_chunks(); ++ch) {
-    breakdown_.recovery += rework[ch];
-    breakdown_.tasks_reassigned += reassigned[ch];
-  }
-}
-
-void ParallelSigma::mixed_phase_moc(std::span<const double> c,
-                                    std::span<double> sigma) {
-  XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
-                  sigma.size() == c.size(),
-              "phase vectors must span the CI dimension (checked in apply)");
-  const fci::CiSpace& space = ctx_.space();
-  if (space.nalpha() < 1 || space.nbeta() < 1) return;
-  const std::size_t nranks = machine_.num_ranks();
-  const fci::StringSpace& sa = space.alpha();
-  const fci::StringSpace& bm1 = *ctx_.beta_m1();
-  const auto& btable = *ctx_.beta_create();
-  const auto& eri = ctx_.ints().eri;
-  const std::size_t n = space.norb();
-
-  // Deaths declared earlier shrink the column split before the phase; the
-  // MOC baseline implements no task-level recovery beyond that (it is the
-  // historical practice the paper eliminates), so mid-phase faults only
-  // show up in the accounting (dropped-op counters, frozen clocks).
-  maybe_redistribute();
-
-  // Each rank computes its local sigma columns: for every alpha single
-  // excitation J_a -> I_a it gathers the remote J_a column (no reuse across
-  // excitations -- the Table-1 communication count Nci * Na * (n - Na)),
-  // then applies every beta single excitation as an indexed multiply-add.
-  // Sigma writes are confined to the rank's own columns, so the threads
-  // backend runs ranks concurrently with no synchronization.
-  auto rank_body = [&](std::size_t r, fci::SigmaStats& stats) {
-    for (std::size_t b = 0; b < space.blocks().size(); ++b) {
-      const auto& blk = space.blocks()[b];
-      const auto [c0, c1] = dist_.columns(b, r);
-      for (std::size_t col = c0; col < c1; ++col) {
-        const fci::StringMask ia = sa.mask(blk.halpha, col);
-        double* scol = sigma.data() + blk.offset + col * blk.nb;
-        // Enumerate E_pq with p occupied in I_a.
-        fci::StringMask occ = ia;
-        while (occ) {
-          const int p = __builtin_ctzll(occ);
-          occ &= occ - 1;
-          const int s1 = fci::annihilate_sign(ia, p);
-          const fci::StringMask mid = ia & ~(fci::StringMask{1} << p);
-          for (std::size_t q = 0; q < n; ++q) {
-            if (mid & (fci::StringMask{1} << q)) continue;
-            const int s2 = fci::create_sign(mid, static_cast<int>(q));
-            const fci::StringMask ja = mid | (fci::StringMask{1} << q);
-            const std::size_t hja = sa.irrep_of(ja);
-            const std::size_t bj = block_of_halpha_[hja];
-            if (bj == kNone) continue;
-            const auto& blkj = space.blocks()[bj];
-            const std::size_t colj = sa.address(ja);
-            if (simulate())
-              machine_.record_get(r, dist_.owner(bj, colj),
-                                  double(blkj.nb));
-            const double* ccol = c.data() + blkj.offset + colj * blkj.nb;
-            const double sa_sign = s1 * s2;
-            // Beta part: sigma(I_b) += (pq|rs) * signs * C(J_b).
-            for (std::size_t hkb = 0; hkb < bm1.num_irreps(); ++hkb) {
-              for (std::size_t ikb = 0; ikb < bm1.count(hkb); ++ikb) {
-                const auto& blist = btable.list(hkb, ikb);
-                for (const fci::Creation& cs : blist) {
-                  if (cs.irrep != blkj.hbeta) continue;
-                  const double cj = ccol[cs.address];
-                  if (cj == 0.0) continue;
-                  for (const fci::Creation& cr : blist) {
-                    if (cr.irrep != blk.hbeta) continue;
-                    scol[cr.address] +=
-                        sa_sign * cr.sign * cs.sign *
-                        eri(static_cast<std::size_t>(p), q, cr.orbital,
-                            cs.orbital) *
-                        cj;
-                    stats.indexed_ops += 1.0;
-                  }
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  };
-
-  if (!simulate()) {
-    const Timer timer;
-    team_->for_dynamic(nranks, [&](std::size_t r, std::size_t) {
-      fci::SigmaStats stats;
-      rank_body(r, stats);
-    });
-    breakdown_.mixed += timer.seconds();
-    return;
-  }
-
-  const double t0 = machine_.barrier();
-  const double comm0 = total_comm_words(machine_);
-  for (std::size_t r = 0; r < nranks; ++r) {
-    fci::SigmaStats stats;
-    rank_body(r, stats);
-    machine_.charge_indexed(r, stats.indexed_ops);
-  }
-  const double t1 = machine_.barrier();
-  breakdown_.mixed += t1 - t0;
-  breakdown_.load_imbalance += machine_.last_imbalance();
-  breakdown_.mixed_comm_words += total_comm_words(machine_) - comm0;
-}
-
 void ParallelSigma::charge_solver_vector_ops() {
-  if (!simulate()) return;  // solver vector work is real, not simulated
+  if (!ddi_->models_cost()) return;  // real backends run the solver for real
   // Per iteration the single-vector solvers touch the distributed vectors a
   // handful of times: ~5 dot products, ~4 axpy/scale passes, and one
   // preconditioner application (indexed divide), plus reductions.
-  const double t0 = machine_.barrier();
-  const std::size_t nranks = machine_.num_ranks();
+  const double t0 = ddi_->barrier();
+  const std::size_t nranks = ddi_->num_ranks();
   for (std::size_t r = 0; r < nranks; ++r) {
     const double local = static_cast<double>(dist_.local_words(r));
-    machine_.charge_daxpy_flops(r, 18.0 * local);
-    machine_.charge_indexed(r, 2.0 * local);
+    ddi_->charge_daxpy_flops(r, 18.0 * local);
+    ddi_->charge_indexed(r, 2.0 * local);
   }
-  const double t1 = machine_.barrier();
+  const double t1 = ddi_->barrier();
   breakdown_.vector_ops += t1 - t0;
 }
 
@@ -818,7 +90,7 @@ void ParallelSigma::apply_dgemm(std::span<const double> c,
   const fci::CiSpace& space = ctx_.space();
   // Absorb any deaths declared at earlier barriers before handing out
   // column ownership for this sigma (no-op while every rank is alive).
-  maybe_redistribute();
+  recovery_.maybe_redistribute();
   const int parity =
       options_.ms0_transpose ? fci::transpose_parity(space, c) : 0;
 
@@ -835,46 +107,17 @@ void ParallelSigma::apply_dgemm(std::span<const double> c,
   }
 
   if (parity == 0) {
-    beta_side_phase(ctx_.transposed(), c, sigma, /*moc_kernel=*/false);
-    if (space.nalpha() >= 1) alpha_side_phase(c, sigma, false);
+    same_spin_.beta_side(ctx_.transposed(), c, sigma, /*moc_kernel=*/false);
+    if (space.nalpha() >= 1) same_spin_.alpha_side(c, sigma, false);
   } else {
     // "Vector Symm." shortcut (paper Table 3): run the beta-side routine
     // into a scratch vector z, then sigma += z + parity * P z -- one
     // distributed transpose replaces the whole alpha-side phase.
     std::vector<double> z(sigma.size(), 0.0);
-    beta_side_phase(ctx_.transposed(), c, z, /*moc_kernel=*/false);
-    if (!simulate()) {
-      const Timer timer;
-      std::vector<double> pz;
-      space.transpose_vector(z, pz);
-      const double eps = static_cast<double>(parity);
-      team_->for_static(sigma.size(),
-                        [&](std::size_t b, std::size_t e, std::size_t) {
-                          for (std::size_t i = b; i < e; ++i)
-                            sigma[i] += z[i] + eps * pz[i];
-                        });
-      breakdown_.transpose += timer.seconds();
-    } else {
-      const double t0 = machine_.barrier();
-      std::vector<double> pz;
-      space.transpose_vector(z, pz);
-      const std::size_t nranks = machine_.num_ranks();
-      for (std::size_t r = 0; r < nranks; ++r) {
-        const double remote = static_cast<double>(dist_.local_words(r)) *
-                              static_cast<double>(nranks - 1) /
-                              static_cast<double>(nranks);
-        machine_.record_alltoall(r, nranks - 1, remote);
-        machine_.charge_indexed(r, 2.0 * static_cast<double>(
-                                             dist_.local_words(r)));
-      }
-      const double eps = static_cast<double>(parity);
-      for (std::size_t i = 0; i < sigma.size(); ++i)
-        sigma[i] += z[i] + eps * pz[i];
-      const double t1 = machine_.barrier();
-      breakdown_.transpose += t1 - t0;
-    }
+    same_spin_.beta_side(ctx_.transposed(), c, z, /*moc_kernel=*/false);
+    same_spin_.parity_fold(sigma, z, parity);
   }
-  mixed_phase_dgemm(c, sigma);
+  mixed_.dgemm(c, sigma);
 }
 
 void ParallelSigma::apply_moc(std::span<const double> c,
@@ -882,10 +125,10 @@ void ParallelSigma::apply_moc(std::span<const double> c,
   XFCI_DCHECK(c.size() == ctx_.space().dimension() &&
                   sigma.size() == c.size(),
               "phase vectors must span the CI dimension (checked in apply)");
-  maybe_redistribute();
-  beta_side_phase(ctx_.transposed(), c, sigma, /*moc_kernel=*/true);
-  if (ctx_.space().nalpha() >= 1) alpha_side_phase(c, sigma, true);
-  mixed_phase_moc(c, sigma);
+  recovery_.maybe_redistribute();
+  same_spin_.beta_side(ctx_.transposed(), c, sigma, /*moc_kernel=*/true);
+  if (ctx_.space().nalpha() >= 1) same_spin_.alpha_side(c, sigma, true);
+  mixed_.moc(c, sigma);
 }
 
 void ParallelSigma::apply(std::span<const double> c,
@@ -895,28 +138,9 @@ void ParallelSigma::apply(std::span<const double> c,
   XFCI_REQUIRE(sigma.size() == c.size(), "parallel sigma size mismatch");
   std::fill(sigma.begin(), sigma.end(), 0.0);
 
-  if (!simulate()) {
-    // Threads backend: the phases record wall-clock seconds and real flops
-    // into the breakdown directly; the simulated machine stays untouched.
-    const Timer timer;
-    const double flops0 = breakdown_.flops;
-    if (options_.algorithm == fci::Algorithm::kMoc)
-      apply_moc(c, sigma);
-    else
-      apply_dgemm(c, sigma);
-    breakdown_.total += timer.seconds();
-    breakdown_.count += 1;
-    stats_.dgemm_flops += breakdown_.flops - flops0;
-    return;
-  }
-
-  const double start = machine_.elapsed();
-  double comm0 = 0.0, flop0 = 0.0;
-  for (std::size_t r = 0; r < machine_.num_ranks(); ++r) {
-    const auto& cc = machine_.counters(r);
-    comm0 += cc.get_words + 2.0 * cc.acc_words + cc.put_words;
-    flop0 += machine_.flops(r);
-  }
+  const double start = ddi_->elapsed();
+  const double comm0 = ddi_->comm_words();
+  const double flop0 = ddi_->total_flops();
 
   if (options_.algorithm == fci::Algorithm::kMoc)
     apply_moc(c, sigma);
@@ -924,18 +148,12 @@ void ParallelSigma::apply(std::span<const double> c,
     apply_dgemm(c, sigma);
   charge_solver_vector_ops();
 
-  double comm1 = 0.0, flop1 = 0.0;
-  for (std::size_t r = 0; r < machine_.num_ranks(); ++r) {
-    const auto& cc = machine_.counters(r);
-    comm1 += cc.get_words + 2.0 * cc.acc_words + cc.put_words;
-    flop1 += machine_.flops(r);
-  }
-  breakdown_.total += machine_.elapsed() - start;
-  breakdown_.comm_words += comm1 - comm0;
-  breakdown_.flops += flop1 - flop0;
+  breakdown_.total += ddi_->elapsed() - start;
+  breakdown_.comm_words += ddi_->comm_words() - comm0;
+  breakdown_.flops += ddi_->total_flops() - flop0;
   breakdown_.count += 1;
 
-  stats_.dgemm_flops += flop1 - flop0;
+  stats_.dgemm_flops += ddi_->total_flops() - flop0;
 }
 
 ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
@@ -957,22 +175,14 @@ ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
     sopt.purify = fci::make_parity_purifier(space);
   res.solve = fci::solve_lowest(op, ints, sopt);
   res.per_sigma = op.breakdown().averaged();
-  if (options.execution == ExecutionMode::kThreads) {
-    // Wall-clock accounting: total sigma time and sustained rate per
-    // thread (the "rank" of the threads backend).
-    res.total_seconds = op.breakdown().total;
-    res.gflops_per_rank = op.breakdown().flops /
-                          static_cast<double>(op.num_threads()) /
-                          std::max(res.total_seconds, 1e-30) / 1e9;
-  } else {
-    res.total_seconds = op.machine().elapsed();
-    double flops = 0.0;
-    for (std::size_t r = 0; r < options.num_ranks; ++r)
-      flops += op.machine().flops(r);
-    res.gflops_per_rank =
-        flops / static_cast<double>(options.num_ranks) /
-        std::max(res.total_seconds, 1e-30) / 1e9;
-  }
+  // Cost-modeling backends report simulated makespan; real backends report
+  // the wall time spent inside the sigmas.  Either way the sustained rate
+  // divides the recorded flops over the execution width.
+  res.total_seconds =
+      op.ddi().models_cost() ? op.ddi().elapsed() : op.breakdown().total;
+  res.gflops_per_rank = op.ddi().total_flops() /
+                        static_cast<double>(op.ddi().num_workers()) /
+                        std::max(res.total_seconds, 1e-30) / 1e9;
   res.comm_words_per_sigma = op.breakdown().averaged().comm_words;
   return res;
 }

@@ -1,6 +1,10 @@
 #pragma once
-// The distributed FCI driver (paper section 3), run on the deterministic
-// virtual machine.
+// The distributed FCI driver (paper section 3), layered exactly like the
+// paper's FCI -> DDI -> SHMEM stack: ParallelSigma composes backend-
+// agnostic phase engines (phase_engines.hpp) that speak only the pv::Ddi
+// one-sided interface, and the ParallelOptions select which Ddi backend
+// (simulated Cray-X1 or shared-memory threads) supplies transport, clocks
+// and failure semantics.
 //
 // Data layout: the CI coefficient matrix is distributed by alpha columns,
 // each symmetry block separately (Fig. 1).  One sigma evaluation runs the
@@ -26,8 +30,9 @@
 //   practice the paper eliminates), mixed-spin with one remote column
 //   gather per alpha single excitation (Table 1 costs).
 //
-// Every rank's arithmetic is executed for real; the x1::CostModel charges
-// simulated time.  Results are bit-identical for any rank count.
+// Every rank's arithmetic is executed for real; on the simulated backend
+// the x1::CostModel charges simulated time.  Results are bit-identical for
+// any rank count and across backends.
 
 #include <memory>
 
@@ -35,77 +40,14 @@
 #include "fci/sigma.hpp"
 #include "fci/solvers.hpp"
 #include "fci_parallel/distribution.hpp"
-#include "parallel/machine.hpp"
-#include "parallel/task_pool.hpp"
-#include "parallel/thread_team.hpp"
+#include "fci_parallel/options.hpp"
+#include "fci_parallel/phase_engines.hpp"
+#include "parallel/ddi.hpp"
 
 namespace xfci::fcp {
 
-/// Execution backend for the distributed algorithm.
-enum class ExecutionMode {
-  /// Deterministic discrete-event simulation: ranks are simulated clocks,
-  /// every kernel and communication event charges the calibrated X1 cost
-  /// model (Figs. 4-5 / Table 3 reproductions).
-  kSimulate,
-  /// Real shared-memory execution: the same rank decomposition and task
-  /// pool, but rank work is claimed by a pv::ThreadTeam and the breakdown
-  /// reports wall-clock seconds.  Numerically bitwise-identical to
-  /// kSimulate for every thread count (disjoint writes in the static
-  /// phases, ordered commit in the dynamic mixed-spin phase).
-  kThreads,
-};
-
-struct ParallelOptions {
-  std::size_t num_ranks = 16;
-  fci::Algorithm algorithm = fci::Algorithm::kDgemm;
-  x1::CostModel cost;
-  pv::TaskPoolParams lb;
-  /// Exploit the Ms = 0 transpose symmetry (the paper's "Vector Symm."
-  /// trick for the C2 benchmark): the alpha-side same-spin phase is
-  /// replaced by one distributed transpose of the beta-side result.
-  /// Only effective for nalpha == nbeta and vectors of definite parity.
-  bool ms0_transpose = false;
-  /// Backend: simulated X1 timing or real std::thread execution.
-  ExecutionMode execution = ExecutionMode::kSimulate;
-  /// Thread count for ExecutionMode::kThreads (0 = hardware concurrency).
-  std::size_t num_threads = 0;
-  /// Fault injection: installed into the simulated machine (kSimulate);
-  /// the threads backend consults the worker-death schedule (kThreads).
-  pv::FaultPlan faults;
-  /// Reassignments allowed per aggregated DLB task before the run aborts.
-  std::size_t max_task_retries = 3;
-  /// Retransmissions allowed per one-sided op before the run aborts.
-  std::size_t max_op_retries = 8;
-};
-
-/// Simulated-time breakdown accumulated over sigma applications; the rows
-/// of Table 3.
-struct PhaseBreakdown {
-  double beta_side = 0.0;       ///< beta-index same-spin + 1e ("Beta-beta")
-  double alpha_side = 0.0;      ///< alpha-index same-spin + 1e
-  double mixed = 0.0;           ///< alpha-beta routine
-  double transpose = 0.0;       ///< local + distributed transposes ("Vector Symm.")
-  double vector_ops = 0.0;      ///< solver vector work per iteration
-  double load_imbalance = 0.0;  ///< barrier spread of the dynamic phase
-  double recovery = 0.0;        ///< fault-recovery time (timeouts, refetch,
-                                ///< redistribution); overlaps the phase rows
-  double total = 0.0;           ///< wall (simulated) time of the sigmas
-  double comm_words = 0.0;      ///< one-sided words moved (gets + 2x accs)
-  double mixed_comm_words = 0.0;  ///< words moved by the mixed-spin phase
-  double flops = 0.0;           ///< charged floating-point operations
-  std::size_t count = 0;        ///< sigma applications accumulated
-
-  // Recovery event counters (cumulative, not averaged by averaged()).
-  std::size_t tasks_reassigned = 0;  ///< DLB chunks redone after a death
-  std::size_t ops_retried = 0;       ///< one-sided retransmissions
-  std::size_t ranks_lost = 0;        ///< rank deaths absorbed by survivors
-
-  /// Per-sigma averages (event counters stay cumulative).
-  PhaseBreakdown averaged() const;
-};
-
-/// SigmaOperator whose apply() runs the distributed algorithm on the
-/// virtual machine.  Numerically identical to the serial operators.
+/// SigmaOperator whose apply() runs the distributed algorithm through the
+/// pv::Ddi backend.  Numerically identical to the serial operators.
 class ParallelSigma : public fci::SigmaOperator {
  public:
   ParallelSigma(const fci::SigmaContext& context,
@@ -114,64 +56,32 @@ class ParallelSigma : public fci::SigmaOperator {
   void apply(std::span<const double> c, std::span<double> sigma) override;
   const fci::CiSpace& space() const override { return ctx_.space(); }
 
-  pv::Machine& machine() { return machine_; }
+  /// The communication/runtime backend (clocks, counters, liveness).
+  pv::Ddi& ddi() { return *ddi_; }
+  const pv::Ddi& ddi() const { return *ddi_; }
+
   const ColumnDistribution& distribution() const { return dist_; }
   const PhaseBreakdown& breakdown() const { return breakdown_; }
   void reset_breakdown() { breakdown_ = PhaseBreakdown{}; }
 
-  /// True when running the discrete-event simulator (kSimulate).
-  bool simulate() const {
-    return options_.execution == ExecutionMode::kSimulate;
-  }
-  /// Width of the threads backend (1 when simulating).
-  std::size_t num_threads() const { return team_ ? team_->size() : 1; }
-
  private:
-  struct MixedScratch;
-
   void apply_dgemm(std::span<const double> c, std::span<double> sigma);
   void apply_moc(std::span<const double> c, std::span<double> sigma);
-  void charge_kernel_stats(std::size_t rank, const fci::SigmaStats& stats);
-  void beta_side_phase(const fci::SigmaContext& tctx,
-                       std::span<const double> c, std::span<double> sigma,
-                       bool moc_kernel);
-  void alpha_side_phase(std::span<const double> c, std::span<double> sigma,
-                        bool moc_kernel);
-  void mixed_phase_dgemm(std::span<const double> c, std::span<double> sigma);
-  void mixed_phase_dgemm_threads(
-      const std::vector<std::pair<std::size_t, std::size_t>>& items,
-      std::span<const double> c, std::span<double> sigma);
-  void mixed_phase_moc(std::span<const double> c, std::span<double> sigma);
+  /// Charges the solver's per-iteration distributed vector work (no-op on
+  /// backends that execute the solver for real).
   void charge_solver_vector_ops();
-  void add_vectors_threaded(std::span<double> dst, std::span<const double> a);
-
-  /// Issues one one-sided op with bounded retransmission: a transient drop
-  /// costs the requester an ack timeout and a retry; returns kDropped only
-  /// when the requester or the target is dead (the caller resolves that by
-  /// redistributing / reassigning).
-  pv::OpOutcome robust_one_sided(bool accumulate, std::size_t rank,
-                                 std::size_t owner, double words);
-  /// Runs one mixed-spin item (gather, dense core, accumulate) on `rank`.
-  /// The item commits atomically: sigma is updated only after every
-  /// accumulate has been delivered, so a false return (the rank died
-  /// mid-item) leaves sigma untouched and the item can be reassigned.
-  bool run_mixed_item(std::size_t rank, std::size_t hk, std::size_t ik,
-                      std::span<const double> c, std::span<double> sigma,
-                      MixedScratch& scratch);
-  /// Graceful degradation: if the alive mask changed since the distribution
-  /// was last built, rebuilds the column split over the survivors and
-  /// charges them the refetch of the lost blocks.  No-op (and free) while
-  /// every rank is alive.
-  void maybe_redistribute();
+  PhaseState phase_state();
 
   const fci::SigmaContext& ctx_;
   ParallelOptions options_;
-  pv::Machine machine_;
+  std::unique_ptr<pv::Ddi> ddi_;
   ColumnDistribution dist_;
   std::vector<std::uint8_t> dist_alive_;      // mask dist_ was built with
   std::vector<std::size_t> block_of_halpha_;  // halpha -> block index
   PhaseBreakdown breakdown_;
-  std::unique_ptr<pv::ThreadTeam> team_;  // threads backend (kThreads only)
+  RecoveryEngine recovery_;
+  SameSpinEngine same_spin_;
+  MixedSpinEngine mixed_;
 };
 
 /// Result of a full parallel FCI run.

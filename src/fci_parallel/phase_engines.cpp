@@ -1,0 +1,562 @@
+#include "fci_parallel/phase_engines.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "fci/fci.hpp"
+#include "parallel/task_pool.hpp"
+
+namespace xfci::fcp {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Transposed local copies of one rank's column range of every block:
+// tc[b] is an (nb x width) matrix (column j = beta string j, rows = the
+// rank's alpha columns); ts[b] is the matching sigma buffer.
+struct TransposedLocal {
+  std::vector<std::vector<double>> tc, ts;
+  std::vector<fci::ColumnView> views;  // indexed by beta irrep
+  std::size_t words = 0;
+};
+
+TransposedLocal build_beta_local(const fci::CiSpace& space,
+                                 const ColumnDistribution& dist,
+                                 std::size_t rank,
+                                 std::span<const double> c) {
+  const auto& blocks = space.blocks();
+  TransposedLocal t;
+  t.tc.resize(blocks.size());
+  t.ts.resize(blocks.size());
+  t.views.assign(space.group().num_irreps(), fci::ColumnView{});
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto [c0, c1] = dist.columns(b, rank);
+    const std::size_t w = c1 - c0;
+    if (w == 0) continue;
+    const std::size_t nb = blocks[b].nb;
+    auto& tc = t.tc[b];
+    tc.resize(nb * w);
+    const double* src = c.data() + blocks[b].offset + c0 * nb;
+    for (std::size_t i = 0; i < w; ++i)
+      for (std::size_t j = 0; j < nb; ++j) tc[j * w + i] = src[i * nb + j];
+    t.ts[b].assign(nb * w, 0.0);
+    t.views[blocks[b].hbeta] =
+        fci::ColumnView{tc.data(), t.ts[b].data(), w};
+    t.words += nb * w;
+  }
+  return t;
+}
+
+void writeback_beta_local(const fci::CiSpace& space,
+                          const ColumnDistribution& dist, std::size_t rank,
+                          const TransposedLocal& t, std::span<double> sigma) {
+  const auto& blocks = space.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto [c0, c1] = dist.columns(b, rank);
+    const std::size_t w = c1 - c0;
+    if (w == 0 || t.ts[b].empty()) continue;
+    const std::size_t nb = blocks[b].nb;
+    double* dst = sigma.data() + blocks[b].offset + c0 * nb;
+    const auto& ts = t.ts[b];
+    for (std::size_t i = 0; i < w; ++i)
+      for (std::size_t j = 0; j < nb; ++j) dst[i * nb + j] += ts[j * w + i];
+  }
+}
+
+// One static kernel invocation's charges: DGEMM shapes, the gather/scatter
+// word traffic, the indexed multiply-adds, and the MOC element generation.
+// On a cost-modeling backend this advances the rank's clock; on a real
+// backend only the (exact, integer-valued) flop counts register.
+void charge_kernel_stats(const PhaseState& s, std::size_t rank,
+                         const fci::SigmaStats& stats) {
+  for (const auto& sh : stats.dgemm_shapes)
+    s.ddi.charge_dgemm(rank, sh[0], sh[1], sh[2]);
+  s.ddi.charge_indexed(rank, stats.gather_words + stats.scatter_words);
+  s.ddi.charge_daxpy_flops(rank, 2.0 * stats.indexed_ops);
+  s.ddi.charge_seconds(rank,
+                       s.options.cost.moc_element * stats.element_count);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RecoveryEngine
+// ---------------------------------------------------------------------------
+
+pv::OpOutcome RecoveryEngine::robust_one_sided(bool accumulate,
+                                               std::size_t rank,
+                                               std::size_t owner,
+                                               double words) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (!s_.ddi.alive(rank) || !s_.ddi.alive(owner))
+      return pv::OpOutcome::kDropped;
+    const pv::OpOutcome out = accumulate
+                                  ? s_.ddi.acc(rank, owner, words)
+                                  : s_.ddi.get(rank, owner, words);
+    if (out == pv::OpOutcome::kDelivered) return out;
+    // The drop is terminal if either end just died (op-count triggers fire
+    // mid-op); otherwise it is transient: the requester waits out the ack
+    // timeout and retransmits.  Dropped ops are lost before the target
+    // applies their payload, so a retransmit lands exactly once.
+    if (!s_.ddi.alive(rank) || !s_.ddi.alive(owner))
+      return pv::OpOutcome::kDropped;
+    XFCI_REQUIRE(attempt < s_.options.max_op_retries,
+                 "one-sided op exceeded its retransmission budget");
+    s_.ddi.charge_seconds(rank, s_.options.cost.ack_timeout);
+    s_.breakdown.recovery += s_.options.cost.ack_timeout;
+    s_.breakdown.ops_retried += 1;
+  }
+}
+
+void RecoveryEngine::maybe_redistribute() {
+  // Loop: the recovery barriers below may declare further (time-triggered)
+  // deaths, which then need their own redistribution pass.
+  for (;;) {
+    const std::vector<std::uint8_t> alive = s_.ddi.alive_mask();
+    if (alive == s_.dist_alive) return;
+    std::size_t newly_dead = 0;
+    double lost_words = 0.0;
+    for (std::size_t r = 0; r < alive.size(); ++r) {
+      if (alive[r] == 0 && s_.dist_alive[r] != 0) {
+        ++newly_dead;
+        lost_words += static_cast<double>(s_.dist.local_words(r));
+      }
+    }
+    const double t0 = s_.ddi.barrier();
+    s_.dist.redistribute(alive);
+    s_.dist_alive = alive;
+    if (newly_dead > 0) {
+      s_.breakdown.ranks_lost += newly_dead;
+      // Graceful degradation: each survivor refetches its share of the
+      // dead ranks' coefficient blocks (from the lowest surviving rank,
+      // which serves the recovery copy) and installs it locally.
+      const std::size_t num_alive = s_.ddi.num_alive();
+      const double share = lost_words / static_cast<double>(num_alive);
+      std::size_t root = 0;
+      while (root < alive.size() && alive[root] == 0) ++root;
+      for (std::size_t r = 0; r < alive.size(); ++r) {
+        if (alive[r] == 0) continue;
+        robust_one_sided(false, r, root, share);
+        s_.ddi.charge_indexed(r, share);
+      }
+    }
+    const double t1 = s_.ddi.barrier();
+    s_.breakdown.recovery += t1 - t0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SameSpinEngine
+// ---------------------------------------------------------------------------
+
+void SameSpinEngine::beta_side(const fci::SigmaContext& tctx,
+                               std::span<const double> c,
+                               std::span<double> sigma, bool moc_kernel) {
+  XFCI_DCHECK(c.size() == s_.ctx.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
+  const fci::CiSpace& space = s_.ctx.space();
+  const std::size_t nranks = s_.ddi.num_ranks();
+
+  // Phase: local transposes in ("Vector Symm.").  Each rank touches only
+  // its own column range, so the region runs concurrently where workers
+  // are real.
+  const double t0 = s_.ddi.barrier();
+  std::vector<TransposedLocal> locals(nranks);
+  s_.ddi.for_ranks([&](std::size_t r) {
+    locals[r] = build_beta_local(space, s_.dist, r, c);
+    s_.ddi.charge_indexed(r, static_cast<double>(locals[r].words));
+  });
+  const double t1 = s_.ddi.barrier();
+  s_.breakdown.transpose += t1 - t0;
+
+  // Phase: beta-index same-spin + one-electron, zero communication
+  // (paper Fig. 2a, the "Beta-beta" row of Table 3).
+  s_.ddi.for_ranks([&](std::size_t r) {
+    fci::SigmaStats stats;
+    if (moc_kernel)
+      fci::moc_same_spin_columns(tctx, locals[r].views, stats);
+    else
+      fci::sigma_same_spin_columns(tctx, locals[r].views, stats);
+    fci::sigma_one_electron_columns(tctx, locals[r].views, stats);
+    charge_kernel_stats(s_, r, stats);
+  });
+  const double t2 = s_.ddi.barrier();
+  s_.breakdown.beta_side += t2 - t1;
+
+  // Phase: transpose back (rank-disjoint sigma writes).
+  s_.ddi.for_ranks([&](std::size_t r) {
+    writeback_beta_local(space, s_.dist, r, locals[r], sigma);
+    s_.ddi.charge_indexed(r, static_cast<double>(locals[r].words));
+  });
+  const double t3 = s_.ddi.barrier();
+  s_.breakdown.transpose += t3 - t2;
+}
+
+void SameSpinEngine::alpha_side(std::span<const double> c,
+                                std::span<double> sigma, bool moc_kernel) {
+  XFCI_DCHECK(c.size() == s_.ctx.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
+  const fci::CiSpace& space = s_.ctx.space();
+  const std::size_t nranks = s_.ddi.num_ranks();
+
+  if (moc_kernel) {
+    // MOC: the whole vector is gathered onto every rank (collective
+    // gather) and the alpha-side element generation is replicated; each
+    // rank updates only its own sigma columns.
+    const double t0 = s_.ddi.barrier();
+    const double remote =
+        static_cast<double>(space.dimension()) *
+        static_cast<double>(nranks - 1) / static_cast<double>(nranks);
+    for (std::size_t r = 0; r < nranks; ++r)
+      s_.ddi.alltoall(r, nranks - 1, remote);
+    const double t1 = s_.ddi.barrier();
+    s_.breakdown.transpose += t1 - t0;
+
+    s_.ddi.for_ranks([&](std::size_t r) {
+      std::vector<fci::ColumnView> views(space.group().num_irreps());
+      for (std::size_t b = 0; b < space.blocks().size(); ++b) {
+        const auto& blk = space.blocks()[b];
+        const auto [c0, c1] = s_.dist.columns(b, r);
+        views[blk.halpha] =
+            fci::ColumnView{c.data() + blk.offset, sigma.data() + blk.offset,
+                            blk.nb, c0, c1};
+      }
+      fci::SigmaStats stats;
+      fci::moc_same_spin_columns(s_.ctx, views, stats);
+      fci::sigma_one_electron_columns(s_.ctx, views, stats);
+      charge_kernel_stats(s_, r, stats);
+    });
+    const double t2 = s_.ddi.barrier();
+    s_.breakdown.alpha_side += t2 - t1;
+    return;
+  }
+
+  // DGEMM path: all-to-all transpose into the beta-column layout, run the
+  // same static routine on the other spin, transpose back.
+  const fci::CiSpace& tspace = space.transposed();
+  ColumnDistribution tdist(tspace, nranks);
+  if (s_.ddi.num_alive() < nranks) tdist.redistribute(s_.ddi.alive_mask());
+
+  const double t0 = s_.ddi.barrier();
+  std::vector<double> ct, st_back;
+  space.transpose_vector(std::vector<double>(c.begin(), c.end()), ct);
+  std::vector<double> sig_t(ct.size(), 0.0);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const double remote = static_cast<double>(tdist.local_words(r)) *
+                          static_cast<double>(nranks - 1) /
+                          static_cast<double>(nranks);
+    s_.ddi.alltoall(r, nranks - 1, remote);
+    s_.ddi.charge_indexed(r, static_cast<double>(tdist.local_words(r)));
+  }
+  const double t1 = s_.ddi.barrier();
+  s_.breakdown.transpose += t1 - t0;
+
+  // Static alpha-index work on the transposed layout: each rank owns a
+  // beta-column range, so it holds every alpha string for its rows, and
+  // the sig_t writebacks are rank-disjoint.
+  s_.ddi.for_ranks([&](std::size_t r) {
+    const TransposedLocal local = build_beta_local(tspace, tdist, r, ct);
+    s_.ddi.charge_indexed(r, static_cast<double>(local.words));
+    fci::SigmaStats stats;
+    fci::sigma_same_spin_columns(s_.ctx, local.views, stats);
+    fci::sigma_one_electron_columns(s_.ctx, local.views, stats);
+    charge_kernel_stats(s_, r, stats);
+    writeback_beta_local(tspace, tdist, r, local, sig_t);
+    s_.ddi.charge_indexed(r, static_cast<double>(local.words));
+  });
+  const double t2 = s_.ddi.barrier();
+  s_.breakdown.alpha_side += t2 - t1;
+
+  // Transpose back and accumulate.
+  tspace.transpose_vector(sig_t, st_back);
+  s_.ddi.for_range(sigma.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sigma[i] += st_back[i];
+  });
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const double remote = static_cast<double>(s_.dist.local_words(r)) *
+                          static_cast<double>(nranks - 1) /
+                          static_cast<double>(nranks);
+    s_.ddi.alltoall(r, nranks - 1, remote);
+    s_.ddi.charge_indexed(r, static_cast<double>(s_.dist.local_words(r)));
+  }
+  const double t3 = s_.ddi.barrier();
+  s_.breakdown.transpose += t3 - t2;
+}
+
+void SameSpinEngine::parity_fold(std::span<double> sigma,
+                                 const std::vector<double>& z, int parity) {
+  XFCI_DCHECK(sigma.size() == z.size() && parity != 0,
+              "parity fold needs a definite parity and a matching scratch");
+  const fci::CiSpace& space = s_.ctx.space();
+  const std::size_t nranks = s_.ddi.num_ranks();
+
+  const double t0 = s_.ddi.barrier();
+  std::vector<double> pz;
+  space.transpose_vector(z, pz);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const double remote = static_cast<double>(s_.dist.local_words(r)) *
+                          static_cast<double>(nranks - 1) /
+                          static_cast<double>(nranks);
+    s_.ddi.alltoall(r, nranks - 1, remote);
+    s_.ddi.charge_indexed(
+        r, 2.0 * static_cast<double>(s_.dist.local_words(r)));
+  }
+  const double eps = static_cast<double>(parity);
+  s_.ddi.for_range(sigma.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sigma[i] += z[i] + eps * pz[i];
+  });
+  const double t1 = s_.ddi.barrier();
+  s_.breakdown.transpose += t1 - t0;
+}
+
+// ---------------------------------------------------------------------------
+// MixedSpinEngine
+// ---------------------------------------------------------------------------
+
+bool MixedSpinEngine::stage_item(std::size_t worker, std::size_t hk,
+                                 std::size_t ik, std::span<const double> c,
+                                 ItemStage& stage, WorkerScratch& scratch) {
+  XFCI_DCHECK(c.size() == s_.ctx.space().dimension(),
+              "staged C vector must span the CI dimension");
+  const fci::CiSpace& space = s_.ctx.space();
+  const auto& alist = s_.ctx.alpha_create()->list(hk, ik);
+
+  // Layout of the gathered / accumulation buffers.
+  std::size_t total = 0;
+  stage.offs.assign(alist.size(), kNone);
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    const std::size_t b = s_.block_of_halpha[alist[ai].irrep];
+    if (b == kNone) continue;
+    stage.offs[ai] = total;
+    total += space.blocks()[b].nb;
+  }
+  scratch.gather.resize(total);
+  stage.acc.assign(total, 0.0);
+  scratch.ccols.assign(alist.size(), nullptr);
+  scratch.scols.assign(alist.size(), nullptr);
+
+  // One-sided gather of the reachable C columns (DDI_GET).
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    if (stage.offs[ai] == kNone) continue;
+    const std::size_t b = s_.block_of_halpha[alist[ai].irrep];
+    const auto& blk = space.blocks()[b];
+    const std::size_t col = alist[ai].address;
+    for (;;) {
+      std::size_t owner = s_.dist.owner(b, col);
+      if (!s_.ddi.alive(owner)) {
+        // The column's owner died: redistribute, then retarget.
+        recovery_.maybe_redistribute();
+        owner = s_.dist.owner(b, col);
+      }
+      if (recovery_.robust_one_sided(false, worker, owner,
+                                     double(blk.nb)) ==
+          pv::OpOutcome::kDelivered)
+        break;
+      if (!s_.ddi.alive(worker)) return false;  // the worker itself died
+    }
+    const double* src = c.data() + blk.offset + col * blk.nb;
+    std::copy(src, src + blk.nb, scratch.gather.begin() + stage.offs[ai]);
+    scratch.ccols[ai] = scratch.gather.data() + stage.offs[ai];
+    scratch.scols[ai] = stage.acc.data() + stage.offs[ai];
+  }
+
+  // Local dense work (Eqs. 4-6).
+  fci::SigmaStats stats;
+  fci::sigma_mixed_spin_core(s_.ctx, hk, ik, scratch.ccols, scratch.scols,
+                             stats);
+  for (const auto& sh : stats.dgemm_shapes) {
+    s_.ddi.charge_dgemm(worker, sh[0], sh[1], sh[2]);
+    // D build + E scatter: one gather and one scatter pass over each
+    // intermediate matrix.
+    s_.ddi.charge_indexed(worker,
+                          2.0 * static_cast<double>(sh[0] * sh[1]));
+  }
+
+  // One-sided accumulate of the sigma columns (DDI_ACC).  Two-phase
+  // commit: the payloads stay staged and are applied only once every
+  // accumulate of the item has been delivered, so a worker death mid-item
+  // leaves sigma untouched and the reassigned item re-sends everything.
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    if (stage.offs[ai] == kNone) continue;
+    const std::size_t b = s_.block_of_halpha[alist[ai].irrep];
+    const auto& blk = space.blocks()[b];
+    const std::size_t col = alist[ai].address;
+    for (;;) {
+      std::size_t owner = s_.dist.owner(b, col);
+      if (!s_.ddi.alive(owner)) {
+        recovery_.maybe_redistribute();
+        owner = s_.dist.owner(b, col);
+      }
+      if (recovery_.robust_one_sided(true, worker, owner,
+                                     double(blk.nb)) ==
+          pv::OpOutcome::kDelivered)
+        break;
+      if (!s_.ddi.alive(worker)) return false;
+    }
+  }
+  return true;
+}
+
+void MixedSpinEngine::commit_item(std::size_t hk, std::size_t ik,
+                                  const ItemStage& stage,
+                                  std::span<double> sigma) {
+  XFCI_DCHECK(sigma.size() == s_.ctx.space().dimension(),
+              "committed sigma must span the CI dimension");
+  const fci::CiSpace& space = s_.ctx.space();
+  const auto& alist = s_.ctx.alpha_create()->list(hk, ik);
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    if (stage.offs[ai] == kNone) continue;
+    const std::size_t b = s_.block_of_halpha[alist[ai].irrep];
+    const auto& blk = space.blocks()[b];
+    const std::size_t col = alist[ai].address;
+    double* dst = sigma.data() + blk.offset + col * blk.nb;
+    const double* src = stage.acc.data() + stage.offs[ai];
+    for (std::size_t j = 0; j < blk.nb; ++j) dst[j] += src[j];
+  }
+}
+
+void MixedSpinEngine::dgemm(std::span<const double> c,
+                            std::span<double> sigma) {
+  XFCI_DCHECK(c.size() == s_.ctx.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
+  const fci::CiSpace& space = s_.ctx.space();
+  if (space.nalpha() < 1 || space.nbeta() < 1) return;
+  const fci::StringSpace& am1 = *s_.ctx.alpha_m1();
+
+  // Flatten the alpha (N-1)-string tasks.
+  std::vector<std::pair<std::size_t, std::size_t>> items;
+  for (std::size_t hk = 0; hk < am1.num_irreps(); ++hk)
+    for (std::size_t ik = 0; ik < am1.count(hk); ++ik)
+      items.emplace_back(hk, ik);
+
+  recovery_.maybe_redistribute();
+  const pv::TaskPool pool(items.size(), s_.ddi.num_workers(), s_.options.lb);
+
+  const double t0 = s_.ddi.barrier();
+  const double comm0 = s_.ddi.comm_words();
+
+  stages_.assign(items.size(), ItemStage{});
+  scratch_.assign(s_.ddi.num_workers(), WorkerScratch{});
+
+  pv::Ddi::PoolHooks hooks;
+  hooks.max_task_retries = s_.options.max_task_retries;
+  hooks.stage = [&](std::size_t it, std::size_t worker) {
+    const auto [hk, ik] = items[it];
+    return stage_item(worker, hk, ik, c, stages_[it], scratch_[worker]);
+  };
+  hooks.commit = [&](std::size_t it) {
+    const auto [hk, ik] = items[it];
+    commit_item(hk, ik, stages_[it], sigma);
+    stages_[it] = ItemStage{};  // release the staged payload
+  };
+  hooks.on_worker_death = [&] { recovery_.maybe_redistribute(); };
+
+  const pv::Ddi::PoolStats st = s_.ddi.run_pool(pool, hooks);
+  s_.breakdown.tasks_reassigned += st.tasks_reassigned;
+  s_.breakdown.recovery += st.recovery_seconds;
+
+  const double t1 = s_.ddi.barrier();
+  s_.breakdown.mixed += t1 - t0;
+  s_.breakdown.load_imbalance += s_.ddi.imbalance();
+  s_.breakdown.mixed_comm_words += s_.ddi.comm_words() - comm0;
+  stages_.clear();
+  scratch_.clear();
+}
+
+void MixedSpinEngine::moc(std::span<const double> c,
+                          std::span<double> sigma) {
+  XFCI_DCHECK(c.size() == s_.ctx.space().dimension() &&
+                  sigma.size() == c.size(),
+              "phase vectors must span the CI dimension (checked in apply)");
+  const fci::CiSpace& space = s_.ctx.space();
+  if (space.nalpha() < 1 || space.nbeta() < 1) return;
+  const fci::StringSpace& sa = space.alpha();
+  const fci::StringSpace& bm1 = *s_.ctx.beta_m1();
+  const auto& btable = *s_.ctx.beta_create();
+  const auto& eri = s_.ctx.ints().eri;
+  const std::size_t n = space.norb();
+
+  // Deaths declared earlier shrink the column split before the phase; the
+  // MOC baseline implements no task-level recovery beyond that (it is the
+  // historical practice the paper eliminates), so mid-phase faults only
+  // show up in the accounting (dropped-op counters, frozen clocks).
+  recovery_.maybe_redistribute();
+
+  // Each rank computes its local sigma columns: for every alpha single
+  // excitation J_a -> I_a it gathers the remote J_a column (no reuse across
+  // excitations -- the Table-1 communication count Nci * Na * (n - Na)),
+  // then applies every beta single excitation as an indexed multiply-add.
+  // Sigma writes are confined to the rank's own columns, so real backends
+  // run ranks concurrently with no synchronization.
+  auto rank_body = [&](std::size_t r, fci::SigmaStats& stats) {
+    for (std::size_t b = 0; b < space.blocks().size(); ++b) {
+      const auto& blk = space.blocks()[b];
+      const auto [c0, c1] = s_.dist.columns(b, r);
+      for (std::size_t col = c0; col < c1; ++col) {
+        const fci::StringMask ia = sa.mask(blk.halpha, col);
+        double* scol = sigma.data() + blk.offset + col * blk.nb;
+        // Enumerate E_pq with p occupied in I_a.
+        fci::StringMask occ = ia;
+        while (occ) {
+          const int p = __builtin_ctzll(occ);
+          occ &= occ - 1;
+          const int s1 = fci::annihilate_sign(ia, p);
+          const fci::StringMask mid = ia & ~(fci::StringMask{1} << p);
+          for (std::size_t q = 0; q < n; ++q) {
+            if (mid & (fci::StringMask{1} << q)) continue;
+            const int s2 = fci::create_sign(mid, static_cast<int>(q));
+            const fci::StringMask ja = mid | (fci::StringMask{1} << q);
+            const std::size_t hja = sa.irrep_of(ja);
+            const std::size_t bj = s_.block_of_halpha[hja];
+            if (bj == kNone) continue;
+            const auto& blkj = space.blocks()[bj];
+            const std::size_t colj = sa.address(ja);
+            // Remote gather of the J_a column; the outcome is ignored by
+            // design (no retransmission in the MOC baseline).
+            (void)s_.ddi.get(r, s_.dist.owner(bj, colj), double(blkj.nb));
+            const double* ccol = c.data() + blkj.offset + colj * blkj.nb;
+            const double sa_sign = s1 * s2;
+            // Beta part: sigma(I_b) += (pq|rs) * signs * C(J_b).
+            for (std::size_t hkb = 0; hkb < bm1.num_irreps(); ++hkb) {
+              for (std::size_t ikb = 0; ikb < bm1.count(hkb); ++ikb) {
+                const auto& blist = btable.list(hkb, ikb);
+                for (const fci::Creation& cs : blist) {
+                  if (cs.irrep != blkj.hbeta) continue;
+                  const double cj = ccol[cs.address];
+                  if (cj == 0.0) continue;
+                  for (const fci::Creation& cr : blist) {
+                    if (cr.irrep != blk.hbeta) continue;
+                    scol[cr.address] +=
+                        sa_sign * cr.sign * cs.sign *
+                        eri(static_cast<std::size_t>(p), q, cr.orbital,
+                            cs.orbital) *
+                        cj;
+                    stats.indexed_ops += 1.0;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  const double t0 = s_.ddi.barrier();
+  const double comm0 = s_.ddi.comm_words();
+  s_.ddi.for_ranks([&](std::size_t r) {
+    fci::SigmaStats stats;
+    rank_body(r, stats);
+    s_.ddi.charge_indexed(r, stats.indexed_ops);
+  });
+  const double t1 = s_.ddi.barrier();
+  s_.breakdown.mixed += t1 - t0;
+  s_.breakdown.load_imbalance += s_.ddi.imbalance();
+  s_.breakdown.mixed_comm_words += s_.ddi.comm_words() - comm0;
+}
+
+}  // namespace xfci::fcp

@@ -1,0 +1,145 @@
+#pragma once
+// Backend-agnostic phase engines of the distributed sigma build.
+//
+// ParallelSigma (parallel_fci.hpp) is a thin composition of three engines,
+// each speaking only the pv::Ddi one-sided interface -- never a concrete
+// backend:
+//
+//   RecoveryEngine   dropped-op retransmission (ack-timeout retries) and
+//                    survivor redistribution of the column split, charged
+//                    to the recovery row; implemented once for every
+//                    backend.
+//   SameSpinEngine   the static phases: beta-side same-spin + one-electron
+//                    on locally transposed columns, the alpha-side twin on
+//                    the distributed-transpose layout (or the replicated
+//                    MOC variant), and the Ms=0 "Vector Symm." parity fold.
+//   MixedSpinEngine  the dynamic alpha-beta phase: aggregated (N-1)-string
+//                    tasks over the shared DLB counter, one-sided gather /
+//                    staged accumulate with per-item atomic commit
+//                    (Ddi::run_pool), plus the MOC per-excitation-gather
+//                    baseline.
+//
+// The engines share one PhaseState: the sigma context, the column
+// distribution, the options and the PhaseBreakdown they report into.
+// Phase rows are metered with Ddi::barrier() deltas, so the same engine
+// code yields simulated Table-3 rows on SimulatedDdi and wall-clock rows
+// on ThreadsDdi.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fci/sigma.hpp"
+#include "fci_parallel/distribution.hpp"
+#include "fci_parallel/options.hpp"
+#include "parallel/ddi.hpp"
+
+namespace xfci::fcp {
+
+/// State shared by the phase engines of one ParallelSigma: references into
+/// the operator's members, so engines see redistribution and breakdown
+/// updates immediately.
+struct PhaseState {
+  const fci::SigmaContext& ctx;
+  const ParallelOptions& options;
+  pv::Ddi& ddi;
+  ColumnDistribution& dist;
+  std::vector<std::uint8_t>& dist_alive;      // mask dist was built with
+  const std::vector<std::size_t>& block_of_halpha;
+  PhaseBreakdown& breakdown;
+};
+
+/// Fault recovery: bounded one-sided retransmission and graceful
+/// degradation of the column split onto the survivors.
+class RecoveryEngine {
+ public:
+  explicit RecoveryEngine(const PhaseState& s) : s_(s) {}
+
+  /// Issues one one-sided op with bounded retransmission: a transient drop
+  /// costs the requester an ack timeout and a retry; returns kDropped only
+  /// when the requester or the target is dead (the caller resolves that by
+  /// redistributing / reassigning).
+  pv::OpOutcome robust_one_sided(bool accumulate, std::size_t rank,
+                                 std::size_t owner, double words);
+
+  /// Graceful degradation: if the alive mask changed since the distribution
+  /// was last built, rebuilds the column split over the survivors and
+  /// charges them the refetch of the lost blocks.  No-op (and free) while
+  /// every rank is alive -- which on a fault-free backend is always.
+  void maybe_redistribute();
+
+ private:
+  PhaseState s_;
+};
+
+/// The static same-spin phases (paper Fig. 2a, the "Beta-beta" rows).
+class SameSpinEngine {
+ public:
+  explicit SameSpinEngine(const PhaseState& s) : s_(s) {}
+
+  /// Local transpose in -> beta-index same-spin + one-electron kernels ->
+  /// transpose back ("Vector Symm." + "Beta-beta").
+  void beta_side(const fci::SigmaContext& tctx, std::span<const double> c,
+                 std::span<double> sigma, bool moc_kernel);
+
+  /// The same routine on the other spin: distributed transpose to the
+  /// beta-column layout, static alpha-index work, transpose back -- or the
+  /// replicated MOC variant over a collective gather.
+  void alpha_side(std::span<const double> c, std::span<double> sigma,
+                  bool moc_kernel);
+
+  /// Ms = 0 "Vector Symm." shortcut (paper Table 3): sigma += z + parity *
+  /// P z, one distributed transpose replacing the alpha-side phase.
+  void parity_fold(std::span<double> sigma, const std::vector<double>& z,
+                   int parity);
+
+ private:
+  PhaseState s_;
+};
+
+/// The dynamic mixed-spin phase (paper Fig. 2b, the "Alpha-beta" row).
+class MixedSpinEngine {
+ public:
+  MixedSpinEngine(const PhaseState& s, RecoveryEngine& recovery)
+      : s_(s), recovery_(recovery) {}
+
+  /// DGEMM algorithm: aggregated alpha (N-1)-string tasks through the DLB
+  /// counter, one-sided gather / staged accumulate, per-item atomic commit
+  /// (Ddi::run_pool handles scheduling and task-level recovery).
+  void dgemm(std::span<const double> c, std::span<double> sigma);
+
+  /// MOC baseline: one remote column gather per alpha single excitation
+  /// (Table 1 costs), no task-level recovery by design.
+  void moc(std::span<const double> c, std::span<double> sigma);
+
+ private:
+  /// Staged output of one item: the accumulate payloads and their offsets,
+  /// kept off the shared sigma until every accumulate is delivered.
+  struct ItemStage {
+    std::vector<std::size_t> offs;
+    std::vector<double> acc;
+  };
+  /// Reusable per-worker buffers (workers never share a slot).
+  struct WorkerScratch {
+    std::vector<double> gather;
+    std::vector<const double*> ccols;
+    std::vector<double*> scols;
+  };
+
+  /// Gathers, computes and charges one item on `worker` into `stage`;
+  /// returns false when the worker died mid-item (stage discarded).
+  bool stage_item(std::size_t worker, std::size_t hk, std::size_t ik,
+                  std::span<const double> c, ItemStage& stage,
+                  WorkerScratch& scratch);
+  /// Applies a staged item's accumulates to sigma (the atomic commit).
+  void commit_item(std::size_t hk, std::size_t ik, const ItemStage& stage,
+                   std::span<double> sigma);
+
+  PhaseState s_;
+  RecoveryEngine& recovery_;
+  std::vector<ItemStage> stages_;
+  std::vector<WorkerScratch> scratch_;
+};
+
+}  // namespace xfci::fcp

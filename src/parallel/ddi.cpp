@@ -1,0 +1,296 @@
+#include "parallel/ddi.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "parallel/machine.hpp"
+#include "parallel/task_pool.hpp"
+#include "parallel/thread_team.hpp"
+
+namespace xfci::pv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimulatedDdi: the DDI layer over the discrete-event pv::Machine.  Every
+// call forwards to the machine's accounting, so a phase-engine run through
+// this backend produces clock, counter and flop trajectories identical to
+// driving the machine directly.
+// ---------------------------------------------------------------------------
+class SimulatedDdi final : public Ddi {
+ public:
+  SimulatedDdi(std::size_t num_ranks, const x1::CostModel& cost,
+               const FaultPlan& faults)
+      : machine_(num_ranks, cost) {
+    machine_.set_fault_plan(faults);
+  }
+
+  std::size_t num_ranks() const override { return machine_.num_ranks(); }
+  std::size_t num_workers() const override { return machine_.num_ranks(); }
+  bool alive(std::size_t rank) const override { return machine_.alive(rank); }
+  std::size_t num_alive() const override { return machine_.num_alive(); }
+  std::vector<std::uint8_t> alive_mask() const override {
+    return machine_.alive_mask();
+  }
+
+  OpOutcome get(std::size_t rank, std::size_t owner, double words) override {
+    return machine_.record_get(rank, owner, words);
+  }
+  OpOutcome acc(std::size_t rank, std::size_t owner, double words) override {
+    return machine_.record_acc(rank, owner, words);
+  }
+  OpOutcome put(std::size_t rank, std::size_t owner, double words) override {
+    return machine_.record_put(rank, owner, words);
+  }
+  void alltoall(std::size_t rank, std::size_t peers,
+                double remote_words) override {
+    machine_.record_alltoall(rank, peers, remote_words);
+  }
+
+  void charge_seconds(std::size_t rank, double seconds) override {
+    machine_.charge(rank, seconds);
+  }
+  void charge_dgemm(std::size_t rank, std::size_t m, std::size_t n,
+                    std::size_t k) override {
+    machine_.charge_dgemm(rank, m, n, k);
+  }
+  void charge_daxpy_flops(std::size_t rank, double flops) override {
+    machine_.charge_daxpy_flops(rank, flops);
+  }
+  void charge_indexed(std::size_t rank, double words) override {
+    machine_.charge_indexed(rank, words);
+  }
+  bool models_cost() const override { return true; }
+  bool concurrent() const override { return false; }
+
+  double barrier() override { return machine_.barrier(); }
+  double elapsed() const override { return machine_.elapsed(); }
+  double imbalance() const override { return machine_.last_imbalance(); }
+
+  std::size_t next_task(std::size_t rank) override {
+    machine_.record_dlb_request(rank);
+    return task_counter_++;
+  }
+  void reset_task_counter() override { task_counter_ = 0; }
+
+  PoolStats run_pool(const TaskPool& pool, const PoolHooks& hooks) override;
+
+  void for_ranks(const std::function<void(std::size_t)>& body) override {
+    for (std::size_t r = 0; r < machine_.num_ranks(); ++r) body(r);
+  }
+  void for_range(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body) override {
+    body(0, n);
+  }
+
+  const CommCounters& counters(std::size_t rank) const override {
+    return machine_.counters(rank);
+  }
+  double flops(std::size_t slot) const override {
+    return machine_.flops(slot);
+  }
+  double total_flops() const override {
+    double f = 0.0;
+    for (std::size_t r = 0; r < machine_.num_ranks(); ++r)
+      f += machine_.flops(r);
+    return f;
+  }
+
+ private:
+  Machine machine_;
+  std::size_t task_counter_ = 0;
+};
+
+Ddi::PoolStats SimulatedDdi::run_pool(const TaskPool& pool,
+                                      const PoolHooks& hooks) {
+  PoolStats st;
+  reset_task_counter();
+  for (std::size_t n = 0; n < pool.num_chunks(); ++n) {
+    // Dynamic load balancing: the next chunk goes to the earliest rank.
+    std::size_t r = machine_.earliest_rank();
+    const std::size_t chunk = next_task(r);
+    const auto [ibegin, iend] = pool.chunk(chunk);
+    std::size_t retries = 0;
+    std::size_t it = ibegin;
+    while (it < iend) {
+      if (hooks.stage(it, r)) {
+        hooks.commit(it);  // item committed atomically; never re-executed
+        ++it;
+        continue;
+      }
+      // The worker died mid-item.  Items before `it` committed; this one
+      // left the output untouched.  The DLB manager notices the silence
+      // after a task timeout and reassigns the rest of the aggregated task
+      // to the (new) earliest surviving rank.
+      XFCI_REQUIRE(retries < hooks.max_task_retries,
+                   "aggregated DLB task exceeded its reassignment budget");
+      ++retries;
+      st.tasks_reassigned += 1;
+      if (hooks.on_worker_death) hooks.on_worker_death();
+      r = machine_.earliest_rank();
+      machine_.charge(r, machine_.model().task_timeout);
+      st.recovery_seconds += machine_.model().task_timeout;
+      machine_.record_dlb_request(r);
+    }
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadsDdi: the DDI layer over a pv::ThreadTeam.  Every rank's data is in
+// the shared address space, so one-sided ops deliver without moving or
+// counting anything; clocks are wall time; run_pool claims chunks with the
+// atomic counter and retires commits through an OrderedSequencer so the
+// accumulation order equals the serial item order.
+// ---------------------------------------------------------------------------
+class ThreadsDdi final : public Ddi {
+ public:
+  ThreadsDdi(std::size_t num_ranks, std::size_t num_threads,
+             const FaultPlan& faults)
+      : num_ranks_(num_ranks), team_(num_threads), plan_(faults) {
+    // Charge slots: static phases charge by rank id, pool stages by worker
+    // id; one flat array serves both.
+    flops_.assign(std::max(num_ranks_, team_.size()), 0.0);
+    counters_.assign(num_ranks_, CommCounters{});
+  }
+
+  std::size_t num_ranks() const override { return num_ranks_; }
+  std::size_t num_workers() const override { return team_.size(); }
+  bool alive(std::size_t) const override { return true; }
+  std::size_t num_alive() const override { return num_ranks_; }
+  std::vector<std::uint8_t> alive_mask() const override {
+    return std::vector<std::uint8_t>(num_ranks_, 1);
+  }
+
+  // One-sided ops are shared-memory loads/stores the caller already
+  // performed; nothing is counted (comm_words stays 0 on this backend).
+  OpOutcome get(std::size_t, std::size_t, double) override {
+    return OpOutcome::kDelivered;
+  }
+  OpOutcome acc(std::size_t, std::size_t, double) override {
+    return OpOutcome::kDelivered;
+  }
+  OpOutcome put(std::size_t, std::size_t, double) override {
+    return OpOutcome::kDelivered;
+  }
+  void alltoall(std::size_t, std::size_t, double) override {}
+
+  void charge_seconds(std::size_t, double) override {}
+  void charge_dgemm(std::size_t rank, std::size_t m, std::size_t n,
+                    std::size_t k) override {
+    flops_[rank] += 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                    static_cast<double>(k);
+  }
+  void charge_daxpy_flops(std::size_t rank, double flops) override {
+    flops_[rank] += flops;
+  }
+  void charge_indexed(std::size_t, double) override {}
+  bool models_cost() const override { return false; }
+  bool concurrent() const override { return true; }
+
+  // Parallel regions join before the next barrier() call, so the barrier
+  // itself is just a wall-clock timestamp for the phase-row deltas.
+  double barrier() override { return timer_.seconds(); }
+  double elapsed() const override { return timer_.seconds(); }
+  double imbalance() const override { return 0.0; }
+
+  std::size_t next_task(std::size_t) override {
+    return task_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void reset_task_counter() override {
+    task_counter_.store(0, std::memory_order_relaxed);
+  }
+
+  PoolStats run_pool(const TaskPool& pool, const PoolHooks& hooks) override;
+
+  void for_ranks(const std::function<void(std::size_t)>& body) override {
+    team_.for_dynamic(num_ranks_,
+                      [&](std::size_t r, std::size_t) { body(r); });
+  }
+  void for_range(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body) override {
+    team_.for_static(n, [&](std::size_t b, std::size_t e, std::size_t) {
+      body(b, e);
+    });
+  }
+
+  const CommCounters& counters(std::size_t rank) const override {
+    return counters_.at(rank);
+  }
+  double flops(std::size_t slot) const override { return flops_.at(slot); }
+  double total_flops() const override {
+    double f = 0.0;
+    for (const double v : flops_) f += v;
+    return f;
+  }
+
+ private:
+  std::size_t num_ranks_;
+  ThreadTeam team_;
+  FaultPlan plan_;
+  Timer timer_;
+  std::vector<double> flops_;
+  std::vector<CommCounters> counters_;  // stays zero: nothing moves
+  std::atomic<std::size_t> task_counter_{0};
+};
+
+Ddi::PoolStats ThreadsDdi::run_pool(const TaskPool& pool,
+                                    const PoolHooks& hooks) {
+  PoolStats st;
+  OrderedSequencer commit;
+  std::vector<double> rework(pool.num_chunks(), 0.0);
+  std::vector<std::uint8_t> reassigned(pool.num_chunks(), 0);
+  // Per-worker claim counters feeding the fault plan's worker-death
+  // schedule; each worker touches only its own slot.
+  std::vector<std::size_t> claims(team_.size(), 0);
+
+  team_.for_pool_resilient(pool, [&](std::size_t chunk,
+                                     std::size_t tid) -> bool {
+    const bool dies = plan_.worker_death_claim(tid) == ++claims[tid];
+    const auto [ibegin, iend] = pool.chunk(chunk);
+    for (std::size_t it = ibegin; it < iend; ++it) hooks.stage(it, tid);
+    if (dies) {
+      // The worker crashed with its results unsent.  The replacement
+      // re-executes the chunk inline (same OS thread, so the ordered
+      // commit below happens at the chunk's normal turn and the gate never
+      // stalls on a dead worker); the re-execution time is the recovery
+      // cost.  The recompute repeats the lost worker's flops rather than
+      // adding new ones, so its charges are rolled back.
+      const Timer redo;
+      const double flops0 = flops_[tid];
+      for (std::size_t it = ibegin; it < iend; ++it) hooks.stage(it, tid);
+      flops_[tid] = flops0;
+      rework[chunk] = redo.seconds();
+      reassigned[chunk] = 1;
+    }
+    commit.wait_turn(chunk);
+    for (std::size_t it = ibegin; it < iend; ++it) hooks.commit(it);
+    commit.complete(chunk);
+    return !dies;
+  });
+
+  for (std::size_t ch = 0; ch < pool.num_chunks(); ++ch) {
+    st.recovery_seconds += rework[ch];
+    st.tasks_reassigned += reassigned[ch];
+  }
+  return st;
+}
+
+}  // namespace
+
+std::unique_ptr<Ddi> make_simulated_ddi(std::size_t num_ranks,
+                                        const x1::CostModel& cost,
+                                        const FaultPlan& faults) {
+  return std::make_unique<SimulatedDdi>(num_ranks, cost, faults);
+}
+
+std::unique_ptr<Ddi> make_threads_ddi(std::size_t num_ranks,
+                                      std::size_t num_threads,
+                                      const FaultPlan& faults) {
+  return std::make_unique<ThreadsDdi>(num_ranks, num_threads, faults);
+}
+
+}  // namespace xfci::pv

@@ -1,0 +1,197 @@
+#pragma once
+// A DDI-style one-sided communication layer (the paper's section 2 stack).
+//
+// The paper's FCI program never touches the transport directly: the sigma
+// algorithm talks to the Distributed Data Interface -- DDI_GET / DDI_ACC /
+// DDI_PUT, barriers, and a shared dynamic-load-balancing counter
+// (DDI_DLBNEXT, a SHMEM_SWAP on a server rank) -- and DDI is in turn
+// implemented over SHMEM on the X1.  pv::Ddi reproduces that seam: the
+// phase engines in src/fci_parallel/ speak only this interface, and a
+// backend supplies the transport, the clocks, and the failure semantics.
+//
+// Backends:
+//  * SimulatedDdi (make_simulated_ddi): the discrete-event pv::Machine --
+//    per-rank simulated clocks, calibrated x1::CostModel charges, fault
+//    injection.  The workers are the simulated ranks; parallel regions run
+//    sequentially, so a run is a pure function of its inputs.
+//  * ThreadsDdi (make_threads_ddi): real shared-memory execution on a
+//    pv::ThreadTeam.  One-sided ops are delivered no-ops (every rank's
+//    columns live in the shared address space), clocks are wall time, and
+//    run_pool() commits chunks through an OrderedSequencer so results are
+//    bitwise identical for every thread count.
+//
+// Seam for a real transport: an MPI or native-SHMEM backend plugs in as a
+// third implementation of this interface -- get/acc/put map onto
+// MPI_Get/MPI_Accumulate/MPI_Put (or shmem_getmem + atomics), next_task
+// onto MPI_Fetch_and_op / shmem_swap against rank 0, barrier onto
+// MPI_Win_fence / shmem_barrier_all, and run_pool onto a claim loop over
+// next_task with the same staged-commit hooks.  The charge_* methods
+// become no-ops (real time is measured, not modeled) exactly as in
+// ThreadsDdi, and nothing in src/fci_parallel/ changes.  See DESIGN.md
+// section 10 for the layer diagram.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "parallel/fault.hpp"
+#include "x1/cost_model.hpp"
+
+namespace xfci::pv {
+
+class TaskPool;
+
+/// Per-rank communication counters (words are doubles).
+struct CommCounters {
+  double get_words = 0.0;
+  double acc_words = 0.0;  ///< logical payload words (wire traffic is 2x)
+  double put_words = 0.0;
+  std::size_t get_calls = 0;
+  std::size_t acc_calls = 0;
+  std::size_t put_calls = 0;
+  std::size_t dlb_calls = 0;
+  std::size_t ops_dropped = 0;  ///< one-sided ops lost by fault injection
+  std::size_t ops_delayed = 0;  ///< one-sided ops delayed by fault injection
+};
+
+/// Abstract one-sided communication + execution substrate (the DDI layer).
+class Ddi {
+ public:
+  virtual ~Ddi() = default;
+
+  // --- process group / liveness ---------------------------------------------
+  /// Logical ranks of the data distribution (columns are split this way on
+  /// every backend, so results do not depend on the transport).
+  virtual std::size_t num_ranks() const = 0;
+  /// Execution width: ranks for the simulator, threads for the shared-
+  /// memory backend.  Sizes task pools and per-worker scratch.
+  virtual std::size_t num_workers() const = 0;
+  virtual bool alive(std::size_t rank) const = 0;
+  virtual std::size_t num_alive() const = 0;
+  virtual std::vector<std::uint8_t> alive_mask() const = 0;
+
+  // --- one-sided data movement ----------------------------------------------
+  // Data movement itself is performed by the caller (the vectors live in
+  // one address space on every current backend); the Ddi accounts for the
+  // transfer and reports whether it was delivered.  kDropped means the op
+  // was lost (fault injection, or an endpoint died); the caller owns
+  // retransmission and reassignment.
+  virtual OpOutcome get(std::size_t rank, std::size_t owner,
+                        double words) = 0;
+  virtual OpOutcome acc(std::size_t rank, std::size_t owner,
+                        double words) = 0;
+  virtual OpOutcome put(std::size_t rank, std::size_t owner,
+                        double words) = 0;
+  /// All-to-all participation of one rank: `remote_words` spread over
+  /// `peers` messages (distributed transposes, MOC collective gather).
+  virtual void alltoall(std::size_t rank, std::size_t peers,
+                        double remote_words) = 0;
+
+  // --- cost / recovery reporting hooks --------------------------------------
+  // Backends that model cost (the simulator) charge the rank's clock and
+  // flop counters; backends that execute for real measure wall time
+  // instead and treat the time charges as no-ops (flop counts are still
+  // recorded -- they are exact integer counts, not timings).
+  virtual void charge_seconds(std::size_t rank, double seconds) = 0;
+  virtual void charge_dgemm(std::size_t rank, std::size_t m, std::size_t n,
+                            std::size_t k) = 0;
+  virtual void charge_daxpy_flops(std::size_t rank, double flops) = 0;
+  virtual void charge_indexed(std::size_t rank, double words) = 0;
+  /// True when the backend models cost (simulated clocks); false when it
+  /// executes for real and the solver's vector work needs no charges.
+  virtual bool models_cost() const = 0;
+  /// True when workers run concurrently (lazily-built shared tables must
+  /// be materialized before entering parallel regions).
+  virtual bool concurrent() const = 0;
+
+  // --- synchronization / clocks ---------------------------------------------
+  /// Barrier over the surviving ranks; returns the synchronized backend
+  /// time (simulated seconds, or wall seconds since construction).  Phase
+  /// engines meter their rows with barrier-to-barrier deltas.
+  virtual double barrier() = 0;
+  /// Current backend time (max surviving clock, or wall seconds).
+  virtual double elapsed() const = 0;
+  /// Spread between the latest and earliest surviving rank at the last
+  /// barrier (the "Load Imbalance" row of Table 3); 0 when not modeled.
+  virtual double imbalance() const = 0;
+
+  // --- dynamic load balancing -----------------------------------------------
+  /// Claims the next global task id from the shared DLB counter
+  /// (DDI_DLBNEXT); `rank` pays the server round-trip where modeled.
+  virtual std::size_t next_task(std::size_t rank) = 0;
+  /// Rewinds the shared DLB counter to task 0 (start of a dynamic phase).
+  virtual void reset_task_counter() = 0;
+
+  /// Hooks of the resilient aggregated-task pool driver (run_pool).
+  struct PoolHooks {
+    /// Computes `item` on `worker` into caller-owned staging, without
+    /// touching shared output; returns false when the worker died mid-item
+    /// (the item is then reassigned and re-staged from scratch).
+    std::function<bool(std::size_t item, std::size_t worker)> stage;
+    /// Applies the staged result of `item`; run_pool calls this exactly
+    /// once per item, in global item order, on every backend.
+    std::function<void(std::size_t item)> commit;
+    /// Invoked when a worker death interrupts a task, before the task is
+    /// reassigned (the phase layer redistributes columns here).
+    std::function<void()> on_worker_death;
+    /// Reassignments allowed per aggregated task before the run aborts.
+    std::size_t max_task_retries = 3;
+  };
+  struct PoolStats {
+    std::size_t tasks_reassigned = 0;  ///< chunks redone after a death
+    double recovery_seconds = 0.0;     ///< timeout / recompute time
+  };
+
+  /// Runs every chunk of `pool` through stage-then-commit with dynamic
+  /// load balancing and task-level fault recovery.  Commit order equals
+  /// global item order, so the accumulation is bitwise identical across
+  /// backends and worker counts.
+  virtual PoolStats run_pool(const TaskPool& pool, const PoolHooks& hooks) = 0;
+
+  // --- execution primitives --------------------------------------------------
+  /// Runs `body(rank)` for every rank in [0, num_ranks()): sequentially in
+  /// rank order on the simulator, concurrently (dynamically claimed) on
+  /// real backends.  Bodies must write only rank-disjoint output.
+  virtual void for_ranks(const std::function<void(std::size_t)>& body) = 0;
+  /// Runs `body(begin, end)` over a static split of [0, n): one slice on
+  /// the simulator, one per worker on real backends.  Used for the
+  /// element-wise vector folds of the transpose phases.
+  virtual void for_range(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body) = 0;
+
+  // --- metrics ----------------------------------------------------------------
+  virtual const CommCounters& counters(std::size_t rank) const = 0;
+  /// Flops recorded on a rank/worker slot since construction.
+  virtual double flops(std::size_t slot) const = 0;
+  /// Total flops over all slots (exact: flop charges are integer-valued).
+  virtual double total_flops() const = 0;
+
+  /// Total one-sided words moved so far: gets + 2x accumulates (payload +
+  /// applied result) + puts, summed over ranks.
+  double comm_words() const {
+    double w = 0.0;
+    for (std::size_t r = 0; r < num_ranks(); ++r) {
+      const CommCounters& cc = counters(r);
+      w += cc.get_words + 2.0 * cc.acc_words + cc.put_words;
+    }
+    return w;
+  }
+};
+
+/// Discrete-event simulated backend over pv::Machine (`num_ranks` MSPs
+/// with `cost` charges; `faults` installed and armed).
+std::unique_ptr<Ddi> make_simulated_ddi(std::size_t num_ranks,
+                                        const x1::CostModel& cost,
+                                        const FaultPlan& faults);
+
+/// Shared-memory backend over pv::ThreadTeam: `num_ranks` logical ranks
+/// executed by `num_threads` workers (0 = hardware concurrency); `faults`
+/// supplies the worker-death schedule for run_pool.
+std::unique_ptr<Ddi> make_threads_ddi(std::size_t num_ranks,
+                                      std::size_t num_threads,
+                                      const FaultPlan& faults);
+
+}  // namespace xfci::pv

@@ -24,23 +24,11 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "parallel/ddi.hpp"  // CommCounters (shared with the DDI layer)
 #include "parallel/fault.hpp"
 #include "x1/cost_model.hpp"
 
 namespace xfci::pv {
-
-/// Per-rank communication counters (words are doubles).
-struct CommCounters {
-  double get_words = 0.0;
-  double acc_words = 0.0;  ///< logical payload words (wire traffic is 2x)
-  double put_words = 0.0;
-  std::size_t get_calls = 0;
-  std::size_t acc_calls = 0;
-  std::size_t put_calls = 0;
-  std::size_t dlb_calls = 0;
-  std::size_t ops_dropped = 0;  ///< one-sided ops lost by fault injection
-  std::size_t ops_delayed = 0;  ///< one-sided ops delayed by fault injection
-};
 
 class Machine {
  public:

@@ -178,10 +178,10 @@ TEST(FaultRecovery, SigmaSurvivesDropsAndDelaysBitwise) {
   // The retransmissions show up in the machine's drop counters too.
   std::size_t dropped = 0;
   for (std::size_t r = 0; r < 8; ++r)
-    dropped += op.machine().counters(r).ops_dropped;
+    dropped += op.ddi().counters(r).ops_dropped;
   EXPECT_GT(dropped, 0u);
   // Timeouts cost simulated time.
-  EXPECT_GT(op.machine().elapsed(), op_clean.machine().elapsed());
+  EXPECT_GT(op.ddi().elapsed(), op_clean.ddi().elapsed());
 }
 
 TEST(FaultRecovery, RankDeathMidSigmaIsReassignedAndRedistributed) {
@@ -204,7 +204,7 @@ TEST(FaultRecovery, RankDeathMidSigmaIsReassignedAndRedistributed) {
   std::vector<double> s(c.size());
   op.apply(c, s);
 
-  EXPECT_FALSE(op.machine().alive(3));
+  EXPECT_FALSE(op.ddi().alive(3));
   EXPECT_EQ(op.breakdown().ranks_lost, 1u);
   EXPECT_GE(op.breakdown().tasks_reassigned, 1u);
   EXPECT_GT(op.breakdown().recovery, 0.0);
@@ -267,14 +267,23 @@ TEST(FaultRecovery, ThreadsBackendReassignsDeadWorkersChunks) {
   faulty.faults.kill_worker_at_claim(1, 1)
       .kill_worker_at_claim(2, 1)
       .kill_worker_at_claim(3, 1);
-  fcp::ParallelSigma op(ctx, faulty);
-  std::vector<double> s(c.size());
-  op.apply(c, s);
-
-  // Ordered commit: bitwise identical to the fault-free threaded run.
-  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], s_clean[i]);
-  EXPECT_GE(op.breakdown().tasks_reassigned, 1u);
-  EXPECT_GT(op.breakdown().recovery, 0.0);
+  // A death only fires if a spawned worker claims a chunk, and on a
+  // loaded (or single-core) host the calling thread can drain the whole
+  // pool before the others wake up.  Retry until a worker really died;
+  // every attempt must still be bitwise identical to the clean run.
+  std::size_t reassigned = 0;
+  double recovery = 0.0;
+  for (int attempt = 0; attempt < 50 && reassigned == 0; ++attempt) {
+    fcp::ParallelSigma op(ctx, faulty);
+    std::vector<double> s(c.size());
+    op.apply(c, s);
+    // Ordered commit: bitwise identical to the fault-free threaded run.
+    for (std::size_t i = 0; i < s.size(); ++i) ASSERT_EQ(s[i], s_clean[i]);
+    reassigned = op.breakdown().tasks_reassigned;
+    recovery = op.breakdown().recovery;
+  }
+  EXPECT_GE(reassigned, 1u);
+  EXPECT_GT(recovery, 0.0);
 }
 
 TEST(FaultRecovery, EveryRankKilledAbortsCleanly) {

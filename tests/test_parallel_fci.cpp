@@ -140,7 +140,7 @@ TEST(ParallelFci, SimulatedTimeIsDeterministic) {
     const auto c = rng.signed_vector(space.dimension());
     std::vector<double> s(c.size());
     op.apply(c, s);
-    elapsed[trial] = op.machine().elapsed();
+    elapsed[trial] = op.ddi().elapsed();
   }
   EXPECT_DOUBLE_EQ(elapsed[0], elapsed[1]);
   EXPECT_GT(elapsed[0], 0.0);
@@ -205,7 +205,7 @@ TEST(ParallelFci, CommunicationCountsMatchTable1Model) {
     // compare orders of magnitude.
     double words = 0.0;
     for (std::size_t r = 0; r < 4; ++r) {
-      const auto& cc = op.machine().counters(r);
+      const auto& cc = op.ddi().counters(r);
       words += cc.get_words + 2.0 * cc.acc_words;
     }
     return words;
@@ -251,7 +251,7 @@ TEST(ParallelFci, SpeedupImprovesWithRanks) {
     fcp::ParallelSigma op(ctx, opt);
     std::vector<double> s(c.size());
     op.apply(c, s);
-    return op.machine().elapsed();
+    return op.ddi().elapsed();
   };
   const double t2 = time_of(2);
   const double t8 = time_of(8);
@@ -277,7 +277,7 @@ TEST(ParallelFci, AggregationReducesDlbTraffic) {
     op.apply(c, s);
     std::size_t calls = 0;
     for (std::size_t r = 0; r < 8; ++r)
-      calls += op.machine().counters(r).dlb_calls;
+      calls += op.ddi().counters(r).dlb_calls;
     return calls;
   };
   EXPECT_LT(dlb_calls(true), dlb_calls(false));

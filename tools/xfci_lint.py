@@ -16,6 +16,11 @@ entry-require       Public entry points in src/fci/, src/fci_parallel/ and
                     NEAR_TOP lines of the body.  Suppress intentionally
                     unchecked functions with `// lint: no-require` on the
                     signature line.
+layering            The simulated machine is an implementation detail of the
+                    DDI layer: outside src/parallel/ nothing may include
+                    parallel/machine.hpp or name pv::Machine directly.
+                    Application code (src/fci_parallel/, drivers, ...) talks
+                    to pv::Ddi so every backend goes through one interface.
 catch-swallow       No `catch (...)` that swallows the exception: the body
                     must rethrow (`throw;`), capture it for later
                     (`std::current_exception`/`std::rethrow_exception`), or
@@ -231,6 +236,28 @@ def check_entry_require(path: str, raw: str, code: str,
                         f"check or suppress with `// {SUPPRESS}`"))
 
 
+LAYERING_EXEMPT = "src/parallel/"
+MACHINE_INCLUDE = re.compile(
+    r'^[ \t]*#[ \t]*include[ \t]*"parallel/machine\.hpp"', re.MULTILINE)
+MACHINE_TOKEN = re.compile(r"\bpv::Machine\b")
+
+
+def check_layering(path: str, raw: str, code: str, findings: list) -> None:
+    """Machine is private to the DDI layer (DESIGN.md, 'Layering')."""
+    if path.replace(os.sep, "/").startswith(LAYERING_EXEMPT):
+        return
+    for m in MACHINE_INCLUDE.finditer(raw):
+        findings.append(
+            Finding(path, line_of(raw, m.start()), "layering",
+                    "parallel/machine.hpp is private to src/parallel/; "
+                    "include parallel/ddi.hpp and use pv::Ddi"))
+    for m in MACHINE_TOKEN.finditer(code):
+        findings.append(
+            Finding(path, line_of(code, m.start()), "layering",
+                    "direct pv::Machine use outside src/parallel/; go "
+                    "through the pv::Ddi interface"))
+
+
 HANDLES_EXCEPTION = re.compile(
     r"\bthrow\b|\brethrow_exception\b|\bcurrent_exception\b|"
     r"\bcerr\b|\bclog\b|\bfprintf\b|\blog\w*\s*\(")
@@ -262,6 +289,7 @@ def lint_tree(root: str) -> list:
             code = strip_comments_and_strings(raw)
             check_raw_assert(rel, code, findings)
             check_catch_swallow(rel, code, findings)
+            check_layering(rel, raw, code, findings)
             if fn.endswith((".hpp", ".h")):
                 check_using_namespace(rel, code, findings)
                 check_pragma_once(rel, raw, findings)
@@ -356,6 +384,22 @@ void f(std::exception_ptr& err) {
 }  // namespace xfci::fci
 """
 
+BAD_LAYER_CPP = """\
+#include "parallel/machine.hpp"
+namespace xfci::fcp {
+void f() { pv::Machine m(4); (void)m; }
+}  // namespace xfci::fcp
+"""
+
+GOOD_LAYER_CPP = """\
+// The simulated pv::Machine (parallel/machine.hpp) backs this path -- a
+// comment mention must not trip the layering rule.
+#include "parallel/ddi.hpp"
+namespace xfci::fcp {
+void f() {}
+}  // namespace xfci::fcp
+"""
+
 BAD_ENTRY_CPP = """\
 #include "common/error.hpp"
 namespace xfci::fci {
@@ -407,13 +451,17 @@ def self_test() -> int:
            "catch-swallow", True)
     expect("storing/rethrowing catch-all passes", "good_catch.cpp",
            GOOD_CATCH_CPP, "catch-swallow", False)
+    expect("seeded machine use outside src/parallel", "bad_layer.cpp",
+           BAD_LAYER_CPP, "layering", True)
+    expect("comment mention of machine allowed", "good_layer.cpp",
+           GOOD_LAYER_CPP, "layering", False)
 
     if failures:
         print("xfci_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("xfci_lint self-test passed (10 cases).")
+    print("xfci_lint self-test passed (12 cases).")
     return 0
 
 
