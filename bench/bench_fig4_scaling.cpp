@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "fci_parallel/driver_cli.hpp"
 #include "fci_parallel/parallel_fci.hpp"
 #include "systems/standard_systems.hpp"
@@ -51,6 +52,20 @@ int main(int argc, char** argv) {
   xfci::Rng rng(11);
   const auto c = rng.signed_vector(space.dimension());
 
+  // One Tracer across the sweep: each (MSP count, algorithm) row gets its
+  // own Chrome pid via begin_run(), since every row's backend restarts its
+  // clock at zero.
+  xfci::obs::Tracer tracer;
+  if (!cli.trace.empty()) tracer.enable(0);
+
+  BenchReport report("fig4");
+  report.config_str("backend", cli.backend_name());
+  report.config_num("ci_dimension", static_cast<double>(space.dimension()));
+  report.config_num("nalpha", static_cast<double>(sys.nalpha));
+  report.config_num("nbeta", static_cast<double>(sys.nbeta));
+
+  fcp::RunMetrics last_metrics;
+  double total_seconds = 0.0;
   print_row({"MSPs", "ab(MOC)", "bb(MOC)", "ab(DGEMM)", "bb(DGEMM)",
              "tot(MOC)", "tot(DGEMM)"});
   print_rule(7);
@@ -63,6 +78,11 @@ int main(int argc, char** argv) {
       opt.num_ranks = p;
       opt.algorithm =
           (alg == 0) ? xf::Algorithm::kMoc : xf::Algorithm::kDgemm;
+      if (!cli.trace.empty()) {
+        tracer.begin_run("fig4 p=" + std::to_string(p) +
+                         (alg == 0 ? " moc" : " dgemm"));
+        opt.tracer = &tracer;
+      }
       fcp::ParallelSigma op(ctx, opt);
       std::vector<double> s(c.size());
       op.apply(c, s);
@@ -71,14 +91,31 @@ int main(int argc, char** argv) {
       row[alg * 2 + 0] = b.mixed;
       row[alg * 2 + 1] = b.beta_side + b.alpha_side;
       row[4 + alg] = b.total;
+      total_seconds += b.total;
+      if (!cli.metrics.empty() && p == 128 && alg == 1)
+        last_metrics = fcp::RunMetrics::capture(op);
     }
     print_row({std::to_string(p), fmt_seconds(row[0]), fmt_seconds(row[1]),
                fmt_seconds(row[2]), fmt_seconds(row[3]), fmt_seconds(row[4]),
                fmt_seconds(row[5])});
+    report.begin_row();
+    report.col("msps", static_cast<double>(p));
+    report.col("ab_moc", row[0]);
+    report.col("bb_moc", row[1]);
+    report.col("ab_dgemm", row[2]);
+    report.col("bb_dgemm", row[3]);
+    report.col("total_moc", row[4]);
+    report.col("total_dgemm", row[5]);
   }
   std::printf(
       "\nShape check (paper): bb(MOC) flat with MSP count (replicated\n"
       "element list); ab(MOC) scales poorly (gather per excitation);\n"
       "DGEMM routines are fastest and scale nearly ideally.\n");
+  report.write("BENCH_fig4.json", total_seconds);
+  if (!cli.trace.empty()) tracer.write_chrome_trace(cli.trace);
+  if (!cli.metrics.empty()) {
+    last_metrics.run = "fig4 p=128 dgemm";
+    last_metrics.write(cli.metrics);
+  }
   return 0;
 }

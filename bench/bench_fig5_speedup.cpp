@@ -10,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "fci_parallel/driver_cli.hpp"
 #include "fci_parallel/parallel_fci.hpp"
 #include "systems/standard_systems.hpp"
@@ -44,6 +45,16 @@ int main(int argc, char** argv) {
   xfci::Rng rng(4);
   const auto c = rng.signed_vector(space.dimension());
 
+  // One Chrome pid per MSP count (each row's backend clock restarts at 0).
+  xfci::obs::Tracer tracer;
+  if (!cli.trace.empty()) tracer.enable(0);
+
+  BenchReport report("fig5");
+  report.config_str("backend", cli.backend_name());
+  report.config_num("ci_dimension", static_cast<double>(space.dimension()));
+
+  fcp::RunMetrics last_metrics;
+  double total_seconds = 0.0;
   print_row({"MSPs", "t/sigma", "speedup", "ideal", "efficiency",
              "GF/MSP"});
   print_rule(6);
@@ -53,6 +64,10 @@ int main(int argc, char** argv) {
     // selection); the MSP sweep overrides the rank count per row.
     fcp::ParallelOptions opt = cli.parallel_options();
     opt.num_ranks = p;
+    if (!cli.trace.empty()) {
+      tracer.begin_run("fig5 p=" + std::to_string(p));
+      opt.tracer = &tracer;
+    }
     fcp::ParallelSigma op(ctx, opt);
     std::vector<double> s(c.size());
     op.apply(c, s);
@@ -61,12 +76,27 @@ int main(int argc, char** argv) {
     const double flops = op.ddi().total_flops();
     const double gf = flops / static_cast<double>(p) / t / 1e9;
     const double speedup = 16.0 * t16 / t;
+    total_seconds += t;
     print_row({std::to_string(p), fmt_seconds(t), fmt(speedup, "%.1f"),
                std::to_string(p), fmt(speedup / static_cast<double>(p), "%.2f"),
                fmt(gf, "%.2f")});
+    report.begin_row();
+    report.col("msps", static_cast<double>(p));
+    report.col("t_sigma", t);
+    report.col("speedup", speedup);
+    report.col("efficiency", speedup / static_cast<double>(p));
+    report.col("gflops_per_msp", gf);
+    if (!cli.metrics.empty() && p == 256)
+      last_metrics = fcp::RunMetrics::capture(op);
   }
   std::printf(
       "\nShape check (paper): near-perfect speedup 128 -> 256 MSPs;\n"
       "sustained 8-10 GF/MSP (62-80%% of the 12.8 GF/MSP peak).\n");
+  report.write("BENCH_fig5.json", total_seconds);
+  if (!cli.trace.empty()) tracer.write_chrome_trace(cli.trace);
+  if (!cli.metrics.empty()) {
+    last_metrics.run = "fig5 p=256";
+    last_metrics.write(cli.metrics);
+  }
   return 0;
 }

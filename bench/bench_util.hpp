@@ -1,12 +1,18 @@
 #pragma once
 // Small shared helpers for the benchmark executables: aligned table
-// printing and duration formatting.  Each bench binary regenerates one
-// table or figure of the paper (see DESIGN.md section 4) and prints both
-// the measured values and the paper's reported shape for comparison.
+// printing, duration formatting, and the BENCH_*.json reporter.  Each
+// bench binary regenerates one table or figure of the paper (see
+// DESIGN.md section 4) and prints both the measured values and the
+// paper's reported shape for comparison; the JSON report mirrors the
+// printed table row-for-row so CI can diff runs without scraping text.
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/metrics.hpp"
 
 namespace xfci::bench {
 
@@ -39,5 +45,67 @@ inline std::string fmt_seconds(double s) {
     std::snprintf(buf, sizeof(buf), "%.2f s", s);
   return buf;
 }
+
+/// Machine-readable bench output (schema "xfci-bench-v1"):
+///
+///   { "schema": "xfci-bench-v1", "bench": "fig4",
+///     "config": {...}, "rows": [{...}, ...], "total_seconds": T }
+///
+/// Cells are stored pre-rendered through the deterministic obs::JsonWriter
+/// number formatting, so identical measurements give byte-identical
+/// files.  `total_seconds` is in the backend's clock domain: simulated
+/// seconds for the X1 cost model, wall seconds for the threads backend.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Run-level configuration (backend, basis, CI dimension, ...).
+  void config_num(std::string key, double v) {
+    config_.emplace_back(std::move(key), obs::json_number(v));
+  }
+  void config_str(std::string key, std::string_view v) {
+    config_.emplace_back(std::move(key), obs::json_quote(v));
+  }
+
+  /// Starts a new table row; subsequent col() calls fill it.
+  void begin_row() { rows_.emplace_back(); }
+  void col(std::string key, double v) {
+    rows_.back().emplace_back(std::move(key), obs::json_number(v));
+  }
+  void col_str(std::string key, std::string_view v) {
+    rows_.back().emplace_back(std::move(key), obs::json_quote(v));
+  }
+
+  std::string to_json(double total_seconds) const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("schema").str("xfci-bench-v1");
+    w.key("bench").str(bench_);
+    w.key("config").begin_object();
+    for (const auto& [k, v] : config_) w.key(k).raw(v);
+    w.end_object();
+    w.key("rows").begin_array();
+    for (const auto& row : rows_) {
+      w.begin_object();
+      for (const auto& [k, v] : row) w.key(k).raw(v);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("total_seconds").num(total_seconds);
+    w.end_object();
+    return w.take();
+  }
+
+  void write(const std::string& path, double total_seconds) const {
+    obs::write_text_file(path, to_json(total_seconds));
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+  std::string bench_;
+  Fields config_;             // key -> rendered JSON value
+  std::vector<Fields> rows_;  // one Fields per table row
+};
 
 }  // namespace xfci::bench

@@ -182,6 +182,37 @@ std::vector<double> olsen_correction(const ModelSpacePreconditioner& precond,
   return t;
 }
 
+// The attached tracer when it is actually recording, else nullptr so each
+// emission site costs one predicted branch on untraced runs.
+obs::Tracer* solver_tracer(const SolverOptions& opt) {
+  return (opt.tracer != nullptr && opt.tracer->enabled()) ? opt.tracer
+                                                          : nullptr;
+}
+
+// Traced checkpoint I/O: the save/load spans land on the control track in
+// the backend's clock domain (zero simulated duration -- file I/O is not
+// charged -- but they mark *when* in the run the state was persisted).
+void traced_save(const SolverOptions& opt, const Checkpoint& ck) {
+  obs::Tracer* tr = solver_tracer(opt);
+  const double t0 = tr != nullptr ? tr->now() : 0.0;
+  save_checkpoint(opt.checkpoint_path, ck);
+  if (tr != nullptr)
+    tr->span(tr->control_track(), "io", "checkpoint_save", t0, tr->now(),
+             obs::trace_args(
+                 {{"iter", static_cast<double>(ck.iteration)}}));
+}
+
+Checkpoint traced_load(const SolverOptions& opt) {
+  obs::Tracer* tr = solver_tracer(opt);
+  const double t0 = tr != nullptr ? tr->now() : 0.0;
+  Checkpoint ck = load_checkpoint(opt.restart_path);
+  if (tr != nullptr)
+    tr->span(tr->control_track(), "io", "checkpoint_load", t0, tr->now(),
+             obs::trace_args(
+                 {{"iter", static_cast<double>(ck.iteration)}}));
+  return ck;
+}
+
 // Warm-start resolution shared by every solver: a restart checkpoint (its
 // vector only) beats an explicit initial vector beats the model-space
 // guess.  The result is normalized -- callers needing the verbatim
@@ -191,7 +222,7 @@ std::vector<double> warm_start_vector(const ModelSpacePreconditioner& precond,
                                       const SolverOptions& opt) {
   std::vector<double> c;
   if (!opt.restart_path.empty()) {
-    Checkpoint ck = load_checkpoint(opt.restart_path);
+    Checkpoint ck = traced_load(opt);
     XFCI_REQUIRE(ck.c.size() == dim,
                  "checkpoint CI dimension does not match this problem");
     c = std::move(ck.c);
@@ -217,6 +248,7 @@ SolverResult solve_davidson(SigmaOperator& op,
   const std::size_t nroots = std::max<std::size_t>(1, opt.num_roots);
   XFCI_REQUIRE(nroots <= dim, "more roots than determinants");
   SolverResult res;
+  obs::Tracer* tr = solver_tracer(opt);
 
   std::vector<std::vector<double>> basis = precond.initial_guesses(dim, nroots);
   if (!opt.restart_path.empty() || !opt.initial_vector.empty())
@@ -244,10 +276,15 @@ SolverResult solve_davidson(SigmaOperator& op,
     // Apply H to every not-yet-applied basis vector.
     while (hbasis.size() < basis.size() &&
            res.iterations < opt.max_iterations) {
+      const double it0 = tr != nullptr ? tr->now() : 0.0;
       std::vector<double> hb(dim);
       op.apply(basis[hbasis.size()], hb);
       hbasis.push_back(std::move(hb));
       ++res.iterations;
+      if (tr != nullptr)
+        tr->span(tr->control_track(), "solver", "iteration", it0, tr->now(),
+                 obs::trace_args(
+                     {{"iter", static_cast<double>(res.iterations)}}));
     }
     if (hbasis.size() < basis.size()) break;  // iteration budget exhausted
 
@@ -364,15 +401,27 @@ SolverResult solve_subspace2(SigmaOperator& op,
                              double core, const SolverOptions& opt) {
   const std::size_t dim = op.space().dimension();
   SolverResult res;
+  obs::Tracer* tr = solver_tracer(opt);
+  const auto end_iteration = [&](std::size_t iter, double it0, double energy,
+                                 double rnorm) {
+    if (tr != nullptr)
+      tr->span(tr->control_track(), "solver", "iteration", it0, tr->now(),
+               obs::trace_args({{"iter", static_cast<double>(iter)},
+                                {"E", energy},
+                                {"rnorm", rnorm}}));
+  };
 
   std::vector<double> c = warm_start_vector(precond, dim, opt);
   std::vector<double> sigma(dim);
+  const double it_init = tr != nullptr ? tr->now() : 0.0;
   op.apply(c, sigma);
   res.iterations = 1;
   double e = dot(c, sigma);
   double last_e = e;
+  end_iteration(1, it_init, e + core, 0.0);
 
   for (std::size_t iter = 2; iter <= opt.max_iterations; ++iter) {
+    const double it0 = tr != nullptr ? tr->now() : 0.0;
     std::vector<double> r(dim);
     for (std::size_t i = 0; i < dim; ++i) r[i] = sigma[i] - e * c[i];
     const double rnorm = std::sqrt(dot(r, r));
@@ -388,6 +437,7 @@ SolverResult solve_subspace2(SigmaOperator& op,
       res.converged = true;
       res.energy = e + core;
       res.vector = c;
+      end_iteration(iter, it0, e + core, rnorm);
       return res;
     }
     last_e = e;
@@ -398,6 +448,7 @@ SolverResult solve_subspace2(SigmaOperator& op,
       res.converged = rnorm < opt.residual_tolerance;
       res.energy = e + core;
       res.vector = c;
+      end_iteration(iter, it0, e + core, rnorm);
       return res;
     }
 
@@ -437,8 +488,9 @@ SolverResult solve_subspace2(SigmaOperator& op,
       ck.c = c;
       ck.energy_history = res.energy_history;
       ck.residual_history = res.residual_history;
-      save_checkpoint(opt.checkpoint_path, ck);
+      traced_save(opt, ck);
     }
+    end_iteration(iter, it0, e + core, rnorm);
   }
 
   res.converged = false;
@@ -452,6 +504,7 @@ SolverResult solve_single_vector(SigmaOperator& op,
                                  double core, const SolverOptions& opt) {
   const std::size_t dim = op.space().dimension();
   SolverResult res;
+  obs::Tracer* tr = solver_tracer(opt);
 
   std::vector<double> c;
   std::vector<double> sigma(dim);
@@ -469,7 +522,7 @@ SolverResult solve_single_vector(SigmaOperator& op,
     // Full restart: restore every word of the inter-iteration state.  The
     // CI vector is used verbatim -- renormalizing (dividing by a norm of
     // ~1.0) would perturb the bits and break the trajectory guarantee.
-    const Checkpoint ck = load_checkpoint(opt.restart_path);
+    const Checkpoint ck = traced_load(opt);
     XFCI_REQUIRE(ck.c.size() == dim,
                  "checkpoint CI dimension does not match this problem");
     XFCI_REQUIRE(ck.method == static_cast<std::uint32_t>(opt.method),
@@ -493,7 +546,18 @@ SolverResult solve_single_vector(SigmaOperator& op,
     c = warm_start_vector(precond, dim, opt);
   }
 
+  const auto end_iteration = [&](std::size_t iter, double it0, double energy,
+                                 double step, double rnorm) {
+    if (tr != nullptr)
+      tr->span(tr->control_track(), "solver", "iteration", it0, tr->now(),
+               obs::trace_args({{"iter", static_cast<double>(iter)},
+                                {"E", energy},
+                                {"lambda", step},
+                                {"rnorm", rnorm}}));
+  };
+
   for (std::size_t iter = first_iter; iter <= opt.max_iterations; ++iter) {
+    const double it0 = tr != nullptr ? tr->now() : 0.0;
     op.apply(c, sigma);
     res.iterations = iter;
     const double e = dot(c, sigma);
@@ -535,6 +599,7 @@ SolverResult solve_single_vector(SigmaOperator& op,
       res.converged = true;
       res.energy = e + core;
       res.vector = c;
+      end_iteration(iter, it0, e + core, lambda, rnorm);
       return res;
     }
 
@@ -548,6 +613,7 @@ SolverResult solve_single_vector(SigmaOperator& op,
       res.converged = rnorm < opt.residual_tolerance;
       res.energy = e + core;
       res.vector = c;
+      end_iteration(iter, it0, e + core, lambda, rnorm);
       return res;
     }
 
@@ -607,8 +673,9 @@ SolverResult solve_single_vector(SigmaOperator& op,
       ck.c = c;
       ck.energy_history = res.energy_history;
       ck.residual_history = res.residual_history;
-      save_checkpoint(opt.checkpoint_path, ck);
+      traced_save(opt, ck);
     }
+    end_iteration(iter, it0, e + core, lambda, rnorm);
   }
 
   res.converged = false;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "fci/sigma.hpp"
 #include "fci/slater_condon.hpp"
 
@@ -67,6 +68,11 @@ struct SolverOptions {
   /// written by the same method); the subspace methods use the checkpoint
   /// vector as a warm start.
   std::string restart_path;
+  /// Span sink for per-iteration solver spans (E(n), lambda, |r| args)
+  /// and checkpoint save/load spans, on the control track in the
+  /// backend's clock domain.  run_parallel_fci shares the Ddi backend's
+  /// tracer automatically; nullptr records nothing.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct SolverResult {

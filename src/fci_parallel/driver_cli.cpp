@@ -12,9 +12,27 @@ namespace {
                "%s: unknown or incomplete argument '%s'\n"
                "usage: %s [num_ranks] [--backend sim|threads] [--threads N]\n"
                "          [--faults] [--checkpoint PATH] [--restart PATH]\n"
-               "          [--max-iters N]\n",
+               "          [--max-iters N] [--trace PATH] [--metrics PATH]\n",
                prog, bad, prog);
   std::exit(2);
+}
+
+/// Matches "--name VALUE" and "--name=VALUE"; advances i past a separate
+/// VALUE argument.
+bool string_flag(const char* name, int argc, char** argv, int& i,
+                 std::string& out) {
+  const char* arg = argv[i];
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '=') {
+    out = arg + n + 1;
+    return true;
+  }
+  if (arg[n] == '\0' && i + 1 < argc) {
+    out = argv[++i];
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -38,10 +56,10 @@ DriverCli DriverCli::parse(int argc, char** argv,
         usage_error(prog, name);
     } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
       cli.num_threads = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (std::strcmp(arg, "--checkpoint") == 0 && i + 1 < argc) {
-      cli.checkpoint = argv[++i];
-    } else if (std::strcmp(arg, "--restart") == 0 && i + 1 < argc) {
-      cli.restart = argv[++i];
+    } else if (string_flag("--checkpoint", argc, argv, i, cli.checkpoint)) {
+    } else if (string_flag("--restart", argc, argv, i, cli.restart)) {
+    } else if (string_flag("--trace", argc, argv, i, cli.trace)) {
+    } else if (string_flag("--metrics", argc, argv, i, cli.metrics)) {
     } else if (std::strcmp(arg, "--max-iters") == 0 && i + 1 < argc) {
       cli.max_iters = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg[0] >= '0' && arg[0] <= '9') {

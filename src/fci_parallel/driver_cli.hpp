@@ -20,7 +20,11 @@ namespace xfci::fcp {
 ///   --checkpoint PATH    write solver state to PATH every iteration
 ///   --restart PATH       resume from a checkpoint
 ///   --max-iters N        stop after N iterations
-/// Unknown flags abort with a usage message on stderr.
+///   --trace PATH         write a Chrome-trace-event JSON span trace
+///                        (load in Perfetto / chrome://tracing)
+///   --metrics PATH       write the machine-readable run report JSON
+/// String-valued flags also accept the --flag=VALUE form.  Unknown flags
+/// abort with a usage message on stderr.
 struct DriverCli {
   std::size_t num_ranks = 16;
   ExecutionMode backend = ExecutionMode::kSimulate;
@@ -29,6 +33,8 @@ struct DriverCli {
   std::string checkpoint;
   std::string restart;
   std::size_t max_iters = 0;
+  std::string trace;    ///< Chrome trace output path ("" = tracing off)
+  std::string metrics;  ///< run-report JSON output path ("" = off)
   /// Cost-model overhead scaling shared by the small-system drivers
   /// (EXPERIMENTS.md): latencies scaled with the problem size.
   double overhead_scale = 0.02;

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 
+#include "common/trace.hpp"
 #include "fci/fci.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/task_pool.hpp"
@@ -48,6 +49,11 @@ struct ParallelOptions {
   std::size_t max_task_retries = 3;
   /// Retransmissions allowed per one-sided op before the run aborts.
   std::size_t max_op_retries = 8;
+  /// Span/instant sink, installed into the backend at construction
+  /// (nullptr — the default — records nothing and costs nothing; see
+  /// common/trace.hpp).  The driver owns the Tracer and writes the
+  /// Chrome-trace file after the run.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Simulated-time breakdown accumulated over sigma applications; the rows
@@ -71,6 +77,12 @@ struct PhaseBreakdown {
   std::size_t tasks_reassigned = 0;  ///< DLB chunks redone after a death
   std::size_t ops_retried = 0;       ///< one-sided retransmissions
   std::size_t ranks_lost = 0;        ///< rank deaths absorbed by survivors
+
+  // Ddi-layer event totals, summed over ranks (cumulative).  These were
+  // always tracked by pv::CommCounters but never surfaced in a report.
+  std::size_t dlb_calls = 0;    ///< shared DLB-counter round-trips
+  std::size_t ops_dropped = 0;  ///< one-sided ops lost to fault injection
+  std::size_t ops_delayed = 0;  ///< one-sided ops delayed by fault injection
 
   /// Per-sigma averages (event counters stay cumulative).
   PhaseBreakdown averaged() const;

@@ -8,6 +8,25 @@ namespace {
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
+/// Ddi-layer event counters summed over ranks (the totals PhaseBreakdown
+/// reports as deltas per sigma batch).
+struct CommEventTotals {
+  std::size_t dlb_calls = 0;
+  std::size_t ops_dropped = 0;
+  std::size_t ops_delayed = 0;
+};
+
+CommEventTotals comm_event_totals(const pv::Ddi& ddi) {
+  CommEventTotals t;
+  for (std::size_t r = 0; r < ddi.num_ranks(); ++r) {
+    const pv::CommCounters& cc = ddi.counters(r);
+    t.dlb_calls += cc.dlb_calls;
+    t.ops_dropped += cc.ops_dropped;
+    t.ops_delayed += cc.ops_delayed;
+  }
+  return t;
+}
+
 /// Builds the backend the options select.  A future real-transport backend
 /// (MPI / native SHMEM) adds one more case here; nothing else changes.
 std::unique_ptr<pv::Ddi> make_backend(const ParallelOptions& options) {
@@ -58,6 +77,9 @@ ParallelSigma::ParallelSigma(const fci::SigmaContext& context,
   block_of_halpha_.assign(space.group().num_irreps(), kNone);
   for (std::size_t b = 0; b < space.blocks().size(); ++b)
     block_of_halpha_[space.blocks()[b].halpha] = b;
+  // The backend sizes and labels the tracer's tracks and installs its own
+  // clock domain; from here on every layer emits through ddi().tracer().
+  if (options_.tracer != nullptr) ddi_->set_tracer(options_.tracer);
   if (ddi_->concurrent()) {
     // Shared tables are built lazily; materialize them now, before any
     // worker thread can race on the first touch.
@@ -80,6 +102,9 @@ void ParallelSigma::charge_solver_vector_ops() {
   }
   const double t1 = ddi_->barrier();
   breakdown_.vector_ops += t1 - t0;
+  obs::Tracer* tr = ddi_->tracer();
+  if (tr != nullptr && tr->enabled())
+    tr->span(tr->control_track(), "phase", "vector_ops", t0, t1);
 }
 
 void ParallelSigma::apply_dgemm(std::span<const double> c,
@@ -141,6 +166,7 @@ void ParallelSigma::apply(std::span<const double> c,
   const double start = ddi_->elapsed();
   const double comm0 = ddi_->comm_words();
   const double flop0 = ddi_->total_flops();
+  const CommEventTotals ev0 = comm_event_totals(*ddi_);
 
   if (options_.algorithm == fci::Algorithm::kMoc)
     apply_moc(c, sigma);
@@ -152,8 +178,20 @@ void ParallelSigma::apply(std::span<const double> c,
   breakdown_.comm_words += ddi_->comm_words() - comm0;
   breakdown_.flops += ddi_->total_flops() - flop0;
   breakdown_.count += 1;
+  const CommEventTotals ev1 = comm_event_totals(*ddi_);
+  breakdown_.dlb_calls += ev1.dlb_calls - ev0.dlb_calls;
+  breakdown_.ops_dropped += ev1.ops_dropped - ev0.ops_dropped;
+  breakdown_.ops_delayed += ev1.ops_delayed - ev0.ops_delayed;
 
   stats_.dgemm_flops += ddi_->total_flops() - flop0;
+
+  obs::Tracer* tr = ddi_->tracer();
+  if (tr != nullptr && tr->enabled())
+    tr->span(tr->control_track(), "sigma", "sigma", start, ddi_->elapsed(),
+             obs::trace_args(
+                 {{"n", static_cast<double>(breakdown_.count)},
+                  {"comm_words", ddi_->comm_words() - comm0},
+                  {"flops", ddi_->total_flops() - flop0}}));
 }
 
 ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
@@ -173,6 +211,9 @@ ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
   fci::SolverOptions sopt = solver;
   if (options.ms0_transpose && nalpha == nbeta && !sopt.purify)
     sopt.purify = fci::make_parity_purifier(space);
+  // The solver shares the backend's trace sink and clock domain, so its
+  // per-iteration spans interleave correctly with the sigma phase spans.
+  if (sopt.tracer == nullptr) sopt.tracer = op.ddi().tracer();
   res.solve = fci::solve_lowest(op, ints, sopt);
   res.per_sigma = op.breakdown().averaged();
   // Cost-modeling backends report simulated makespan; real backends report
@@ -184,6 +225,8 @@ ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
                         static_cast<double>(op.ddi().num_workers()) /
                         std::max(res.total_seconds, 1e-30) / 1e9;
   res.comm_words_per_sigma = op.breakdown().averaged().comm_words;
+  res.metrics = RunMetrics::capture(op);
+  res.metrics.add_solve(res.solve);
   return res;
 }
 

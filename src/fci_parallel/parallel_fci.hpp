@@ -42,6 +42,7 @@
 #include "fci_parallel/distribution.hpp"
 #include "fci_parallel/options.hpp"
 #include "fci_parallel/phase_engines.hpp"
+#include "fci_parallel/run_report.hpp"
 #include "parallel/ddi.hpp"
 
 namespace xfci::fcp {
@@ -63,6 +64,9 @@ class ParallelSigma : public fci::SigmaOperator {
   const ColumnDistribution& distribution() const { return dist_; }
   const PhaseBreakdown& breakdown() const { return breakdown_; }
   void reset_breakdown() { breakdown_ = PhaseBreakdown{}; }
+  /// The options the operator was built with (RunMetrics::capture reports
+  /// the algorithm and cost model from here).
+  const ParallelOptions& options() const { return options_; }
 
  private:
   void apply_dgemm(std::span<const double> c, std::span<double> sigma);
@@ -92,6 +96,9 @@ struct ParallelFciResult {
   double total_seconds = 0.0;     ///< simulated time of the whole solve
   double gflops_per_rank = 0.0;   ///< sustained per-MSP rate
   double comm_words_per_sigma = 0.0;
+  /// Machine-readable snapshot of the run (the --metrics payload); the
+  /// driver sets .run and calls .write(path).
+  RunMetrics metrics;
 };
 
 /// Runs the full distributed FCI solve on `num_ranks` simulated MSPs.

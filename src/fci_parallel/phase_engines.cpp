@@ -78,6 +78,29 @@ void charge_kernel_stats(const PhaseState& s, std::size_t rank,
                        s.options.cost.moc_element * stats.element_count);
 }
 
+// The attached tracer when it is actually recording, else nullptr so the
+// emission sites below stay one predicted branch on untraced runs.
+obs::Tracer* tracer_of(const PhaseState& s) {
+  obs::Tracer* tr = s.ddi.tracer();
+  return (tr != nullptr && tr->enabled()) ? tr : nullptr;
+}
+
+// Per-rank phase span on the rank's own clock domain; call at the end of
+// a for_ranks body with the entry timestamp.
+void rank_span(const PhaseState& s, const char* name, std::size_t r,
+               double t0) {
+  if (obs::Tracer* tr = tracer_of(s))
+    tr->span(r, "phase", name, t0, s.ddi.now(r));
+}
+
+// Control-track phase span covering a barrier-to-barrier window (the same
+// deltas that feed the Table-3 rows).
+void control_span(const PhaseState& s, const char* name, double t0,
+                  double t1, std::string args = {}) {
+  if (obs::Tracer* tr = tracer_of(s))
+    tr->span(tr->control_track(), "phase", name, t0, t1, std::move(args));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -106,6 +129,10 @@ pv::OpOutcome RecoveryEngine::robust_one_sided(bool accumulate,
     s_.ddi.charge_seconds(rank, s_.options.cost.ack_timeout);
     s_.breakdown.recovery += s_.options.cost.ack_timeout;
     s_.breakdown.ops_retried += 1;
+    if (obs::Tracer* tr = tracer_of(s_))
+      tr->instant(rank, "recovery", "retransmit", s_.ddi.now(rank),
+                  obs::trace_args({{"owner", static_cast<double>(owner)},
+                                   {"words", words}}));
   }
 }
 
@@ -124,6 +151,12 @@ void RecoveryEngine::maybe_redistribute() {
       }
     }
     const double t0 = s_.ddi.barrier();
+    if (obs::Tracer* tr = tracer_of(s_)) {
+      for (std::size_t r = 0; r < alive.size(); ++r)
+        if (alive[r] == 0 && s_.dist_alive[r] != 0)
+          tr->instant(tr->control_track(), "recovery", "rank_lost", t0,
+                      obs::trace_args({{"rank", static_cast<double>(r)}}));
+    }
     s_.dist.redistribute(alive);
     s_.dist_alive = alive;
     if (newly_dead > 0) {
@@ -143,6 +176,9 @@ void RecoveryEngine::maybe_redistribute() {
     }
     const double t1 = s_.ddi.barrier();
     s_.breakdown.recovery += t1 - t0;
+    control_span(s_, "redistribute", t0, t1,
+                 obs::trace_args(
+                     {{"ranks_lost", static_cast<double>(newly_dead)}}));
   }
 }
 
@@ -165,15 +201,19 @@ void SameSpinEngine::beta_side(const fci::SigmaContext& tctx,
   const double t0 = s_.ddi.barrier();
   std::vector<TransposedLocal> locals(nranks);
   s_.ddi.for_ranks([&](std::size_t r) {
+    const double tr0 = s_.ddi.now(r);
     locals[r] = build_beta_local(space, s_.dist, r, c);
     s_.ddi.charge_indexed(r, static_cast<double>(locals[r].words));
+    rank_span(s_, "transpose_in", r, tr0);
   });
   const double t1 = s_.ddi.barrier();
   s_.breakdown.transpose += t1 - t0;
+  control_span(s_, "transpose_in", t0, t1);
 
   // Phase: beta-index same-spin + one-electron, zero communication
   // (paper Fig. 2a, the "Beta-beta" row of Table 3).
   s_.ddi.for_ranks([&](std::size_t r) {
+    const double tr0 = s_.ddi.now(r);
     fci::SigmaStats stats;
     if (moc_kernel)
       fci::moc_same_spin_columns(tctx, locals[r].views, stats);
@@ -181,17 +221,22 @@ void SameSpinEngine::beta_side(const fci::SigmaContext& tctx,
       fci::sigma_same_spin_columns(tctx, locals[r].views, stats);
     fci::sigma_one_electron_columns(tctx, locals[r].views, stats);
     charge_kernel_stats(s_, r, stats);
+    rank_span(s_, "beta_side", r, tr0);
   });
   const double t2 = s_.ddi.barrier();
   s_.breakdown.beta_side += t2 - t1;
+  control_span(s_, "beta_side", t1, t2);
 
   // Phase: transpose back (rank-disjoint sigma writes).
   s_.ddi.for_ranks([&](std::size_t r) {
+    const double tr0 = s_.ddi.now(r);
     writeback_beta_local(space, s_.dist, r, locals[r], sigma);
     s_.ddi.charge_indexed(r, static_cast<double>(locals[r].words));
+    rank_span(s_, "transpose_out", r, tr0);
   });
   const double t3 = s_.ddi.barrier();
   s_.breakdown.transpose += t3 - t2;
+  control_span(s_, "transpose_out", t2, t3);
 }
 
 void SameSpinEngine::alpha_side(std::span<const double> c,
@@ -214,8 +259,10 @@ void SameSpinEngine::alpha_side(std::span<const double> c,
       s_.ddi.alltoall(r, nranks - 1, remote);
     const double t1 = s_.ddi.barrier();
     s_.breakdown.transpose += t1 - t0;
+    control_span(s_, "moc_gather", t0, t1);
 
     s_.ddi.for_ranks([&](std::size_t r) {
+      const double tr0 = s_.ddi.now(r);
       std::vector<fci::ColumnView> views(space.group().num_irreps());
       for (std::size_t b = 0; b < space.blocks().size(); ++b) {
         const auto& blk = space.blocks()[b];
@@ -228,9 +275,11 @@ void SameSpinEngine::alpha_side(std::span<const double> c,
       fci::moc_same_spin_columns(s_.ctx, views, stats);
       fci::sigma_one_electron_columns(s_.ctx, views, stats);
       charge_kernel_stats(s_, r, stats);
+      rank_span(s_, "alpha_side", r, tr0);
     });
     const double t2 = s_.ddi.barrier();
     s_.breakdown.alpha_side += t2 - t1;
+    control_span(s_, "alpha_side", t1, t2);
     return;
   }
 
@@ -253,11 +302,13 @@ void SameSpinEngine::alpha_side(std::span<const double> c,
   }
   const double t1 = s_.ddi.barrier();
   s_.breakdown.transpose += t1 - t0;
+  control_span(s_, "transpose_fwd", t0, t1);
 
   // Static alpha-index work on the transposed layout: each rank owns a
   // beta-column range, so it holds every alpha string for its rows, and
   // the sig_t writebacks are rank-disjoint.
   s_.ddi.for_ranks([&](std::size_t r) {
+    const double tr0 = s_.ddi.now(r);
     const TransposedLocal local = build_beta_local(tspace, tdist, r, ct);
     s_.ddi.charge_indexed(r, static_cast<double>(local.words));
     fci::SigmaStats stats;
@@ -266,9 +317,11 @@ void SameSpinEngine::alpha_side(std::span<const double> c,
     charge_kernel_stats(s_, r, stats);
     writeback_beta_local(tspace, tdist, r, local, sig_t);
     s_.ddi.charge_indexed(r, static_cast<double>(local.words));
+    rank_span(s_, "alpha_side", r, tr0);
   });
   const double t2 = s_.ddi.barrier();
   s_.breakdown.alpha_side += t2 - t1;
+  control_span(s_, "alpha_side", t1, t2);
 
   // Transpose back and accumulate.
   tspace.transpose_vector(sig_t, st_back);
@@ -284,6 +337,7 @@ void SameSpinEngine::alpha_side(std::span<const double> c,
   }
   const double t3 = s_.ddi.barrier();
   s_.breakdown.transpose += t3 - t2;
+  control_span(s_, "transpose_back", t2, t3);
 }
 
 void SameSpinEngine::parity_fold(std::span<double> sigma,
@@ -310,6 +364,7 @@ void SameSpinEngine::parity_fold(std::span<double> sigma,
   });
   const double t1 = s_.ddi.barrier();
   s_.breakdown.transpose += t1 - t0;
+  control_span(s_, "parity_fold", t0, t1);
 }
 
 // ---------------------------------------------------------------------------
@@ -463,6 +518,12 @@ void MixedSpinEngine::dgemm(std::span<const double> c,
   s_.breakdown.mixed += t1 - t0;
   s_.breakdown.load_imbalance += s_.ddi.imbalance();
   s_.breakdown.mixed_comm_words += s_.ddi.comm_words() - comm0;
+  control_span(s_, "mixed", t0, t1,
+               obs::trace_args(
+                   {{"tasks", static_cast<double>(pool.num_chunks())},
+                    {"items", static_cast<double>(items.size())},
+                    {"reassigned",
+                     static_cast<double>(st.tasks_reassigned)}}));
   stages_.clear();
   scratch_.clear();
 }
@@ -549,14 +610,17 @@ void MixedSpinEngine::moc(std::span<const double> c,
   const double t0 = s_.ddi.barrier();
   const double comm0 = s_.ddi.comm_words();
   s_.ddi.for_ranks([&](std::size_t r) {
+    const double tr0 = s_.ddi.now(r);
     fci::SigmaStats stats;
     rank_body(r, stats);
     s_.ddi.charge_indexed(r, stats.indexed_ops);
+    rank_span(s_, "mixed_moc", r, tr0);
   });
   const double t1 = s_.ddi.barrier();
   s_.breakdown.mixed += t1 - t0;
   s_.breakdown.load_imbalance += s_.ddi.imbalance();
   s_.breakdown.mixed_comm_words += s_.ddi.comm_words() - comm0;
+  control_span(s_, "mixed", t0, t1);
 }
 
 }  // namespace xfci::fcp

@@ -70,9 +70,31 @@ class SimulatedDdi final : public Ddi {
 
   std::size_t next_task(std::size_t rank) override {
     machine_.record_dlb_request(rank);
+    if (tracer_ && tracer_->enabled())
+      tracer_->instant(rank, "dlb", "dlb_claim", machine_.clock(rank));
     return task_counter_++;
   }
   void reset_task_counter() override { task_counter_ = 0; }
+
+  // Track layout: one per simulated rank, then the control track.  The
+  // tracer's free clock is the machine's elapsed time, so control-track
+  // spans (solver iterations, sigma dispatch) share the simulated
+  // timeline with the per-rank phase spans — deterministic end to end.
+  void set_tracer(obs::Tracer* tracer) override {
+    tracer_ = tracer;
+    if (tracer_ == nullptr) return;
+    const std::size_t n = machine_.num_ranks();
+    tracer_->enable(n + 1);
+    tracer_->set_control_track(n);
+    for (std::size_t r = 0; r < n; ++r)
+      tracer_->name_track(r, "rank " + std::to_string(r));
+    tracer_->name_track(n, "driver");
+    tracer_->set_clock([this] { return machine_.elapsed(); });
+  }
+  obs::Tracer* tracer() const override { return tracer_; }
+  double now(std::size_t rank) const override {
+    return machine_.clock(rank);
+  }
 
   PoolStats run_pool(const TaskPool& pool, const PoolHooks& hooks) override;
 
@@ -101,17 +123,21 @@ class SimulatedDdi final : public Ddi {
  private:
   Machine machine_;
   std::size_t task_counter_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 Ddi::PoolStats SimulatedDdi::run_pool(const TaskPool& pool,
                                       const PoolHooks& hooks) {
   PoolStats st;
+  obs::Tracer* tr =
+      (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
   reset_task_counter();
   for (std::size_t n = 0; n < pool.num_chunks(); ++n) {
     // Dynamic load balancing: the next chunk goes to the earliest rank.
     std::size_t r = machine_.earliest_rank();
     const std::size_t chunk = next_task(r);
     const auto [ibegin, iend] = pool.chunk(chunk);
+    double span_start = machine_.clock(r);
     std::size_t retries = 0;
     std::size_t it = ibegin;
     while (it < iend) {
@@ -128,12 +154,28 @@ Ddi::PoolStats SimulatedDdi::run_pool(const TaskPool& pool,
                    "aggregated DLB task exceeded its reassignment budget");
       ++retries;
       st.tasks_reassigned += 1;
+      if (tr) {
+        // Close the dead rank's partial span at its frozen clock, mark
+        // where the replacement picks the task up.
+        tr->span(r, "dlb", "task", span_start, machine_.clock(r),
+                 obs::trace_args({{"chunk", static_cast<double>(chunk)},
+                                  {"partial", 1.0}}));
+      }
       if (hooks.on_worker_death) hooks.on_worker_death();
       r = machine_.earliest_rank();
       machine_.charge(r, machine_.model().task_timeout);
       st.recovery_seconds += machine_.model().task_timeout;
       machine_.record_dlb_request(r);
+      if (tr)
+        tr->instant(r, "recovery", "task_reassigned", machine_.clock(r),
+                    obs::trace_args({{"chunk", static_cast<double>(chunk)}}));
+      span_start = machine_.clock(r);
     }
+    if (tr)
+      tr->span(r, "dlb", "task", span_start, machine_.clock(r),
+               obs::trace_args(
+                   {{"chunk", static_cast<double>(chunk)},
+                    {"items", static_cast<double>(iend - ibegin)}}));
   }
   return st;
 }
@@ -203,6 +245,26 @@ class ThreadsDdi final : public Ddi {
     task_counter_.store(0, std::memory_order_relaxed);
   }
 
+  // Track layout mirrors the flat charge slots: static phases emit by
+  // rank id, pool stages by worker id, and both index the same lanes
+  // (never concurrently — the phases are separated by region joins).
+  // Timestamps are wall seconds since backend construction.
+  void set_tracer(obs::Tracer* tracer) override {
+    tracer_ = tracer;
+    if (tracer_ == nullptr) return;
+    const std::size_t lanes = std::max(num_ranks_, team_.size());
+    tracer_->enable(lanes + 1);
+    tracer_->set_control_track(lanes);
+    for (std::size_t r = 0; r < num_ranks_; ++r)
+      tracer_->name_track(r, "rank " + std::to_string(r));
+    for (std::size_t w = num_ranks_; w < lanes; ++w)
+      tracer_->name_track(w, "worker " + std::to_string(w));
+    tracer_->name_track(lanes, "driver");
+    tracer_->set_clock([this] { return timer_.seconds(); });
+  }
+  obs::Tracer* tracer() const override { return tracer_; }
+  double now(std::size_t) const override { return timer_.seconds(); }
+
   PoolStats run_pool(const TaskPool& pool, const PoolHooks& hooks) override;
 
   void for_ranks(const std::function<void(std::size_t)>& body) override {
@@ -235,12 +297,15 @@ class ThreadsDdi final : public Ddi {
   std::vector<double> flops_;
   std::vector<CommCounters> counters_;  // stays zero: nothing moves
   std::atomic<std::size_t> task_counter_{0};
+  obs::Tracer* tracer_ = nullptr;
 };
 
 Ddi::PoolStats ThreadsDdi::run_pool(const TaskPool& pool,
                                     const PoolHooks& hooks) {
   PoolStats st;
   OrderedSequencer commit;
+  obs::Tracer* tr =
+      (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
   std::vector<double> rework(pool.num_chunks(), 0.0);
   std::vector<std::uint8_t> reassigned(pool.num_chunks(), 0);
   // Per-worker claim counters feeding the fault plan's worker-death
@@ -249,6 +314,10 @@ Ddi::PoolStats ThreadsDdi::run_pool(const TaskPool& pool,
 
   team_.for_pool_resilient(pool, [&](std::size_t chunk,
                                      std::size_t tid) -> bool {
+    const double t_claim = timer_.seconds();
+    if (tr)
+      tr->instant(tid, "dlb", "dlb_claim", t_claim,
+                  obs::trace_args({{"chunk", static_cast<double>(chunk)}}));
     const bool dies = plan_.worker_death_claim(tid) == ++claims[tid];
     const auto [ibegin, iend] = pool.chunk(chunk);
     for (std::size_t it = ibegin; it < iend; ++it) hooks.stage(it, tid);
@@ -259,6 +328,9 @@ Ddi::PoolStats ThreadsDdi::run_pool(const TaskPool& pool,
       // stalls on a dead worker); the re-execution time is the recovery
       // cost.  The recompute repeats the lost worker's flops rather than
       // adding new ones, so its charges are rolled back.
+      if (tr)
+        tr->instant(tid, "recovery", "worker_death", timer_.seconds(),
+                    obs::trace_args({{"chunk", static_cast<double>(chunk)}}));
       const Timer redo;
       const double flops0 = flops_[tid];
       for (std::size_t it = ibegin; it < iend; ++it) hooks.stage(it, tid);
@@ -266,9 +338,18 @@ Ddi::PoolStats ThreadsDdi::run_pool(const TaskPool& pool,
       rework[chunk] = redo.seconds();
       reassigned[chunk] = 1;
     }
-    commit.wait_turn(chunk);
+    const double t_gate = timer_.seconds();
+    const double waited = commit.wait_turn(chunk);
+    if (tr && waited > 0.0)
+      tr->span(tid, "dlb", "commit_wait", t_gate, timer_.seconds(),
+               obs::trace_args({{"chunk", static_cast<double>(chunk)}}));
     for (std::size_t it = ibegin; it < iend; ++it) hooks.commit(it);
     commit.complete(chunk);
+    if (tr)
+      tr->span(tid, "dlb", "task", t_claim, timer_.seconds(),
+               obs::trace_args(
+                   {{"chunk", static_cast<double>(chunk)},
+                    {"items", static_cast<double>(iend - ibegin)}}));
     return !dies;
   });
 

@@ -36,6 +36,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "parallel/fault.hpp"
 #include "x1/cost_model.hpp"
 
@@ -161,6 +162,22 @@ class Ddi {
   virtual void for_range(
       std::size_t n,
       const std::function<void(std::size_t, std::size_t)>& body) = 0;
+
+  // --- observability ----------------------------------------------------------
+  /// Attaches a span/instant sink (nullptr detaches).  The backend sizes
+  /// the tracer (one track per rank, plus worker tracks on the threads
+  /// backend, plus one control track), labels the tracks, points the
+  /// tracer's clock at its own domain — simulated seconds or wall
+  /// seconds — and from then on emits DLB task spans and claim/death
+  /// instants from run_pool/next_task.  Layers above add phase, solver
+  /// and checkpoint spans through tracer().
+  virtual void set_tracer(obs::Tracer* tracer) = 0;
+  /// The attached tracer, or nullptr when tracing is off.
+  virtual obs::Tracer* tracer() const = 0;
+  /// `rank`'s current time in this backend's trace clock domain: the
+  /// rank's simulated clock, or wall seconds since construction.  Span
+  /// emitters inside for_ranks bodies timestamp with this.
+  virtual double now(std::size_t rank) const = 0;
 
   // --- metrics ----------------------------------------------------------------
   virtual const CommCounters& counters(std::size_t rank) const = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "parallel/task_pool.hpp"
 
 namespace xfci::pv {
@@ -175,12 +176,15 @@ void ThreadTeam::for_static(std::size_t count, const RangeBody& body) {
   });
 }
 
-void OrderedSequencer::wait_turn(std::size_t index) {
+double OrderedSequencer::wait_turn(std::size_t index) {
   std::unique_lock<std::mutex> lk(mu_);
   // Waiting on a turn that has already passed would deadlock: nobody will
   // ever set turn_ back.  Catch the ownership error instead of hanging.
   XFCI_DCHECK(turn_ <= index, "ordered sequencer waiting on a passed turn");
+  if (turn_ == index) return 0.0;
+  const Timer blocked;
   cv_.wait(lk, [&] { return turn_ == index; });
+  return blocked.seconds();
 }
 
 void OrderedSequencer::complete(std::size_t index) {

@@ -116,7 +116,10 @@ class ThreadTeam {
 /// threaded sigma bitwise independent of the thread count.
 class OrderedSequencer {
  public:
-  void wait_turn(std::size_t index);
+  /// Blocks until every section j < index has completed; returns the wall
+  /// seconds spent blocked (0 when the turn was already ours) so callers
+  /// can attribute commit-gate stalls in traces.
+  double wait_turn(std::size_t index);
   void complete(std::size_t index);
   void reset(std::size_t start = 0);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+
 namespace xfci::x1 {
 
 double CostModel::dgemm_seconds(std::size_t m, std::size_t n,
@@ -65,6 +67,27 @@ CostModel CostModel::with_overhead_scale(double factor) const {
   m.ack_timeout *= factor;
   m.task_timeout *= factor;
   return m;
+}
+
+void CostModel::to_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.key("peak_flops").num(peak_flops);
+  w.key("dgemm_asymptotic").num(dgemm_asymptotic);
+  w.key("dgemm_half_dim").num(dgemm_half_dim);
+  w.key("daxpy_flops").num(daxpy_flops);
+  w.key("indexed_words").num(indexed_words);
+  w.key("kernel_startup").num(kernel_startup);
+  w.key("get_latency").num(get_latency);
+  w.key("get_bandwidth").num(get_bandwidth);
+  w.key("put_latency").num(put_latency);
+  w.key("acc_lock_overhead").num(acc_lock_overhead);
+  w.key("dlb_latency").num(dlb_latency);
+  w.key("barrier_cost").num(barrier_cost);
+  w.key("node_bandwidth").num(node_bandwidth);
+  w.key("ack_timeout").num(ack_timeout);
+  w.key("task_timeout").num(task_timeout);
+  w.key("moc_element").num(moc_element);
+  w.end_object();
 }
 
 }  // namespace xfci::x1

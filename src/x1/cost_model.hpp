@@ -24,6 +24,10 @@
 
 #include <cstddef>
 
+namespace xfci::obs {
+class JsonWriter;
+}
+
 namespace xfci::x1 {
 
 /// Tunable machine constants (defaults: Cray-X1 per-MSP numbers).
@@ -101,6 +105,11 @@ struct CostModel {
   /// work-to-overhead ratio.  Used by the Fig. 4 / Fig. 5 / Table 3
   /// benchmarks and documented in EXPERIMENTS.md.
   CostModel with_overhead_scale(double factor) const;
+
+  /// Serializes every model constant as one JSON object value (the
+  /// "cost_model" section of the --metrics run report), so a report pins
+  /// the exact charges its timings were simulated with.
+  void to_json(obs::JsonWriter& w) const;
 };
 
 }  // namespace xfci::x1

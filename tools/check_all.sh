@@ -26,6 +26,34 @@ done
 echo "== xfci_lint (tree + header self-containment) =="
 python3 tools/xfci_lint.py --compile-headers --cxx "${CXX:-c++}"
 
+echo "== check_trace (validator self-test) =="
+python3 tools/check_trace.py --self-test
+
+# Traced C2 run against the first preset built above: both backends must
+# emit Perfetto-loadable traces and a valid run report (DESIGN.md §11).
+case "${presets[0]}" in
+  default) obs_build=build ;;
+  *)       obs_build="build-${presets[0]}" ;;
+esac
+c2="${obs_build}/examples/c2_on_simulated_x1"
+if [ -x "${c2}" ]; then
+  echo "== observability: traced C2 runs (${presets[0]} preset) =="
+  obs_tmp=$(mktemp -d)
+  trap 'rm -rf "${obs_tmp}"' EXIT
+  "${c2}" 8 --trace "${obs_tmp}/sim.json" \
+      --metrics "${obs_tmp}/sim_metrics.json" > /dev/null
+  "${c2}" 4 --backend threads --threads 2 \
+      --trace "${obs_tmp}/threads.json" \
+      --metrics "${obs_tmp}/threads_metrics.json" > /dev/null
+  python3 tools/check_trace.py \
+      --trace "${obs_tmp}/sim.json" --trace "${obs_tmp}/threads.json" \
+      --metrics "${obs_tmp}/sim_metrics.json" \
+      --metrics "${obs_tmp}/threads_metrics.json" \
+      --expect-spans iteration,sigma,beta_side,alpha_side,mixed,task
+else
+  echo "== observability: ${c2} not built; skipped =="
+fi
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="
   cmake --build --preset default --target tidy

@@ -1,0 +1,375 @@
+#!/usr/bin/env python3
+"""Validator for the observability artifacts (DESIGN.md §11).
+
+Three document kinds, matched to the files our drivers emit:
+
+--trace FILE     Chrome-trace-event JSON written by --trace=FILE
+                 (Tracer::write_chrome_trace).  Checks: valid JSON,
+                 a traceEvents array of X/i/M events with non-negative
+                 timestamps, per-(pid, tid) spans that nest as a proper
+                 stack (a span either contains or is disjoint from its
+                 neighbours), and per-pid thread_name metadata.
+--metrics FILE   Run report written by --metrics=FILE (RunMetrics::write,
+                 schema "xfci-metrics-v1").  Checks the schema tag, the
+                 required keys, and internal consistency (one ranks[] row
+                 per rank, solver histories of equal length).
+--bench FILE     BENCH_*.json written by the bench binaries (BenchReport,
+                 schema "xfci-bench-v1"): schema tag, non-empty rows with
+                 a consistent column set, numeric total_seconds.
+
+--expect-spans a,b,c   With --trace: require each named span to occur.
+
+Exit status: 0 = all files valid, 1 = findings, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+# Adjacent phase spans share a barrier timestamp, but Chrome events store
+# (ts, dur) so the shared boundary is only reconstructed to ~1 ulp at
+# microsecond magnitudes.  1 ns of slack is far above ulp noise and far
+# below any real nesting violation.
+EPS_US = 1e-3
+
+
+def fail(findings: list, path: str, message: str) -> None:
+    findings.append(f"{path}: {message}")
+
+
+def load_json(path: str, findings: list):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(findings, path, f"unreadable or invalid JSON: {exc}")
+        return None
+
+
+# ------------------------------------------------------------------ trace --
+
+def check_trace(path: str, doc, findings: list,
+                expect_spans: list | None = None) -> None:
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(findings, path, "missing top-level traceEvents array")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(findings, path, "traceEvents must be a non-empty array")
+        return
+
+    tracks: dict = {}      # (pid, tid) -> [(t0, t1, name)]
+    named_tids: dict = {}  # pid -> set of tids with thread_name metadata
+    span_names: set = set()
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(findings, path, f"{where}: event is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(findings, path, f"{where}: missing '{key}'")
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                named_tids.setdefault(e.get("pid"), set()).add(e.get("tid"))
+            continue
+        if ph not in ("X", "i"):
+            fail(findings, path, f"{where}: unexpected phase {ph!r}")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(findings, path, f"{where}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(findings, path, f"{where}: bad dur {dur!r}")
+                continue
+            key = (e.get("pid"), e.get("tid"))
+            tracks.setdefault(key, []).append((ts, ts + dur, e.get("name")))
+            span_names.add(e.get("name"))
+
+    # Per-track stack nesting: sort (t0 asc, longer first); each span must
+    # be contained by or disjoint from the enclosing one.
+    for key, spans in sorted(tracks.items()):
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        stack: list = []
+        for t0, t1, name in spans:
+            while stack and t0 >= stack[-1][1] - EPS_US:
+                stack.pop()
+            if stack and t1 > stack[-1][1] + EPS_US:
+                fail(findings, path,
+                     f"track (pid {key[0]}, tid {key[1]}): span '{name}' "
+                     f"[{t0}, {t1}] crosses '{stack[-1][2]}' ending at "
+                     f"{stack[-1][1]}")
+            stack.append((t0, t1, name))
+
+    # Every track that carries events should be labelled for Perfetto.
+    for pid, tid in sorted(tracks):
+        if tid not in named_tids.get(pid, set()):
+            fail(findings, path,
+                 f"track (pid {pid}, tid {tid}) has spans but no "
+                 "thread_name metadata")
+
+    for name in expect_spans or []:
+        if name not in span_names:
+            fail(findings, path, f"expected span '{name}' never occurs")
+
+
+# ---------------------------------------------------------------- metrics --
+
+METRICS_KEYS = ("schema", "backend", "algorithm", "num_ranks",
+                "num_workers", "dimension", "total_seconds", "total_flops",
+                "phases", "totals", "comm", "recovery", "ranks")
+PHASE_KEYS = ("beta_side", "alpha_side", "mixed", "transpose",
+              "vector_ops", "load_imbalance", "recovery", "total",
+              "comm_words", "flops", "count")
+
+
+def check_metrics(path: str, doc, findings: list) -> None:
+    if not isinstance(doc, dict):
+        fail(findings, path, "metrics document is not an object")
+        return
+    if doc.get("schema") != "xfci-metrics-v1":
+        fail(findings, path,
+             f"schema is {doc.get('schema')!r}, want 'xfci-metrics-v1'")
+    for key in METRICS_KEYS:
+        if key not in doc:
+            fail(findings, path, f"missing key '{key}'")
+    for section in ("phases", "totals"):
+        block = doc.get(section)
+        if isinstance(block, dict):
+            for key in PHASE_KEYS:
+                if key not in block:
+                    fail(findings, path, f"{section} missing '{key}'")
+    ranks = doc.get("ranks")
+    nranks = doc.get("num_ranks")
+    if isinstance(ranks, list) and isinstance(nranks, (int, float)):
+        if len(ranks) != int(nranks):
+            fail(findings, path,
+                 f"ranks has {len(ranks)} rows for num_ranks {nranks}")
+    solver = doc.get("solver")
+    if isinstance(solver, dict):
+        eh = solver.get("energy_history", [])
+        rh = solver.get("residual_history", [])
+        if len(eh) != len(rh):
+            fail(findings, path,
+                 f"solver histories disagree: {len(eh)} energies vs "
+                 f"{len(rh)} residuals")
+        if solver.get("converged") and not eh:
+            fail(findings, path, "solver converged with empty history")
+
+
+# ------------------------------------------------------------------ bench --
+
+def check_bench(path: str, doc, findings: list) -> None:
+    if not isinstance(doc, dict):
+        fail(findings, path, "bench document is not an object")
+        return
+    if doc.get("schema") != "xfci-bench-v1":
+        fail(findings, path,
+             f"schema is {doc.get('schema')!r}, want 'xfci-bench-v1'")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        fail(findings, path, "missing or empty 'bench' name")
+    if not isinstance(doc.get("config"), dict):
+        fail(findings, path, "'config' must be an object")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(findings, path, "'rows' must be a non-empty array")
+    else:
+        columns = None
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or not row:
+                fail(findings, path, f"rows[{i}] is not a non-empty object")
+                continue
+            if columns is None:
+                columns = set(row)
+            elif set(row) != columns:
+                fail(findings, path,
+                     f"rows[{i}] columns {sorted(row)} differ from "
+                     f"rows[0] {sorted(columns)}")
+    if not isinstance(doc.get("total_seconds"), (int, float)):
+        fail(findings, path, "'total_seconds' must be a number")
+
+
+# -------------------------------------------------------------- self-test --
+
+GOOD_TRACE = {"traceEvents": [
+    {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+     "args": {"name": "run"}},
+    {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+     "args": {"name": "rank 0"}},
+    {"name": "sigma", "cat": "sigma", "ph": "X", "pid": 0, "tid": 0,
+     "ts": 0.0, "dur": 10.0},
+    {"name": "beta_side", "cat": "phase", "ph": "X", "pid": 0, "tid": 0,
+     "ts": 0.0, "dur": 4.0},
+    {"name": "mixed", "cat": "phase", "ph": "X", "pid": 0, "tid": 0,
+     "ts": 4.0, "dur": 6.0},
+    {"name": "dlb_claim", "cat": "dlb", "ph": "i", "pid": 0, "tid": 0,
+     "ts": 5.0, "s": "t"},
+]}
+
+BAD_TRACE_CROSSING = {"traceEvents": [
+    {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+     "args": {"name": "rank 0"}},
+    {"name": "a", "ph": "X", "pid": 0, "tid": 0, "ts": 0.0, "dur": 5.0},
+    {"name": "b", "ph": "X", "pid": 0, "tid": 0, "ts": 3.0, "dur": 5.0},
+]}
+
+BAD_TRACE_NEGATIVE = {"traceEvents": [
+    {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+     "args": {"name": "rank 0"}},
+    {"name": "a", "ph": "X", "pid": 0, "tid": 0, "ts": 1.0, "dur": -2.0},
+]}
+
+BAD_TRACE_UNNAMED = {"traceEvents": [
+    {"name": "a", "ph": "X", "pid": 0, "tid": 7, "ts": 0.0, "dur": 1.0},
+]}
+
+GOOD_METRICS = {
+    "schema": "xfci-metrics-v1", "run": "t", "backend": "sim",
+    "algorithm": "dgemm", "num_ranks": 2, "num_workers": 2,
+    "dimension": 100, "models_cost": True, "total_seconds": 1.0,
+    "total_flops": 1e9,
+    "phases": {k: 0.0 for k in PHASE_KEYS},
+    "totals": {k: 0.0 for k in PHASE_KEYS},
+    "comm": {"dlb_calls": 3, "ops_dropped": 0, "ops_delayed": 0},
+    "recovery": {"tasks_reassigned": 0, "ops_retried": 0, "ranks_lost": 0},
+    "ranks": [{"rank": 0}, {"rank": 1}],
+    "solver": {"converged": True, "iterations": 2, "energy": -1.0,
+               "energy_history": [-0.9, -1.0],
+               "residual_history": [0.1, 0.001]},
+}
+
+GOOD_BENCH = {
+    "schema": "xfci-bench-v1", "bench": "fig4",
+    "config": {"backend": "sim"},
+    "rows": [{"msps": 16, "t": 1.0}, {"msps": 32, "t": 0.5}],
+    "total_seconds": 1.5,
+}
+
+
+def self_test() -> int:
+    failures = []
+
+    def expect(name, checker, doc, want_findings, **kw):
+        findings: list = []
+        checker("<self-test>", doc, findings, **kw)
+        if want_findings and not findings:
+            failures.append(f"{name}: expected findings, got none")
+        if not want_findings and findings:
+            failures.append(f"{name}: unexpected findings {findings}")
+
+    expect("good trace passes", check_trace, GOOD_TRACE, False)
+    expect("crossing spans caught", check_trace, BAD_TRACE_CROSSING, True)
+    expect("negative duration caught", check_trace, BAD_TRACE_NEGATIVE, True)
+    expect("unlabelled track caught", check_trace, BAD_TRACE_UNNAMED, True)
+    expect("missing expected span caught", check_trace, GOOD_TRACE, True,
+           expect_spans=["no_such_span"])
+    expect("expected span found", check_trace, GOOD_TRACE, False,
+           expect_spans=["sigma", "beta_side"])
+
+    expect("good metrics pass", check_metrics, GOOD_METRICS, False)
+    bad = dict(GOOD_METRICS, schema="wrong")
+    expect("wrong metrics schema caught", check_metrics, bad, True)
+    bad = dict(GOOD_METRICS, ranks=[{"rank": 0}])
+    expect("rank row mismatch caught", check_metrics, bad, True)
+    bad = dict(GOOD_METRICS)
+    del bad["phases"]
+    expect("missing phases caught", check_metrics, bad, True)
+
+    expect("good bench passes", check_bench, GOOD_BENCH, False)
+    bad = dict(GOOD_BENCH, rows=[])
+    expect("empty bench rows caught", check_bench, bad, True)
+    bad = dict(GOOD_BENCH, rows=[{"a": 1}, {"b": 2}])
+    expect("inconsistent bench columns caught", check_bench, bad, True)
+    bad = dict(GOOD_BENCH, total_seconds="fast")
+    expect("non-numeric total_seconds caught", check_bench, bad, True)
+
+    # End-to-end through temp files and the main() driver.
+    with tempfile.TemporaryDirectory() as tmp:
+        tp = os.path.join(tmp, "t.json")
+        mp = os.path.join(tmp, "m.json")
+        bp = os.path.join(tmp, "b.json")
+        for p, doc in ((tp, GOOD_TRACE), (mp, GOOD_METRICS),
+                       (bp, GOOD_BENCH)):
+            with open(p, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+        rc = run(["--trace", tp, "--metrics", mp, "--bench", bp,
+                  "--expect-spans", "sigma"])
+        if rc != 0:
+            failures.append(f"end-to-end valid files: exit {rc}, want 0")
+        with open(tp, "w", encoding="utf-8") as fh:
+            fh.write("not json")
+        rc = run(["--trace", tp])
+        if rc != 1:
+            failures.append(f"end-to-end broken file: exit {rc}, want 1")
+
+    if failures:
+        print("check_trace self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("check_trace self-test passed (16 cases).")
+    return 0
+
+
+# ------------------------------------------------------------------- main --
+
+def run(argv: list) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", action="append", default=[],
+                    help="Chrome-trace JSON file to validate")
+    ap.add_argument("--metrics", action="append", default=[],
+                    help="xfci-metrics-v1 run report to validate")
+    ap.add_argument("--bench", action="append", default=[],
+                    help="xfci-bench-v1 report to validate")
+    ap.add_argument("--expect-spans", default="",
+                    help="comma-separated span names every --trace file "
+                         "must contain")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the validator's own seeded-document tests")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not (args.trace or args.metrics or args.bench):
+        ap.print_usage(sys.stderr)
+        return 2
+
+    expect_spans = [s for s in args.expect_spans.split(",") if s]
+    findings: list = []
+    for path in args.trace:
+        doc = load_json(path, findings)
+        if doc is not None:
+            check_trace(path, doc, findings, expect_spans=expect_spans)
+    for path in args.metrics:
+        doc = load_json(path, findings)
+        if doc is not None:
+            check_metrics(path, doc, findings)
+    for path in args.bench:
+        doc = load_json(path, findings)
+        if doc is not None:
+            check_bench(path, doc, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"check_trace: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    nfiles = len(args.trace) + len(args.metrics) + len(args.bench)
+    print(f"check_trace: {nfiles} file(s) valid.")
+    return 0
+
+
+def main() -> int:
+    return run(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

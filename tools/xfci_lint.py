@@ -27,6 +27,12 @@ catch-swallow       No `catch (...)` that swallows the exception: the body
                     at minimum log it.  Silent catch-alls turn faults into
                     wrong answers — the recovery layer (DESIGN.md, "Failure
                     model") depends on errors surfacing.
+timing              Raw clock reads (std::chrono, clock_gettime,
+                    gettimeofday) are fenced inside src/common/timer.*,
+                    src/common/trace.* and src/parallel/: everything else
+                    times through Timer or a Ddi/Tracer clock so the
+                    simulated backend stays deterministic and traces carry
+                    one clock domain per backend (DESIGN.md §11).
 self-contained      (--compile-headers) every header under src/ compiles as
                     its own translation unit.
 
@@ -275,6 +281,25 @@ def check_catch_swallow(path: str, code: str, findings: list) -> None:
                     "std::current_exception(), or log before continuing"))
 
 
+TIMING_ALLOWED = ("src/common/timer.", "src/common/trace.", "src/parallel/")
+TIMING_TOKEN = re.compile(
+    r"\bstd::chrono\b|\bclock_gettime\b|\bgettimeofday\b|"
+    r"\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b")
+
+
+def check_timing(path: str, code: str, findings: list) -> None:
+    """Clock reads live in the timing layer (DESIGN.md §11)."""
+    norm = path.replace(os.sep, "/")
+    if any(norm.startswith(p) for p in TIMING_ALLOWED):
+        return
+    for m in TIMING_TOKEN.finditer(code):
+        findings.append(
+            Finding(path, line_of(code, m.start()), "timing",
+                    f"raw clock read `{m.group(0)}` outside the timing "
+                    "layer; use xfci::Timer or the Ddi/Tracer clock so "
+                    "simulated runs stay deterministic"))
+
+
 def lint_tree(root: str) -> list:
     findings = []
     src = os.path.join(root, "src")
@@ -290,6 +315,7 @@ def lint_tree(root: str) -> list:
             check_raw_assert(rel, code, findings)
             check_catch_swallow(rel, code, findings)
             check_layering(rel, raw, code, findings)
+            check_timing(rel, code, findings)
             if fn.endswith((".hpp", ".h")):
                 check_using_namespace(rel, code, findings)
                 check_pragma_once(rel, raw, findings)
@@ -400,6 +426,17 @@ void f() {}
 }  // namespace xfci::fcp
 """
 
+BAD_TIMING_CPP = """\
+#include <chrono>
+namespace xfci::fci {
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace xfci::fci
+"""
+
 BAD_ENTRY_CPP = """\
 #include "common/error.hpp"
 namespace xfci::fci {
@@ -413,9 +450,9 @@ void unchecked_entry(std::span<const double> c, std::span<double> s) {
 def self_test() -> int:
     failures = []
 
-    def expect(name, filename, content, rule, want):
+    def expect(name, filename, content, rule, want, subdir="fci"):
         with tempfile.TemporaryDirectory() as tmp:
-            subdir = os.path.join(tmp, "src", "fci")
+            subdir = os.path.join(tmp, "src", subdir)
             os.makedirs(subdir)
             with open(os.path.join(subdir, filename), "w",
                       encoding="utf-8") as fh:
@@ -455,13 +492,23 @@ def self_test() -> int:
            BAD_LAYER_CPP, "layering", True)
     expect("comment mention of machine allowed", "good_layer.cpp",
            GOOD_LAYER_CPP, "layering", False)
+    expect("seeded raw clock read", "bad_clock.cpp", BAD_TIMING_CPP,
+           "timing", True)
+    expect("clock read allowed in src/parallel", "backend_clock.cpp",
+           BAD_TIMING_CPP, "timing", False, subdir="parallel")
+    expect("clock read allowed in the timer", "timer.hpp",
+           "#pragma once\n" + BAD_TIMING_CPP, "timing", False,
+           subdir="common")
+    expect("comment mention of chrono allowed", "good_clock.cpp",
+           "// std::chrono stays behind xfci::Timer\nvoid f();\n",
+           "timing", False)
 
     if failures:
         print("xfci_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("xfci_lint self-test passed (12 cases).")
+    print("xfci_lint self-test passed (16 cases).")
     return 0
 
 
