@@ -1,35 +1,59 @@
 #include "fci_parallel/driver_cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "linalg/gemm_kernels.hpp"
 
 namespace xfci::fcp {
 namespace {
 
 [[noreturn]] void usage_error(const char* prog, const char* bad) {
   std::fprintf(stderr,
-               "%s: unknown or incomplete argument '%s'\n"
+               "%s: unknown, incomplete or malformed argument '%s'\n"
                "usage: %s [num_ranks] [--backend sim|threads] [--threads N]\n"
                "          [--faults] [--checkpoint PATH] [--restart PATH]\n"
-               "          [--max-iters N] [--trace PATH] [--metrics PATH]\n",
+               "          [--max-iters N] [--trace PATH] [--metrics PATH]\n"
+               "          [--gemm-kernel portable|avx2|avx512]\n",
                prog, bad, prog);
   std::exit(2);
 }
 
+/// Parses a non-negative decimal integer.  Unlike atoi this rejects empty
+/// strings, signs (so "-2" cannot wrap to a huge size_t), non-digit and
+/// trailing-junk input, and values that overflow size_t.
+bool parse_count(const char* text, std::size_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  for (const char* p = text; *p != '\0'; ++p)
+    if (*p < '0' || *p > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0' ||
+      v > static_cast<unsigned long long>(static_cast<std::size_t>(-1)))
+    return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
 /// Matches "--name VALUE" and "--name=VALUE"; advances i past a separate
-/// VALUE argument.
-bool string_flag(const char* name, int argc, char** argv, int& i,
-                 std::string& out) {
+/// VALUE argument.  An empty value ("--name=" or "--name ''") is malformed:
+/// every string flag here names a file path or kernel, never "".
+bool string_flag(const char* prog, const char* name, int argc, char** argv,
+                 int& i, std::string& out) {
   const char* arg = argv[i];
   const std::size_t n = std::strlen(name);
   if (std::strncmp(arg, name, n) != 0) return false;
   if (arg[n] == '=') {
+    if (arg[n + 1] == '\0') usage_error(prog, arg);
     out = arg + n + 1;
     return true;
   }
   if (arg[n] == '\0' && i + 1 < argc) {
     out = argv[++i];
+    if (out.empty()) usage_error(prog, arg);
     return true;
   }
   return false;
@@ -55,15 +79,21 @@ DriverCli DriverCli::parse(int argc, char** argv,
       else
         usage_error(prog, name);
     } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
-      cli.num_threads = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (string_flag("--checkpoint", argc, argv, i, cli.checkpoint)) {
-    } else if (string_flag("--restart", argc, argv, i, cli.restart)) {
-    } else if (string_flag("--trace", argc, argv, i, cli.trace)) {
-    } else if (string_flag("--metrics", argc, argv, i, cli.metrics)) {
+      if (!parse_count(argv[++i], cli.num_threads))
+        usage_error(prog, argv[i]);
+    } else if (string_flag(prog, "--checkpoint", argc, argv, i,
+                           cli.checkpoint)) {
+    } else if (string_flag(prog, "--restart", argc, argv, i, cli.restart)) {
+    } else if (string_flag(prog, "--trace", argc, argv, i, cli.trace)) {
+    } else if (string_flag(prog, "--metrics", argc, argv, i, cli.metrics)) {
+    } else if (string_flag(prog, "--gemm-kernel", argc, argv, i,
+                           cli.gemm_kernel)) {
+      if (!linalg::set_gemm_kernel(cli.gemm_kernel))
+        usage_error(prog, cli.gemm_kernel.c_str());
     } else if (std::strcmp(arg, "--max-iters") == 0 && i + 1 < argc) {
-      cli.max_iters = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (!parse_count(argv[++i], cli.max_iters)) usage_error(prog, argv[i]);
     } else if (arg[0] >= '0' && arg[0] <= '9') {
-      cli.num_ranks = static_cast<std::size_t>(std::atoi(arg));
+      if (!parse_count(arg, cli.num_ranks)) usage_error(prog, arg);
     } else {
       usage_error(prog, arg);
     }

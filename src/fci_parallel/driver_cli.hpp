@@ -23,8 +23,13 @@ namespace xfci::fcp {
 ///   --trace PATH         write a Chrome-trace-event JSON span trace
 ///                        (load in Perfetto / chrome://tracing)
 ///   --metrics PATH       write the machine-readable run report JSON
-/// String-valued flags also accept the --flag=VALUE form.  Unknown flags
-/// abort with a usage message on stderr.
+///   --gemm-kernel NAME   pin the GEMM micro-kernel (portable|avx2|avx512)
+///                        instead of the cpuid-dispatched default; applied
+///                        immediately via linalg::set_gemm_kernel
+/// String-valued flags also accept the --flag=VALUE form.  Unknown flags,
+/// malformed or negative numeric values, empty string-flag values and
+/// unavailable kernel names abort with a usage message on stderr and exit
+/// code 2 (nothing is silently coerced).
 struct DriverCli {
   std::size_t num_ranks = 16;
   ExecutionMode backend = ExecutionMode::kSimulate;
@@ -35,6 +40,7 @@ struct DriverCli {
   std::size_t max_iters = 0;
   std::string trace;    ///< Chrome trace output path ("" = tracing off)
   std::string metrics;  ///< run-report JSON output path ("" = off)
+  std::string gemm_kernel;  ///< pinned micro-kernel name ("" = dispatch)
   /// Cost-model overhead scaling shared by the small-system drivers
   /// (EXPERIMENTS.md): latencies scaled with the problem size.
   double overhead_scale = 0.02;

@@ -5,18 +5,24 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "linalg/gemm_kernels.hpp"
 #include "parallel/thread_team.hpp"
 
 namespace xfci::linalg {
 namespace {
 
 // Cache-blocking parameters.  MC x KC panel of A lives in L2; KC x NC panel
-// of B in L3; the micro-kernel updates an MR x NR register tile.
+// of B in L3; the micro-kernel updates an MR x NR register tile (MR/NR come
+// from the dispatched kernel; MC is a multiple of every kernel's MR and NC
+// of every NR, so panel strides stay uniform).
 constexpr std::size_t kMc = 128;
 constexpr std::size_t kKc = 256;
 constexpr std::size_t kNc = 2048;
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 8;
+
+// Threaded path: each macro task owns an MC-row x JB-column block of C, so
+// one B panel yields itiles x (nc / JB) independent tasks.  A multiple of
+// every kernel's NR.
+constexpr std::size_t kJb = 256;
 
 // Threading threshold: below this flop count the fork/join overhead of the
 // team outweighs the macro-kernel work.
@@ -24,72 +30,60 @@ constexpr double kThreadFlops = 4.0e6;
 
 std::atomic<pv::ThreadTeam*> g_team{nullptr};
 
+std::size_t round_up(std::size_t x, std::size_t q) {
+  return (x + q - 1) / q * q;
+}
+
 // Packs an mc x kc block of op(A) into column-panel-major order:
 // consecutive MR-row strips, each strip stored kc-major so the micro-kernel
-// streams it linearly.
+// streams it linearly.  Short strips are zero-padded to the kernel's MR.
 void pack_a(bool trans, const double* a, std::size_t lda, std::size_t row0,
-            std::size_t col0, std::size_t mc, std::size_t kc, double* pa) {
-  for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
-    const std::size_t mr = std::min(kMr, mc - i0);
+            std::size_t col0, std::size_t mc, std::size_t kc,
+            std::size_t mr_blk, double* pa) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += mr_blk) {
+    const std::size_t mr = std::min(mr_blk, mc - i0);
     for (std::size_t p = 0; p < kc; ++p) {
       for (std::size_t i = 0; i < mr; ++i) {
         const std::size_t r = row0 + i0 + i;
         const std::size_t c = col0 + p;
         *pa++ = trans ? a[c * lda + r] : a[r * lda + c];
       }
-      for (std::size_t i = mr; i < kMr; ++i) *pa++ = 0.0;
+      for (std::size_t i = mr; i < mr_blk; ++i) *pa++ = 0.0;
     }
   }
 }
 
 // Packs a kc x nc block of op(B) into row-panel-major order: consecutive
-// NR-column strips, each strip stored kc-major.
+// NR-column strips, each strip stored kc-major and zero-padded to NR.
 void pack_b(bool trans, const double* b, std::size_t ldb, std::size_t row0,
-            std::size_t col0, std::size_t kc, std::size_t nc, double* pb) {
-  for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
-    const std::size_t nr = std::min(kNr, nc - j0);
+            std::size_t col0, std::size_t kc, std::size_t nc,
+            std::size_t nr_blk, double* pb) {
+  for (std::size_t j0 = 0; j0 < nc; j0 += nr_blk) {
+    const std::size_t nr = std::min(nr_blk, nc - j0);
     for (std::size_t p = 0; p < kc; ++p) {
       for (std::size_t j = 0; j < nr; ++j) {
         const std::size_t r = row0 + p;
         const std::size_t c = col0 + j0 + j;
         *pb++ = trans ? b[c * ldb + r] : b[r * ldb + c];
       }
-      for (std::size_t j = nr; j < kNr; ++j) *pb++ = 0.0;
+      for (std::size_t j = nr; j < nr_blk; ++j) *pb++ = 0.0;
     }
   }
 }
 
-// MR x NR micro-kernel: acc += PA-strip * PB-strip over kc.  Written so GCC
-// keeps `acc` in vector registers.
-inline void micro_kernel(std::size_t kc, const double* pa, const double* pb,
-                         double acc[kMr][kNr]) {
-  for (std::size_t p = 0; p < kc; ++p) {
-    const double* apos = pa + p * kMr;
-    const double* bpos = pb + p * kNr;
-    for (std::size_t i = 0; i < kMr; ++i) {
-      const double av = apos[i];
-      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += av * bpos[j];
-    }
-  }
-}
-
-// Macro-kernel: C[ic..ic+mc, jc..jc+nc] += alpha * packed_A * packed_B.
-void macro_kernel(std::size_t ic, std::size_t jc, std::size_t mc,
-                  std::size_t nc, std::size_t kc, double alpha,
-                  const double* pa_panel, const double* pb_panel, double* c,
-                  std::size_t ldc) {
-  for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
-    const std::size_t nr = std::min(kNr, nc - j0);
-    const double* pb = pb_panel + (j0 / kNr) * (kc * kNr);
-    for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
-      const std::size_t mr = std::min(kMr, mc - i0);
-      const double* pa = pa_panel + (i0 / kMr) * (kc * kMr);
-      double acc[kMr][kNr] = {};
-      micro_kernel(kc, pa, pb, acc);
-      double* cblk = c + (ic + i0) * ldc + jc + j0;
-      for (std::size_t i = 0; i < mr; ++i)
-        for (std::size_t j = 0; j < nr; ++j)
-          cblk[i * ldc + j] += alpha * acc[i][j];
+// Macro-kernel: C[0..mc, 0..nc] += alpha * packed_A * packed_B, driving
+// the dispatched micro-kernel over the register-tile grid.  `c` is already
+// offset to the block origin.
+void macro_kernel(const GemmMicroKernel& kern, std::size_t mc, std::size_t nc,
+                  std::size_t kc, double alpha, const double* pa_panel,
+                  const double* pb_panel, double* c, std::size_t ldc) {
+  for (std::size_t j0 = 0; j0 < nc; j0 += kern.nr) {
+    const std::size_t nr = std::min(kern.nr, nc - j0);
+    const double* pb = pb_panel + (j0 / kern.nr) * (kc * kern.nr);
+    for (std::size_t i0 = 0; i0 < mc; i0 += kern.mr) {
+      const std::size_t mr = std::min(kern.mr, mc - i0);
+      const double* pa = pa_panel + (i0 / kern.mr) * (kc * kern.mr);
+      kern.run(kc, pa, pb, alpha, c + i0 * ldc + j0, ldc, mr, nr);
     }
   }
 }
@@ -97,22 +91,70 @@ void macro_kernel(std::size_t ic, std::size_t jc, std::size_t mc,
 thread_local std::vector<double> tl_pa_buf;
 thread_local std::vector<double> tl_pb_buf;
 
-void ensure_pack_buffers() {
-  tl_pa_buf.resize(kMc * kKc + kMr * kKc);
-  tl_pb_buf.resize(kKc * kNc + kNr * kKc);
+void ensure_pack_buffers(const GemmMicroKernel& kern) {
+  const std::size_t pa_need = round_up(kMc, kern.mr) * kKc + kern.mr * kKc;
+  const std::size_t pb_need = round_up(kNc, kern.nr) * kKc + kern.nr * kKc;
+  if (tl_pa_buf.size() < pa_need) tl_pa_buf.resize(pa_need);
+  if (tl_pb_buf.size() < pb_need) tl_pb_buf.resize(pb_need);
 }
 
-// Debug-tier tile-bounds check shared by the serial and threaded macro-
-// kernel loops: a tile that exceeds the operand shapes or a pack buffer
-// smaller than the rounded-up panel would corrupt memory silently.
-void dcheck_tile(std::size_t ic, std::size_t jc, std::size_t pc,
-                 std::size_t mc, std::size_t nc, std::size_t kc,
-                 std::size_t m, std::size_t n, std::size_t k) {
+// Debug-tier tile-bounds check for the serial macro-kernel loop: a tile
+// that exceeds the operand shapes or a pack buffer smaller than the
+// rounded-up panel would corrupt memory silently.
+void dcheck_tile(const GemmMicroKernel& kern, std::size_t ic, std::size_t jc,
+                 std::size_t pc, std::size_t mc, std::size_t nc,
+                 std::size_t kc, std::size_t m, std::size_t n,
+                 std::size_t k) {
   XFCI_DCHECK(ic + mc <= m && jc + nc <= n && pc + kc <= k,
               "gemm tile exceeds matrix bounds");
-  XFCI_DCHECK(tl_pa_buf.size() >= ((mc + kMr - 1) / kMr) * kMr * kc &&
-                  tl_pb_buf.size() >= ((nc + kNr - 1) / kNr) * kNr * kc,
+  XFCI_DCHECK(tl_pa_buf.size() >= round_up(mc, kern.mr) * kc &&
+                  tl_pb_buf.size() >= round_up(nc, kern.nr) * kc,
               "gemm pack buffers too small for tile");
+}
+
+// Threaded macro-kernel loop over one (jc, pc) panel pair: the B panel is
+// packed once (NR strips claimed dynamically), the A panels once per row
+// tile, then the (row tile) x (JB column block) grid of C blocks is claimed
+// dynamically.  Each C block is owned by exactly one task per panel and the
+// pc loop outside is serial, so every C element accumulates its k-panels in
+// the serial order -- bitwise identical to the serial path.
+void threaded_panel(pv::ThreadTeam& team, const GemmMicroKernel& kern,
+                    bool transa, bool transb, std::size_t m, std::size_t n,
+                    std::size_t k, double alpha, const double* a,
+                    std::size_t lda, const double* b, std::size_t ldb,
+                    double* c, std::size_t ldc, std::size_t jc,
+                    std::size_t nc, std::size_t pc, std::size_t kc,
+                    std::vector<double>& pa_shared,
+                    std::vector<double>& pb_shared) {
+  const std::size_t itiles = (m + kMc - 1) / kMc;
+  const std::size_t nstrips = (nc + kern.nr - 1) / kern.nr;
+  const std::size_t jblocks = (nc + kJb - 1) / kJb;
+  XFCI_DCHECK(pa_shared.size() >= itiles * kMc * kc &&
+                  pb_shared.size() >= nstrips * kern.nr * kc,
+              "gemm shared pack buffers too small for panel");
+
+  team.for_dynamic(nstrips, [&](std::size_t s, std::size_t) {
+    const std::size_t j0 = s * kern.nr;
+    pack_b(transb, b, ldb, pc, jc + j0, kc, std::min(kern.nr, nc - j0),
+           kern.nr, pb_shared.data() + s * kc * kern.nr);
+  });
+  team.for_dynamic(itiles, [&](std::size_t t, std::size_t) {
+    const std::size_t ic = t * kMc;
+    pack_a(transa, a, lda, ic, pc, std::min(kMc, m - ic), kc, kern.mr,
+           pa_shared.data() + t * kMc * kc);
+  });
+  team.for_dynamic(itiles * jblocks, [&](std::size_t t, std::size_t) {
+    const std::size_t ic = (t % itiles) * kMc;
+    const std::size_t j0 = (t / itiles) * kJb;
+    const std::size_t mc = std::min(kMc, m - ic);
+    const std::size_t nb = std::min(kJb, nc - j0);
+    XFCI_DCHECK(ic + mc <= m && jc + j0 + nb <= n && pc + kc <= k,
+                "gemm tile exceeds matrix bounds");
+    macro_kernel(kern, mc, nb, kc, alpha,
+                 pa_shared.data() + (ic / kMc) * kMc * kc,
+                 pb_shared.data() + (j0 / kern.nr) * kc * kern.nr,
+                 c + ic * ldc + jc + j0, ldc);
+  });
 }
 
 }  // namespace
@@ -125,14 +167,23 @@ pv::ThreadTeam* gemm_team() {
   return g_team.load(std::memory_order_acquire);
 }
 
+GemmBlocking gemm_blocking() {
+  const GemmMicroKernel& kern = active_gemm_kernel();
+  return GemmBlocking{kMc, kKc, kNc, kern.mr, kern.nr};
+}
+
 void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
           std::size_t k, double alpha, const double* a, std::size_t lda,
           const double* b, std::size_t ldb, double beta, double* c,
           std::size_t ldc) {
-  XFCI_REQUIRE(ldc >= n, "gemm: ldc too small");
-  XFCI_REQUIRE(lda >= (transa ? m : k) || m * k == 0,
+  // Contract (shared with gemm_reference): leading dimensions are only
+  // required for operands that are actually touched.  C is touched whenever
+  // m > 0 (beta scaling); A and B only when the product term contributes.
+  const bool reads_ab = m != 0 && n != 0 && k != 0 && alpha != 0.0;
+  XFCI_REQUIRE(ldc >= n || m == 0, "gemm: ldc too small");
+  XFCI_REQUIRE(!reads_ab || lda >= (transa ? m : k),
                "gemm: lda too small for op(A)");
-  XFCI_REQUIRE(ldb >= (transb ? k : n) || k * n == 0,
+  XFCI_REQUIRE(!reads_ab || ldb >= (transb ? k : n),
                "gemm: ldb too small for op(B)");
   // Scale C by beta first (handles alpha == 0 / k == 0 uniformly).
   if (beta == 0.0) {
@@ -142,47 +193,45 @@ void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
     for (std::size_t i = 0; i < m; ++i)
       for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
   }
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  if (!reads_ab) return;
 
+  const GemmMicroKernel& kern = active_gemm_kernel();
   pv::ThreadTeam* team = gemm_team();
   const std::size_t itiles = (m + kMc - 1) / kMc;
   const std::size_t jtiles = (n + kNc - 1) / kNc;
-  if (team != nullptr && team->size() > 1 && itiles * jtiles > 1 &&
+  const std::size_t jblocks0 = (std::min(n, kNc) + kJb - 1) / kJb;
+  if (team != nullptr && team->size() > 1 && itiles * jblocks0 * jtiles > 1 &&
       !pv::ThreadTeam::in_parallel_region() &&
       gemm_flops(m, n, k) >= kThreadFlops) {
-    // Parallel macro-kernel: the (jc, ic) panel grid is claimed dynamically;
-    // every task packs its own operand panels into thread-local buffers and
-    // owns a disjoint C tile, accumulating its k-panels in serial order.
-    team->for_dynamic(itiles * jtiles, [&](std::size_t t, std::size_t) {
-      ensure_pack_buffers();
-      const std::size_t jc = (t / itiles) * kNc;
-      const std::size_t ic = (t % itiles) * kMc;
+    // Shared pack buffers: one B panel and all of the column's A row tiles
+    // live packed at once, so no panel is packed twice (the per-task
+    // repacking this replaced packed the same B panel itiles times).
+    std::vector<double> pb_shared(
+        round_up(std::min(n, kNc), kern.nr) * std::min(k, kKc));
+    std::vector<double> pa_shared(itiles * kMc * std::min(k, kKc));
+    for (std::size_t jc = 0; jc < n; jc += kNc) {
       const std::size_t nc = std::min(kNc, n - jc);
-      const std::size_t mc = std::min(kMc, m - ic);
       for (std::size_t pc = 0; pc < k; pc += kKc) {
         const std::size_t kc = std::min(kKc, k - pc);
-        dcheck_tile(ic, jc, pc, mc, nc, kc, m, n, k);
-        pack_b(transb, b, ldb, pc, jc, kc, nc, tl_pb_buf.data());
-        pack_a(transa, a, lda, ic, pc, mc, kc, tl_pa_buf.data());
-        macro_kernel(ic, jc, mc, nc, kc, alpha, tl_pa_buf.data(),
-                     tl_pb_buf.data(), c, ldc);
+        threaded_panel(*team, kern, transa, transb, m, n, k, alpha, a, lda,
+                       b, ldb, c, ldc, jc, nc, pc, kc, pa_shared, pb_shared);
       }
-    });
+    }
     return;
   }
 
-  ensure_pack_buffers();
+  ensure_pack_buffers(kern);
   for (std::size_t jc = 0; jc < n; jc += kNc) {
     const std::size_t nc = std::min(kNc, n - jc);
     for (std::size_t pc = 0; pc < k; pc += kKc) {
       const std::size_t kc = std::min(kKc, k - pc);
-      pack_b(transb, b, ldb, pc, jc, kc, nc, tl_pb_buf.data());
+      pack_b(transb, b, ldb, pc, jc, kc, nc, kern.nr, tl_pb_buf.data());
       for (std::size_t ic = 0; ic < m; ic += kMc) {
         const std::size_t mc = std::min(kMc, m - ic);
-        dcheck_tile(ic, jc, pc, mc, nc, kc, m, n, k);
-        pack_a(transa, a, lda, ic, pc, mc, kc, tl_pa_buf.data());
-        macro_kernel(ic, jc, mc, nc, kc, alpha, tl_pa_buf.data(),
-                     tl_pb_buf.data(), c, ldc);
+        dcheck_tile(kern, ic, jc, pc, mc, nc, kc, m, n, k);
+        pack_a(transa, a, lda, ic, pc, mc, kc, kern.mr, tl_pa_buf.data());
+        macro_kernel(kern, mc, nc, kc, alpha, tl_pa_buf.data(),
+                     tl_pb_buf.data(), c + ic * ldc + jc, ldc);
       }
     }
   }
@@ -192,13 +241,22 @@ void gemm_reference(bool transa, bool transb, std::size_t m, std::size_t n,
                     std::size_t k, double alpha, const double* a,
                     std::size_t lda, const double* b, std::size_t ldb,
                     double beta, double* c, std::size_t ldc) {
+  // Same degenerate-shape contract as gemm(): see the REQUIREs there.
+  const bool reads_ab = m != 0 && n != 0 && k != 0 && alpha != 0.0;
+  XFCI_REQUIRE(ldc >= n || m == 0, "gemm_reference: ldc too small");
+  XFCI_REQUIRE(!reads_ab || lda >= (transa ? m : k),
+               "gemm_reference: lda too small for op(A)");
+  XFCI_REQUIRE(!reads_ab || ldb >= (transb ? k : n),
+               "gemm_reference: ldb too small for op(B)");
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) {
-        const double av = transa ? a[p * lda + i] : a[i * lda + p];
-        const double bv = transb ? b[j * ldb + p] : b[p * ldb + j];
-        s += av * bv;
+      if (reads_ab) {
+        for (std::size_t p = 0; p < k; ++p) {
+          const double av = transa ? a[p * lda + i] : a[i * lda + p];
+          const double bv = transb ? b[j * ldb + p] : b[p * ldb + j];
+          s += av * bv;
+        }
       }
       c[i * ldc + j] = alpha * s + (beta == 0.0 ? 0.0 : beta * c[i * ldc + j]);
     }

@@ -5,7 +5,10 @@
 // (no vendor BLAS available on the target host), and (b) the Cray-X1 cost
 // model can charge the exact (m, n, k) shapes the FCI sigma routines
 // produce.  The implementation is a classic three-level blocked GEMM with
-// A/B packing and a register-tiled micro-kernel that GCC auto-vectorizes.
+// A/B panel packing driving a runtime-dispatched register-tiled
+// micro-kernel (portable scalar / AVX2 / AVX-512 -- see
+// linalg/gemm_kernels.hpp for dispatch rules, pinning and the per-ISA
+// determinism contract).
 //
 // All matrices are row-major.  `ld*` are leading dimensions (row strides).
 
@@ -28,18 +31,32 @@ void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
           std::size_t ldc);
 
 /// Installs (or clears, with nullptr) a shared-memory thread team used by
-/// gemm() to run the macro-kernel loop in parallel: the (jc, ic) panel grid
-/// is claimed dynamically, every worker packing into its own thread-local
-/// buffers.  Each C tile is owned by exactly one task and accumulates its
-/// k-panels in the serial order, so the threaded product is bitwise
-/// identical to the serial one.  Calls from inside an enclosing parallel
+/// gemm() to run the macro-kernel loop in parallel.  Per (jc, pc) panel the
+/// team packs each B strip and each A row tile exactly once into shared
+/// buffers (the old path repacked the same B panel in every task of a jc
+/// column), then claims the macro-tile grid dynamically.  Each C tile is
+/// owned by exactly one task and accumulates its k-panels in the serial
+/// order, so the threaded product is bitwise identical to the serial one
+/// under the same micro-kernel.  Calls from inside an enclosing parallel
 /// region (e.g. the threaded sigma phases) automatically run serially.
 /// The team must outlive its installation; not thread-safe against
 /// concurrent installs.
 void set_gemm_team(pv::ThreadTeam* team);
 pv::ThreadTeam* gemm_team();
 
+/// Blocking parameters of the current configuration: cache blocks (mc, kc,
+/// nc) and the dispatched kernel's register tile (mr, nr).  Tests use these
+/// to build shape sweeps that straddle every block boundary.
+struct GemmBlocking {
+  std::size_t mc, kc, nc;  ///< L2 / panel / L3 cache blocks
+  std::size_t mr, nr;      ///< register tile of the active micro-kernel
+};
+GemmBlocking gemm_blocking();
+
 /// Reference triple-loop GEMM used to validate the blocked kernel in tests.
+/// Shares gemm()'s degenerate-shape contract: ldc is only validated when
+/// m > 0, and lda/ldb only when the product term actually reads A and B
+/// (m, n, k all nonzero and alpha != 0).
 void gemm_reference(bool transa, bool transb, std::size_t m, std::size_t n,
                     std::size_t k, double alpha, const double* a,
                     std::size_t lda, const double* b, std::size_t ldb,

@@ -1,0 +1,89 @@
+// Runtime micro-kernel selection: resolves cpuid capabilities, the
+// XFCI_GEMM_KERNEL environment override and set_gemm_kernel() pins into
+// the one kernel pointer gemm() reads per call.  Selection happens once
+// (first gemm or first query); pinning is for tests, benches and
+// cross-machine reproducibility (DESIGN.md "The GEMM layer").
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "linalg/gemm_kernels.hpp"
+
+namespace xfci::linalg {
+namespace {
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+/// The kernel `name` maps to, or nullptr when it is unknown, compiled out,
+/// or unsupported by this CPU.
+const GemmMicroKernel* find_kernel(std::string_view name) {
+  if (name == "portable") return gemm_kernel_portable();
+  if (name == "avx2" && cpu_supports_avx2()) return gemm_kernel_avx2();
+  if (name == "avx512" && cpu_supports_avx512()) return gemm_kernel_avx512();
+  return nullptr;
+}
+
+const GemmMicroKernel* pick_default() {
+  if (const char* env = std::getenv("XFCI_GEMM_KERNEL")) {
+    if (const GemmMicroKernel* k = find_kernel(env)) return k;
+    std::fprintf(stderr,
+                 "xfci: XFCI_GEMM_KERNEL=%s is not available on this "
+                 "build/CPU; using the portable kernel\n",
+                 env);
+    return gemm_kernel_portable();
+  }
+  if (cpu_supports_avx512())
+    if (const GemmMicroKernel* k = gemm_kernel_avx512()) return k;
+  if (cpu_supports_avx2())
+    if (const GemmMicroKernel* k = gemm_kernel_avx2()) return k;
+  return gemm_kernel_portable();
+}
+
+std::atomic<const GemmMicroKernel*> g_kernel{nullptr};
+
+}  // namespace
+
+const GemmMicroKernel& active_gemm_kernel() {
+  const GemmMicroKernel* k = g_kernel.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // Racing first callers compute the same default; either store wins.
+    k = pick_default();
+    g_kernel.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+const char* gemm_kernel_name() { return active_gemm_kernel().name; }
+
+bool set_gemm_kernel(std::string_view name) {
+  const GemmMicroKernel* k = name.empty() ? pick_default() : find_kernel(name);
+  if (k == nullptr) return false;
+  g_kernel.store(k, std::memory_order_release);
+  return true;
+}
+
+std::vector<std::string> gemm_kernel_names() {
+  std::vector<std::string> names{"portable"};
+  if (cpu_supports_avx2() && gemm_kernel_avx2() != nullptr)
+    names.emplace_back("avx2");
+  if (cpu_supports_avx512() && gemm_kernel_avx512() != nullptr)
+    names.emplace_back("avx512");
+  return names;
+}
+
+}  // namespace xfci::linalg

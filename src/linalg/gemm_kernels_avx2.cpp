@@ -1,0 +1,91 @@
+// AVX2 4x8 FMA micro-kernel: 8 ymm accumulators (4 rows x 2 vectors of 4
+// doubles), one broadcast per packed A element, two B vector loads per
+// k-step.  Compiled with -mavx2 -mfma only in this translation unit
+// (XFCI_SIMD in src/linalg/CMakeLists.txt); the dispatcher additionally
+// checks cpuid before handing it out, so the binary stays runnable on
+// hosts without AVX2.
+
+#include "linalg/gemm_kernels.hpp"
+
+#if defined(XFCI_GEMM_AVX2) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace xfci::linalg {
+namespace {
+
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+void run_avx2(std::size_t kc, const double* pa, const double* pb,
+              double alpha, double* c, std::size_t ldc, std::size_t mr_eff,
+              std::size_t nr_eff) {
+  __m256d a00 = _mm256_setzero_pd(), a01 = _mm256_setzero_pd();
+  __m256d a10 = _mm256_setzero_pd(), a11 = _mm256_setzero_pd();
+  __m256d a20 = _mm256_setzero_pd(), a21 = _mm256_setzero_pd();
+  __m256d a30 = _mm256_setzero_pd(), a31 = _mm256_setzero_pd();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(pb + p * kNr);
+    const __m256d b1 = _mm256_loadu_pd(pb + p * kNr + 4);
+    const double* ap = pa + p * kMr;
+    __m256d av = _mm256_broadcast_sd(ap + 0);
+    a00 = _mm256_fmadd_pd(av, b0, a00);
+    a01 = _mm256_fmadd_pd(av, b1, a01);
+    av = _mm256_broadcast_sd(ap + 1);
+    a10 = _mm256_fmadd_pd(av, b0, a10);
+    a11 = _mm256_fmadd_pd(av, b1, a11);
+    av = _mm256_broadcast_sd(ap + 2);
+    a20 = _mm256_fmadd_pd(av, b0, a20);
+    a21 = _mm256_fmadd_pd(av, b1, a21);
+    av = _mm256_broadcast_sd(ap + 3);
+    a30 = _mm256_fmadd_pd(av, b0, a30);
+    a31 = _mm256_fmadd_pd(av, b1, a31);
+  }
+  if (mr_eff == kMr && nr_eff == kNr) {
+    const __m256d av = _mm256_set1_pd(alpha);
+    double* r = c;
+    _mm256_storeu_pd(r, _mm256_fmadd_pd(av, a00, _mm256_loadu_pd(r)));
+    _mm256_storeu_pd(r + 4, _mm256_fmadd_pd(av, a01, _mm256_loadu_pd(r + 4)));
+    r = c + ldc;
+    _mm256_storeu_pd(r, _mm256_fmadd_pd(av, a10, _mm256_loadu_pd(r)));
+    _mm256_storeu_pd(r + 4, _mm256_fmadd_pd(av, a11, _mm256_loadu_pd(r + 4)));
+    r = c + 2 * ldc;
+    _mm256_storeu_pd(r, _mm256_fmadd_pd(av, a20, _mm256_loadu_pd(r)));
+    _mm256_storeu_pd(r + 4, _mm256_fmadd_pd(av, a21, _mm256_loadu_pd(r + 4)));
+    r = c + 3 * ldc;
+    _mm256_storeu_pd(r, _mm256_fmadd_pd(av, a30, _mm256_loadu_pd(r)));
+    _mm256_storeu_pd(r + 4, _mm256_fmadd_pd(av, a31, _mm256_loadu_pd(r + 4)));
+    return;
+  }
+  // Edge tile: spill the accumulators and commit the valid corner.
+  alignas(32) double t[kMr][kNr];
+  _mm256_store_pd(t[0], a00);
+  _mm256_store_pd(t[0] + 4, a01);
+  _mm256_store_pd(t[1], a10);
+  _mm256_store_pd(t[1] + 4, a11);
+  _mm256_store_pd(t[2], a20);
+  _mm256_store_pd(t[2] + 4, a21);
+  _mm256_store_pd(t[3], a30);
+  _mm256_store_pd(t[3] + 4, a31);
+  for (std::size_t i = 0; i < mr_eff; ++i)
+    for (std::size_t j = 0; j < nr_eff; ++j)
+      c[i * ldc + j] += alpha * t[i][j];
+}
+
+constexpr GemmMicroKernel kAvx2{"avx2", kMr, kNr, run_avx2};
+
+}  // namespace
+
+const GemmMicroKernel* gemm_kernel_avx2() { return &kAvx2; }
+
+}  // namespace xfci::linalg
+
+#else  // compiled without AVX2 support
+
+namespace xfci::linalg {
+
+const GemmMicroKernel* gemm_kernel_avx2() { return nullptr; }
+
+}  // namespace xfci::linalg
+
+#endif

@@ -1,0 +1,84 @@
+// AVX-512 8x16 micro-kernel: 16 zmm accumulators (8 rows x 2 vectors of 8
+// doubles) -- enough independent FMA chains to saturate both FMA ports,
+// which the 4-chain auto-vectorized scalar tile cannot.  Per k-step: two
+// B vector loads and eight A broadcasts feed sixteen fmadds.  Compiled
+// with -mavx512f only in this translation unit; the dispatcher checks
+// cpuid before handing it out.
+
+#include "linalg/gemm_kernels.hpp"
+
+#if defined(XFCI_GEMM_AVX512) && defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace xfci::linalg {
+namespace {
+
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 16;
+
+void run_avx512(std::size_t kc, const double* pa, const double* pb,
+                double alpha, double* c, std::size_t ldc, std::size_t mr_eff,
+                std::size_t nr_eff) {
+  __m512d acc[kMr][2];
+  for (std::size_t i = 0; i < kMr; ++i) {
+    acc[i][0] = _mm512_setzero_pd();
+    acc[i][1] = _mm512_setzero_pd();
+  }
+  // Prefetch distance: the packed strips are streamed linearly, so pull
+  // the lines ~8 k-steps ahead while 16 fmadds retire per step.
+  constexpr std::size_t kAhead = 8;
+  for (std::size_t p = 0; p < kc; ++p) {
+    _mm_prefetch(reinterpret_cast<const char*>(pb + (p + kAhead) * kNr),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(pb + (p + kAhead) * kNr + 8),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(pa + (p + kAhead) * kMr),
+                 _MM_HINT_T0);
+    const __m512d b0 = _mm512_loadu_pd(pb + p * kNr);
+    const __m512d b1 = _mm512_loadu_pd(pb + p * kNr + 8);
+    const double* ap = pa + p * kMr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const __m512d av = _mm512_set1_pd(ap[i]);
+      acc[i][0] = _mm512_fmadd_pd(av, b0, acc[i][0]);
+      acc[i][1] = _mm512_fmadd_pd(av, b1, acc[i][1]);
+    }
+  }
+  if (mr_eff == kMr && nr_eff == kNr) {
+    const __m512d av = _mm512_set1_pd(alpha);
+    for (std::size_t i = 0; i < kMr; ++i) {
+      double* r = c + i * ldc;
+      _mm512_storeu_pd(r, _mm512_fmadd_pd(av, acc[i][0], _mm512_loadu_pd(r)));
+      _mm512_storeu_pd(
+          r + 8, _mm512_fmadd_pd(av, acc[i][1], _mm512_loadu_pd(r + 8)));
+    }
+    return;
+  }
+  // Edge tile: spill the accumulators and commit the valid corner.
+  alignas(64) double t[kMr][kNr];
+  for (std::size_t i = 0; i < kMr; ++i) {
+    _mm512_store_pd(t[i], acc[i][0]);
+    _mm512_store_pd(t[i] + 8, acc[i][1]);
+  }
+  for (std::size_t i = 0; i < mr_eff; ++i)
+    for (std::size_t j = 0; j < nr_eff; ++j)
+      c[i * ldc + j] += alpha * t[i][j];
+}
+
+constexpr GemmMicroKernel kAvx512{"avx512", kMr, kNr, run_avx512};
+
+}  // namespace
+
+const GemmMicroKernel* gemm_kernel_avx512() { return &kAvx512; }
+
+}  // namespace xfci::linalg
+
+#else  // compiled without AVX-512 support
+
+namespace xfci::linalg {
+
+const GemmMicroKernel* gemm_kernel_avx512() { return nullptr; }
+
+}  // namespace xfci::linalg
+
+#endif

@@ -1,0 +1,37 @@
+// Portable scalar micro-kernel: the 4x8 register tile the library shipped
+// with before runtime dispatch existed, kept byte-for-byte so the portable
+// path reproduces pre-dispatch results bitwise.  Written so GCC keeps `acc`
+// in vector registers (auto-vectorizing the j loop under -march flags).
+
+#include "linalg/gemm_kernels.hpp"
+
+namespace xfci::linalg {
+namespace {
+
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+void run_portable(std::size_t kc, const double* pa, const double* pb,
+                  double alpha, double* c, std::size_t ldc,
+                  std::size_t mr_eff, std::size_t nr_eff) {
+  double acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* apos = pa + p * kMr;
+    const double* bpos = pb + p * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const double av = apos[i];
+      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += av * bpos[j];
+    }
+  }
+  for (std::size_t i = 0; i < mr_eff; ++i)
+    for (std::size_t j = 0; j < nr_eff; ++j)
+      c[i * ldc + j] += alpha * acc[i][j];
+}
+
+constexpr GemmMicroKernel kPortable{"portable", kMr, kNr, run_portable};
+
+}  // namespace
+
+const GemmMicroKernel* gemm_kernel_portable() { return &kPortable; }
+
+}  // namespace xfci::linalg

@@ -3,14 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/gemm.hpp"
+#include "linalg/gemm_kernels.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/solve.hpp"
+#include "parallel/thread_team.hpp"
 
 namespace xl = xfci::linalg;
 
@@ -108,6 +112,179 @@ TEST(Gemm, StridedOutputLeavesGapsUntouched) {
   EXPECT_DOUBLE_EQ(c[0 * 4 + 0], 2.0);
   EXPECT_DOUBLE_EQ(c[0 * 4 + 3], 9.0);
   EXPECT_DOUBLE_EQ(c[1 * 4 + 3], 9.0);
+}
+
+// ------------------------------------------------- dispatched kernels -----
+
+namespace {
+
+/// Restores the cpuid-dispatched default kernel when a test scope ends.
+struct KernelGuard {
+  ~KernelGuard() { xl::set_gemm_kernel(""); }
+};
+
+std::vector<double> random_buffer(std::size_t n, xfci::Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+}  // namespace
+
+TEST(GemmKernels, RegistryListsPortableFirst) {
+  const auto names = xl::gemm_kernel_names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "portable");
+  EXPECT_FALSE(xl::set_gemm_kernel("no-such-kernel"));
+  KernelGuard guard;
+  for (const auto& name : names) {
+    EXPECT_TRUE(xl::set_gemm_kernel(name)) << name;
+    EXPECT_STREQ(xl::gemm_kernel_name(), name.c_str());
+    const auto blk = xl::gemm_blocking();
+    EXPECT_GE(blk.mc, blk.mr);
+    EXPECT_GE(blk.nc, blk.nr);
+  }
+}
+
+// Every compiled-and-supported kernel must agree with gemm_reference over
+// shapes that straddle the register tile and cache-block boundaries, all
+// four transpose combinations, and leading dimensions larger than minimal.
+TEST(GemmKernels, ConformanceSweep) {
+  KernelGuard guard;
+  for (const auto& name : xl::gemm_kernel_names()) {
+    ASSERT_TRUE(xl::set_gemm_kernel(name));
+    const auto blk = xl::gemm_blocking();
+    const std::size_t shapes[][3] = {
+        {blk.mr - 1, blk.nr - 1, 3},      {blk.mr, blk.nr, 8},
+        {blk.mr + 1, blk.nr + 1, 9},      {2 * blk.mr + 3, 3 * blk.nr - 1, 17},
+        {blk.mc - 1, blk.nr + 2, 31},     {blk.mc + 1, 2 * blk.nr + 5, 33},
+        {blk.mr + 2, blk.nr, blk.kc + 1},
+    };
+    xfci::Rng rng(101);
+    for (const auto& s : shapes) {
+      const std::size_t m = s[0], n = s[1], k = s[2];
+      for (const bool ta : {false, true}) {
+        for (const bool tb : {false, true}) {
+          const std::size_t ar = ta ? k : m, ac = ta ? m : k;
+          const std::size_t br = tb ? n : k, bc = tb ? k : n;
+          const std::size_t lda = ac + 3, ldb = bc + 2, ldc = n + 5;
+          const auto a = random_buffer(ar * lda, rng);
+          const auto b = random_buffer(br * ldb, rng);
+          auto c1 = random_buffer(m * ldc, rng);
+          auto c2 = c1;
+          xl::gemm(ta, tb, m, n, k, 1.2, a.data(), lda, b.data(), ldb, -0.3,
+                   c1.data(), ldc);
+          xl::gemm_reference(ta, tb, m, n, k, 1.2, a.data(), lda, b.data(),
+                             ldb, -0.3, c2.data(), ldc);
+          double max_diff = 0.0;
+          for (std::size_t i = 0; i < c1.size(); ++i)
+            max_diff = std::max(max_diff, std::abs(c1[i] - c2[i]));
+          EXPECT_LT(max_diff, 1e-11 * (1.0 + static_cast<double>(k)))
+              << name << " m=" << m << " n=" << n << " k=" << k
+              << " ta=" << ta << " tb=" << tb;
+        }
+      }
+    }
+  }
+}
+
+// The threaded macro-loop must produce a bitwise-identical product under
+// every kernel: each C tile accumulates its k-panels in the serial order.
+TEST(GemmKernels, ThreadedBitwiseIdentical) {
+  // Big enough to clear the gemm threading threshold (2*m*n*k > 4e6 flops)
+  // and to straddle several macro tiles.
+  const std::size_t m = 300, n = 260, k = 270;
+  xfci::Rng rng(23);
+  const auto a = random_buffer(m * k, rng);
+  const auto b = random_buffer(k * n, rng);
+  const auto c0 = random_buffer(m * n, rng);
+
+  KernelGuard guard;
+  for (const auto& name : xl::gemm_kernel_names()) {
+    ASSERT_TRUE(xl::set_gemm_kernel(name));
+    auto serial = c0;
+    xl::gemm(false, false, m, n, k, 1.1, a.data(), k, b.data(), n, 0.4,
+             serial.data(), n);
+    for (const std::size_t workers : {2u, 3u}) {
+      xfci::pv::ThreadTeam team(workers);
+      xl::set_gemm_team(&team);
+      auto threaded = c0;
+      xl::gemm(false, false, m, n, k, 1.1, a.data(), k, b.data(), n, 0.4,
+               threaded.data(), n);
+      xl::set_gemm_team(nullptr);
+      std::size_t mismatches = 0;
+      for (std::size_t i = 0; i < serial.size(); ++i)
+        if (serial[i] != threaded[i]) ++mismatches;
+      EXPECT_EQ(mismatches, 0u) << name << " workers=" << workers;
+    }
+  }
+}
+
+// ------------------------------------------------- degenerate contract ----
+
+TEST(GemmContract, LdcTooSmallThrowsInBoth) {
+  std::vector<double> a(4, 1.0), b(4, 1.0), c(4, 0.0);
+  EXPECT_THROW(xl::gemm(false, false, 2, 2, 2, 1.0, a.data(), 2, b.data(), 2,
+                        0.0, c.data(), 1),
+               xfci::Error);
+  EXPECT_THROW(xl::gemm_reference(false, false, 2, 2, 2, 1.0, a.data(), 2,
+                                  b.data(), 2, 0.0, c.data(), 1),
+               xfci::Error);
+}
+
+TEST(GemmContract, LdaTooSmallThrowsOnlyWhenRead) {
+  std::vector<double> a(4, 1.0), b(4, 1.0), c(4, 2.0);
+  // lda = 1 < k = 2 is malformed when the product term reads A...
+  EXPECT_THROW(xl::gemm(false, false, 2, 2, 2, 1.0, a.data(), 1, b.data(), 2,
+                        0.0, c.data(), 2),
+               xfci::Error);
+  EXPECT_THROW(xl::gemm_reference(false, false, 2, 2, 2, 1.0, a.data(), 1,
+                                  b.data(), 2, 0.0, c.data(), 2),
+               xfci::Error);
+  // ...but alpha = 0 never reads A or B, so the same call scales C only.
+  xl::gemm(false, false, 2, 2, 2, 0.0, a.data(), 1, b.data(), 2, 0.5,
+           c.data(), 2);
+  for (const double v : c) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(GemmContract, AlphaZeroNeverReadsAB) {
+  // nullptr A/B with alpha = 0 must be legal in both implementations.
+  std::vector<double> c1(6, 4.0), c2(6, 4.0);
+  xl::gemm(false, false, 2, 3, 5, 0.0, nullptr, 5, nullptr, 3, 0.25,
+           c1.data(), 3);
+  xl::gemm_reference(false, false, 2, 3, 5, 0.0, nullptr, 5, nullptr, 3,
+                     0.25, c2.data(), 3);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c1[i], 1.0);
+    EXPECT_DOUBLE_EQ(c1[i], c2[i]);
+  }
+}
+
+TEST(GemmContract, EmptyOutputIsNoop) {
+  // m == 0 / n == 0: no C element exists, nothing may be touched and the
+  // (irrelevant) ldc must not be validated against n.
+  std::vector<double> b(4, 1.0);
+  xl::gemm(false, false, 0, 2, 2, 1.0, nullptr, 2, b.data(), 2, 0.0, nullptr,
+           0);
+  xl::gemm_reference(false, false, 0, 2, 2, 1.0, nullptr, 2, b.data(), 2,
+                     0.0, nullptr, 0);
+  std::vector<double> a(4, 1.0), c(2, 7.0);
+  xl::gemm(false, false, 2, 0, 2, 1.0, a.data(), 2, nullptr, 0, 0.0,
+           c.data(), 1);
+  EXPECT_DOUBLE_EQ(c[0], 7.0);  // no row has any column to scale
+  EXPECT_DOUBLE_EQ(c[1], 7.0);
+}
+
+TEST(GemmContract, KZeroAgreesWithReference) {
+  std::vector<double> c1(6, 2.0), c2(6, 2.0);
+  xl::gemm(false, false, 2, 3, 0, 1.0, nullptr, 1, nullptr, 3, 0.5,
+           c1.data(), 3);
+  xl::gemm_reference(false, false, 2, 3, 0, 1.0, nullptr, 1, nullptr, 3, 0.5,
+                     c2.data(), 3);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c1[i], 1.0);
+    EXPECT_DOUBLE_EQ(c1[i], c2[i]);
+  }
 }
 
 // ------------------------------------------------------------- Matrix -----

@@ -33,6 +33,12 @@ timing              Raw clock reads (std::chrono, clock_gettime,
                     times through Timer or a Ddi/Tracer clock so the
                     simulated backend stays deterministic and traces carry
                     one clock domain per backend (DESIGN.md §11).
+simd                x86 intrinsics (<immintrin.h>, _mm*/__m* tokens) are
+                    fenced inside the per-ISA micro-kernel TUs
+                    (src/linalg/gemm_kernels_*): those are the only files
+                    compiled with -m ISA flags, so an intrinsic anywhere
+                    else either breaks the portable build or silently
+                    requires the ISA everywhere (DESIGN.md §12).
 self-contained      (--compile-headers) every header under src/ compiles as
                     its own translation unit.
 
@@ -300,6 +306,31 @@ def check_timing(path: str, code: str, findings: list) -> None:
                     "simulated runs stay deterministic"))
 
 
+SIMD_ALLOWED = "src/linalg/gemm_kernels_"
+SIMD_INCLUDE = re.compile(
+    r'^[ \t]*#[ \t]*include[ \t]*[<"]((?:x86|imm|avx\w*)intrin\.h)[>"]',
+    re.MULTILINE)
+SIMD_TOKEN = re.compile(r"\b(_mm\d*_\w+|__m\d+[di]?)\b")
+
+
+def check_simd(path: str, raw: str, code: str, findings: list) -> None:
+    """Intrinsics live in the dispatched micro-kernel TUs (DESIGN.md §12)."""
+    if path.replace(os.sep, "/").startswith(SIMD_ALLOWED):
+        return
+    for m in SIMD_INCLUDE.finditer(raw):
+        findings.append(
+            Finding(path, line_of(raw, m.start()), "simd",
+                    f"<{m.group(1)}> include outside "
+                    "src/linalg/gemm_kernels_*; only those TUs get -m ISA "
+                    "flags and a runtime cpuid gate"))
+    for m in SIMD_TOKEN.finditer(code):
+        findings.append(
+            Finding(path, line_of(code, m.start()), "simd",
+                    f"x86 intrinsic `{m.group(0)}` outside "
+                    "src/linalg/gemm_kernels_*; add a dispatched kernel "
+                    "variant instead"))
+
+
 def lint_tree(root: str) -> list:
     findings = []
     src = os.path.join(root, "src")
@@ -316,6 +347,7 @@ def lint_tree(root: str) -> list:
             check_catch_swallow(rel, code, findings)
             check_layering(rel, raw, code, findings)
             check_timing(rel, code, findings)
+            check_simd(rel, raw, code, findings)
             if fn.endswith((".hpp", ".h")):
                 check_using_namespace(rel, code, findings)
                 check_pragma_once(rel, raw, findings)
@@ -437,6 +469,15 @@ double now() {
 }  // namespace xfci::fci
 """
 
+BAD_SIMD_CPP = """\
+#include <immintrin.h>
+namespace xfci::fci {
+double hsum(__m256d v) {
+  return _mm256_cvtsd_f64(v);
+}
+}  // namespace xfci::fci
+"""
+
 BAD_ENTRY_CPP = """\
 #include "common/error.hpp"
 namespace xfci::fci {
@@ -502,13 +543,20 @@ def self_test() -> int:
     expect("comment mention of chrono allowed", "good_clock.cpp",
            "// std::chrono stays behind xfci::Timer\nvoid f();\n",
            "timing", False)
+    expect("seeded intrinsics outside the kernel TUs", "bad_simd.cpp",
+           BAD_SIMD_CPP, "simd", True)
+    expect("intrinsics allowed in a kernel TU", "gemm_kernels_avx9.cpp",
+           BAD_SIMD_CPP, "simd", False, subdir="linalg")
+    expect("comment mention of intrinsics allowed", "good_simd.cpp",
+           "// the avx512 kernel uses _mm512_fmadd_pd\nvoid f();\n",
+           "simd", False)
 
     if failures:
         print("xfci_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("xfci_lint self-test passed (16 cases).")
+    print("xfci_lint self-test passed (19 cases).")
     return 0
 
 
