@@ -1,0 +1,68 @@
+#pragma once
+// Capability-based thread-safety annotations (DESIGN.md §13).
+//
+// The macros below expand to Clang's Thread Safety Analysis attributes, so
+// a Clang build with -Wthread-safety (the `tsa` preset / XFCI_THREAD_SAFETY
+// CMake option) proves the repo's lock discipline at *compile time*: every
+// access to a XFCI_GUARDED_BY member is checked against the capability
+// (mutex) that protects it, and acquire/release mismatches are build
+// errors.  On compilers without the analysis (GCC) every macro expands to
+// nothing, so the annotated tree compiles identically everywhere.
+//
+// Vocabulary (mirrors Clang's, prefixed so the expansion is ours to gate):
+//
+//  * XFCI_CAPABILITY("mutex")       — on a class: instances are capabilities
+//    (lockable resources) the analysis tracks.  sync.hpp's Mutex is the one
+//    capability type in the tree.
+//  * XFCI_SCOPED_CAPABILITY         — on an RAII class whose constructor
+//    acquires and destructor releases a capability (MutexLock, UniqueLock).
+//  * XFCI_GUARDED_BY(mu)            — on a data member: reads and writes
+//    require holding `mu`.
+//  * XFCI_PT_GUARDED_BY(mu)         — on a pointer member: the *pointee* is
+//    protected by `mu` (the pointer itself is not).
+//  * XFCI_REQUIRES(mu)              — on a function: callers must already
+//    hold `mu` (it is neither acquired nor released here).
+//  * XFCI_ACQUIRE(mu) / XFCI_RELEASE(mu) — on a function: it acquires /
+//    releases `mu`; with no argument, the capability is `this`.
+//  * XFCI_EXCLUDES(mu)              — on a function: callers must NOT hold
+//    `mu` (deadlock prevention for self-locking entry points).
+//  * XFCI_RETURN_CAPABILITY(mu)     — on an accessor: its return value *is*
+//    the capability `mu` (lets callers lock through getters).
+//  * XFCI_NO_THREAD_SAFETY_ANALYSIS — suppression of last resort: the
+//    function body is not analyzed.  Every use MUST carry a one-line
+//    `// justification: ...` comment on the same or the preceding line;
+//    the `lock-annotations` lint rule rejects bare suppressions, and the
+//    suppression count is ratcheted by .lint-budget.
+//
+// What the analysis cannot see (capability-negative surfaces) is documented
+// in prose at the declaration instead: lock-free-by-construction structures
+// (the Tracer's track-disjoint lanes, ThreadsDdi's slot-disjoint charge
+// arrays) state their no-shared-writer invariant where the member is
+// declared, because an absent annotation must read as a decision, not an
+// omission.
+
+// Clang implements the analysis and accepts the attributes everywhere; GCC
+// does not know them (and -Wattributes would flag every use), so the
+// expansion is clang-only.  XFCI_NO_CAPABILITY_ANNOTATIONS forces the
+// empty expansion even under Clang — tests/test_annotations_off.cpp uses
+// it to prove the annotated classes also compile with the macros erased.
+#if defined(__clang__) && !defined(XFCI_NO_CAPABILITY_ANNOTATIONS)
+#define XFCI_TSA_ATTR(x) __attribute__((x))
+#else
+#define XFCI_TSA_ATTR(x)  // not Clang: attributes vanish, code is identical
+#endif
+
+#define XFCI_CAPABILITY(x) XFCI_TSA_ATTR(capability(x))
+#define XFCI_SCOPED_CAPABILITY XFCI_TSA_ATTR(scoped_lockable)
+#define XFCI_GUARDED_BY(x) XFCI_TSA_ATTR(guarded_by(x))
+#define XFCI_PT_GUARDED_BY(x) XFCI_TSA_ATTR(pt_guarded_by(x))
+#define XFCI_REQUIRES(...) XFCI_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define XFCI_REQUIRES_SHARED(...) \
+  XFCI_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#define XFCI_ACQUIRE(...) XFCI_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define XFCI_RELEASE(...) XFCI_TSA_ATTR(release_capability(__VA_ARGS__))
+#define XFCI_TRY_ACQUIRE(...) \
+  XFCI_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define XFCI_EXCLUDES(...) XFCI_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define XFCI_RETURN_CAPABILITY(x) XFCI_TSA_ATTR(lock_returned(x))
+#define XFCI_NO_THREAD_SAFETY_ANALYSIS XFCI_TSA_ATTR(no_thread_safety_analysis)

@@ -1,0 +1,51 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
+
+namespace xfci::env {
+namespace {
+
+// Process-wide registry of consulted variables.  An ordered map keeps the
+// reads() snapshot deterministic (lint rule `determinism`: no unordered
+// iteration feeding output paths).
+struct Registry {
+  sync::Mutex mu;
+  std::map<std::string, Read> seen XFCI_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry r;  // function-local static: initialization is thread-safe
+  return r;
+}
+
+}  // namespace
+
+std::optional<std::string> get(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  Read read;
+  read.name = name;
+  read.set = raw != nullptr;
+  if (raw != nullptr) read.value = raw;
+  Registry& r = registry();
+  {
+    sync::MutexLock lk(r.mu);
+    r.seen[name] = read;  // re-reads refresh: the last value seen wins
+  }
+  if (!read.set) return std::nullopt;
+  return read.value;
+}
+
+std::vector<Read> reads() {
+  Registry& r = registry();
+  sync::MutexLock lk(r.mu);
+  std::vector<Read> out;
+  out.reserve(r.seen.size());
+  for (const auto& [name, read] : r.seen) out.push_back(read);
+  return out;
+}
+
+}  // namespace xfci::env

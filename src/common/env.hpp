@@ -1,0 +1,40 @@
+#pragma once
+// Fenced process-environment access.
+//
+// Environment variables are invisible inputs: a run whose behaviour turned
+// on XFCI_GEMM_KERNEL (or any future knob) is not reproducible from its
+// command line alone.  Every environment read therefore goes through
+// env::get(), which records the consultation — name, whether it was set,
+// and the value seen — in a process-wide registry that the run report
+// serializes (run_report.cpp, "env" section).  A metrics file then states
+// exactly which knobs the run consulted and what they said.
+//
+// The `env-read` lint rule fences raw std::getenv to src/common/env.*;
+// new knobs must come through here so they stay visible in run reports.
+//
+// Thread safety: the registry is a sync::Mutex-guarded map (see env.cpp);
+// get() and reads() may be called from any thread.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xfci::env {
+
+/// One recorded environment consultation (last read of a name wins).
+struct Read {
+  std::string name;
+  bool set = false;    ///< variable existed at read time
+  std::string value;   ///< value seen (empty when unset)
+};
+
+/// Reads `name` from the process environment — the one sanctioned getenv
+/// call site — and records the consultation for run reports.
+std::optional<std::string> get(const std::string& name);
+
+/// Name-sorted snapshot of every variable consulted so far.  Sorted (not
+/// insertion-ordered) so reports are deterministic across code paths that
+/// consult the same set in different orders.
+std::vector<Read> reads();
+
+}  // namespace xfci::env

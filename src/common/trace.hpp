@@ -119,6 +119,20 @@ class Tracer {
   void write_chrome_trace(const std::string& path) const;
 
  private:
+  // Concurrency contract (capability-negative, DESIGN.md §13): the Tracer
+  // deliberately owns no mutex.  Two access classes share the object:
+  //  * The lock-free append path — span()/instant() — is safe because
+  //    concurrent emitters never share a track (rank bodies are rank-
+  //    disjoint, pool stages worker-disjoint, the control track written
+  //    only between regions), so each lane has at most one writer.
+  //  * The lane/run registry — enable(), begin_run(), name_track(),
+  //    set_clock(), the readers and the JSON sink — mutates or walks
+  //    every lane and is therefore driver-thread-only, called strictly
+  //    outside parallel regions (backends do this in set_tracer()).
+  // A mutex on the append path would serialize the very workers the trace
+  // is measuring; the track-disjointness invariant is the capability here,
+  // and it is enforced by construction in the Ddi backends.
+
   // One lane per track, cache-line separated so concurrent appends to
   // neighbouring lanes do not false-share.
   struct alignas(64) Lane {

@@ -24,6 +24,13 @@
 // crash mid-write never corrupts the previous checkpoint.  load_checkpoint
 // validates magic, version, length and checksum and throws xfci::Error on
 // any mismatch (a truncated or bit-flipped file fails cleanly).
+//
+// Concurrency contract (capability-negative): save/load are called from
+// the solver's driver thread only, between sigma applications — never from
+// inside a parallel region — so the Checkpoint struct needs no capability.
+// Cross-*process* readers (a restart racing a dying run's last save) are
+// isolated by the write-to-tmp + atomic-rename protocol instead of a lock:
+// they observe either the old or the new file, never a torn one.
 
 #include <cstdint>
 #include <string>

@@ -46,6 +46,7 @@ RunMetrics RunMetrics::capture(const ParallelSigma& op) {
     m.rank_counters.push_back(ddi.counters(r));
     m.rank_flops.push_back(ddi.flops(r));
   }
+  m.env_reads = env::reads();
   return m;
 }
 
@@ -100,6 +101,15 @@ std::string RunMetrics::to_json() const {
     w.key("dlb_calls").uint(cc.dlb_calls);
     w.key("ops_dropped").uint(cc.ops_dropped);
     w.key("ops_delayed").uint(cc.ops_delayed);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("env").begin_array();
+  for (const env::Read& e : env_reads) {
+    w.begin_object();
+    w.key("name").str(e.name);
+    w.key("set").boolean(e.set);
+    if (e.set) w.key("value").str(e.value);
     w.end_object();
   }
   w.end_array();

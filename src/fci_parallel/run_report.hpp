@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "fci/solvers.hpp"
 #include "fci_parallel/options.hpp"
 #include "parallel/ddi.hpp"
@@ -38,6 +39,9 @@ struct RunMetrics {
   std::vector<double> rank_flops;
   x1::CostModel cost;  ///< the calibrated charges (meaningful when
                        ///< models_cost)
+  /// Environment variables the process consulted (env::reads() at capture
+  /// time) — env-dependent behaviour must be visible in run reports.
+  std::vector<env::Read> env_reads;
 
   bool have_solver = false;
   bool converged = false;

@@ -6,8 +6,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/env.hpp"
 #include "linalg/gemm_kernels.hpp"
 
 namespace xfci::linalg {
@@ -39,12 +39,13 @@ const GemmMicroKernel* find_kernel(std::string_view name) {
 }
 
 const GemmMicroKernel* pick_default() {
-  if (const char* env = std::getenv("XFCI_GEMM_KERNEL")) {
-    if (const GemmMicroKernel* k = find_kernel(env)) return k;
+  // env::get records the consultation so run reports show the pin.
+  if (const auto pin = env::get("XFCI_GEMM_KERNEL")) {
+    if (const GemmMicroKernel* k = find_kernel(*pin)) return k;
     std::fprintf(stderr,
                  "xfci: XFCI_GEMM_KERNEL=%s is not available on this "
                  "build/CPU; using the portable kernel\n",
-                 env);
+                 pin->c_str());
     return gemm_kernel_portable();
   }
   if (cpu_supports_avx512())

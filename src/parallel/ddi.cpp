@@ -290,11 +290,23 @@ class ThreadsDdi final : public Ddi {
   }
 
  private:
+  // Concurrency contract (capability-negative: nothing here is guarded by
+  // a mutex, each member is safe for a documented structural reason —
+  // DESIGN.md §13):
+  //  * flops_ is written concurrently by workers, but every slot has
+  //    exactly one writer (static phases index by rank id, pool stages by
+  //    worker id, and the two never overlap a region).
+  //  * counters_ is immutable after construction on this backend (nothing
+  //    moves, so the windows are never charged).
+  //  * task_counter_ is the shared DLB window: a bare atomic because the
+  //    fetch-and-add *is* the claim handoff (DDI_DLBNEXT semantics).
+  //  * plan_ and tracer_ are set before parallel regions start and only
+  //    read inside them.
   std::size_t num_ranks_;
   ThreadTeam team_;
   FaultPlan plan_;
   Timer timer_;
-  std::vector<double> flops_;
+  std::vector<double> flops_;           // slot-disjoint writes (see above)
   std::vector<CommCounters> counters_;  // stays zero: nothing moves
   std::atomic<std::size_t> task_counter_{0};
   obs::Tracer* tracer_ = nullptr;

@@ -20,6 +20,16 @@
 //    run_pool() commits chunks through an OrderedSequencer so results are
 //    bitwise identical for every thread count.
 //
+// Concurrency contract: a Ddi instance is owned by one driver thread.
+// Methods called *inside* parallel regions (the for_ranks/for_range/
+// run_pool bodies: charge_*, one-sided ops, next_task, now) must be safe
+// for concurrent rank-/worker-disjoint use — backends keep their state
+// either slot-disjoint or atomic (see ThreadsDdi in ddi.cpp), never behind
+// a lock a body could block on.  Everything else (set_tracer, counters,
+// flops, barrier, run_pool entry) is driver-thread-only, called between
+// regions.  The thread_team/sync layers underneath carry the compile-time
+// capability annotations (DESIGN.md §13).
+//
 // Seam for a real transport: an MPI or native-SHMEM backend plugs in as a
 // third implementation of this interface -- get/acc/put map onto
 // MPI_Get/MPI_Accumulate/MPI_Put (or shmem_getmem + atomics), next_task

@@ -45,6 +45,13 @@ namespace xfci::pv {
 /// rank is dead); the caller decides whether to retransmit.
 enum class OpOutcome { kDelivered, kDropped };
 
+// Concurrency contract (capability-negative): a FaultPlan is built
+// single-threaded (the chaining setters), then handed to a backend and
+// only *read* from parallel regions — worker_death_claim/on_one_sided are
+// pure lookups on the frozen tables, so concurrent workers need no lock.
+// The mutable alive masks and per-rank op counters derived from the plan
+// live in pv::Machine (driver-thread-confined) and in run_pool locals,
+// never in the shared plan.
 class FaultPlan {
  public:
   FaultPlan() = default;

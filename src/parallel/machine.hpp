@@ -30,6 +30,13 @@
 
 namespace xfci::pv {
 
+// Concurrency contract (capability-negative): a Machine is confined to the
+// driver thread.  The simulator executes rank bodies *sequentially* (that
+// is what makes runs pure functions of their inputs), so the clocks, alive
+// masks and counters have exactly one thread touching them and carry no
+// capability.  The threaded backend never constructs a Machine; its
+// concurrency lives in ThreadTeam, whose state is capability-annotated
+// (DESIGN.md §13).
 class Machine {
  public:
   Machine(std::size_t num_ranks, x1::CostModel model = {});

@@ -30,6 +30,12 @@ struct TaskPoolParams {
 
 /// Splits `num_items` work items into an ordered list of [begin, end)
 /// chunks: large chunks of decreasing size first, then the fine tail.
+///
+/// Concurrency contract (capability-negative): a TaskPool is immutable
+/// after construction — chunks_ is built in the constructor and only read
+/// thereafter — so workers share a const reference with no capability to
+/// hold.  The mutable claim state lives in the caller (ThreadTeam::next_,
+/// the Ddi task counter), never here.
 class TaskPool {
  public:
   TaskPool(std::size_t num_items, std::size_t num_ranks,

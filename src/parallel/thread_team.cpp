@@ -32,39 +32,40 @@ ThreadTeam::ThreadTeam(std::size_t num_threads) {
 
 ThreadTeam::~ThreadTeam() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadTeam::claim_loop(std::size_t tid) {
+void ThreadTeam::claim_loop(std::size_t tid, const IndexBody* body,
+                            const RetireBody* retire, std::size_t count) {
   XFCI_DCHECK(tid < nthreads_, "worker tid outside the team");
+  // Each index is claimed by exactly one worker (the fetch-and-add is the
+  // ownership handoff); a null body here means a region raced its setup.
+  XFCI_DCHECK(body != nullptr || retire != nullptr,
+              "entered a claim loop with no active region");
   tl_in_region = true;
   tl_tid = tid;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count_) break;
-    // Each index is claimed by exactly one worker (the fetch-and-add is the
-    // ownership handoff); a null body here means a region raced its setup.
-    XFCI_DCHECK(body_ != nullptr || retire_body_ != nullptr,
-                "claimed a task with no active region");
+    if (i >= count) break;
     try {
-      if (retire_body_ != nullptr) {
+      if (retire != nullptr) {
         // Resilient region: a false return is a worker crash -- this
         // worker claims nothing further; survivors drain the rest.
-        if (!(*retire_body_)(i, tid)) break;
+        if (!(*retire)(i, tid)) break;
       } else {
-        (*body_)(i, tid);
+        (*body)(i, tid);
       }
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        sync::MutexLock lk(mu_);
         if (!error_) error_ = std::current_exception();
       }
       // Drain the remaining indices so every worker exits promptly.
-      next_.store(count_, std::memory_order_relaxed);
+      next_.store(count, std::memory_order_relaxed);
       break;
     }
   }
@@ -74,15 +75,23 @@ void ThreadTeam::claim_loop(std::size_t tid) {
 void ThreadTeam::worker_main(std::size_t tid) {
   std::uint64_t seen = 0;
   for (;;) {
+    const IndexBody* body = nullptr;
+    const RetireBody* retire = nullptr;
+    std::size_t count = 0;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      // Snapshot the region descriptor under the capability: the claim
+      // loop then runs on locals, never touching guarded state.
+      sync::UniqueLock lk(mu_);
+      while (!stop_ && generation_ == seen) cv_start_.wait(lk);
       if (stop_) return;
       seen = generation_;
+      body = body_;
+      retire = retire_body_;
+      count = count_;
     }
-    claim_loop(tid);
+    claim_loop(tid, body, retire, count);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sync::MutexLock lk(mu_);
       if (--working_ == 0) cv_done_.notify_all();
     }
   }
@@ -91,7 +100,7 @@ void ThreadTeam::worker_main(std::size_t tid) {
 void ThreadTeam::run_region(std::size_t count, const IndexBody* body,
                             const RetireBody* retire) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     body_ = body;
     retire_body_ = retire;
     count_ = count;
@@ -101,14 +110,16 @@ void ThreadTeam::run_region(std::size_t count, const IndexBody* body,
     ++generation_;
   }
   cv_start_.notify_all();
-  claim_loop(0);  // the calling thread participates as tid 0
+  claim_loop(0, body, retire, count);  // the calling thread is tid 0
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_done_.wait(lk, [&] { return working_ == 0; });
+    sync::UniqueLock lk(mu_);
+    while (working_ != 0) cv_done_.wait(lk);
     body_ = nullptr;
     retire_body_ = nullptr;
+    error = error_;
   }
-  if (error_) std::rethrow_exception(error_);
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadTeam::for_dynamic(std::size_t count, const IndexBody& body) {
@@ -177,25 +188,25 @@ void ThreadTeam::for_static(std::size_t count, const RangeBody& body) {
 }
 
 double OrderedSequencer::wait_turn(std::size_t index) {
-  std::unique_lock<std::mutex> lk(mu_);
+  sync::UniqueLock lk(mu_);
   // Waiting on a turn that has already passed would deadlock: nobody will
   // ever set turn_ back.  Catch the ownership error instead of hanging.
   XFCI_DCHECK(turn_ <= index, "ordered sequencer waiting on a passed turn");
   if (turn_ == index) return 0.0;
   const Timer blocked;
-  cv_.wait(lk, [&] { return turn_ == index; });
+  while (turn_ != index) cv_.wait(lk);
   return blocked.seconds();
 }
 
 void OrderedSequencer::complete(std::size_t index) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   XFCI_ASSERT(turn_ == index, "ordered sequencer completed out of turn");
   ++turn_;
   cv_.notify_all();
 }
 
 void OrderedSequencer::reset(std::size_t start) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   turn_ = start;
 }
 

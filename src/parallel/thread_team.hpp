@@ -22,14 +22,15 @@
 // of the thread count and of OS scheduling.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace xfci::pv {
 
@@ -86,7 +87,12 @@ class ThreadTeam {
   static bool in_parallel_region();
 
  private:
-  void claim_loop(std::size_t tid);
+  /// Claims indices from next_ until the region drains.  The region's body
+  /// and count are passed by value: workers snapshot them under mu_ when
+  /// they observe the new generation, so the claim loop itself runs
+  /// lock-free on published-before-wakeup data.
+  void claim_loop(std::size_t tid, const IndexBody* body,
+                  const RetireBody* retire, std::size_t count);
   void worker_main(std::size_t tid);
   void run_region(std::size_t count, const IndexBody* body,
                   const RetireBody* retire);
@@ -94,18 +100,26 @@ class ThreadTeam {
   std::size_t nthreads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
-  std::size_t working_ = 0;  // spawned workers still inside the current job
-  bool stop_ = false;
+  // Region handoff state.  mu_ is the one capability of the pool: the
+  // generation/stop handshake and the region descriptor are written by the
+  // coordinating thread and read by workers strictly under it.  Everything
+  // the workers touch *during* a region is either claimed through the
+  // atomic counter or passed to claim_loop by value.
+  sync::Mutex mu_;
+  sync::ConditionVariable cv_start_;  ///< paired with mu_: region start
+  sync::ConditionVariable cv_done_;   ///< paired with mu_: last worker out
+  std::uint64_t generation_ XFCI_GUARDED_BY(mu_) = 0;
+  /// Spawned workers still inside the current job.
+  std::size_t working_ XFCI_GUARDED_BY(mu_) = 0;
+  bool stop_ XFCI_GUARDED_BY(mu_) = false;
 
-  const IndexBody* body_ = nullptr;
-  const RetireBody* retire_body_ = nullptr;
-  std::size_t count_ = 0;
+  const IndexBody* body_ XFCI_GUARDED_BY(mu_) = nullptr;
+  const RetireBody* retire_body_ XFCI_GUARDED_BY(mu_) = nullptr;
+  std::size_t count_ XFCI_GUARDED_BY(mu_) = 0;
+  /// Shared DLB claim counter: deliberately lock-free (the fetch-and-add
+  /// *is* the ownership handoff); atomics need no capability.
   std::atomic<std::size_t> next_{0};
-  std::exception_ptr error_;
+  std::exception_ptr error_ XFCI_GUARDED_BY(mu_);
 };
 
 /// Commit gate forcing parallel sections to retire in index order: a worker
@@ -124,9 +138,9 @@ class OrderedSequencer {
   void reset(std::size_t start = 0);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t turn_ = 0;
+  sync::Mutex mu_;
+  sync::ConditionVariable cv_;  ///< paired with mu_: turn advanced
+  std::size_t turn_ XFCI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace xfci::pv

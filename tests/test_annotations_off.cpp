@@ -1,0 +1,44 @@
+// The non-Clang half of the annotation-macro compile test: forcing
+// XFCI_NO_CAPABILITY_ANNOTATIONS erases every XFCI_* attribute in this TU
+// (exactly what a GCC build sees), so a Clang build of this file proves
+// the annotated class shapes also compile with the macros expanded to
+// nothing.  Keep this define above every include.
+#define XFCI_NO_CAPABILITY_ANNOTATIONS 1
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
+
+namespace {
+
+// Same annotated shape as AnnotatedCounter in test_annotations.cpp, but
+// compiled with empty macro expansions.
+class OffPathCounter {
+ public:
+  void add(long delta) XFCI_EXCLUDES(mu_) {
+    xfci::sync::MutexLock lk(mu_);
+    add_locked(delta);
+  }
+
+  long value() XFCI_EXCLUDES(mu_) {
+    xfci::sync::MutexLock lk(mu_);
+    return count_;
+  }
+
+ private:
+  void add_locked(long delta) XFCI_REQUIRES(mu_) { *shadow_ += delta; }
+
+  xfci::sync::Mutex mu_;
+  long count_ XFCI_GUARDED_BY(mu_) = 0;
+  long* shadow_ XFCI_PT_GUARDED_BY(mu_) = &count_;
+};
+
+long no_analysis_leg() XFCI_NO_THREAD_SAFETY_ANALYSIS { return 2; }
+
+}  // namespace
+
+long annotations_off_demo() {
+  OffPathCounter c;
+  c.add(40);
+  c.add(no_analysis_leg());
+  return c.value();
+}

@@ -106,10 +106,11 @@ std::map<int, std::vector<std::string>> check_chrome(
     for (const Span& s : spans) {
       while (!stack.empty() && s.t0 >= stack.back()->t1 - kEpsUs)
         stack.pop_back();
-      if (!stack.empty())
+      if (!stack.empty()) {
         EXPECT_LE(s.t1, stack.back()->t1 + kEpsUs)
             << s.name << " crosses " << stack.back()->name << " on track ("
             << key.first << "," << key.second << ")";
+      }
       stack.push_back(&s);
     }
   }

@@ -26,6 +26,21 @@ done
 echo "== xfci_lint (tree + header self-containment) =="
 python3 tools/xfci_lint.py --compile-headers --cxx "${CXX:-c++}"
 
+echo "== xfci_lint --fix (dry run must be a no-op on a clean tree) =="
+python3 tools/xfci_lint.py --fix
+
+# Compile-time lock-discipline proof (DESIGN.md §13): the tsa preset
+# builds the annotated tree under Clang -Wthread-safety -Werror and runs
+# the FP-order-independent concurrency tests.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang thread-safety analysis (tsa preset) =="
+  cmake --preset tsa
+  cmake --build --preset tsa -j "${jobs}"
+  ctest --preset tsa -j "${jobs}"
+else
+  echo "== clang++ not installed; thread-safety analysis skipped (preset: tsa) =="
+fi
+
 echo "== check_trace (validator self-test) =="
 python3 tools/check_trace.py --self-test
 

@@ -125,7 +125,7 @@ def check_trace(path: str, doc, findings: list,
 
 METRICS_KEYS = ("schema", "backend", "algorithm", "num_ranks",
                 "num_workers", "dimension", "total_seconds", "total_flops",
-                "phases", "totals", "comm", "recovery", "ranks")
+                "phases", "totals", "comm", "recovery", "ranks", "env")
 PHASE_KEYS = ("beta_side", "alpha_side", "mixed", "transpose",
               "vector_ops", "load_imbalance", "recovery", "total",
               "comm_words", "flops", "count")
@@ -153,6 +153,17 @@ def check_metrics(path: str, doc, findings: list) -> None:
         if len(ranks) != int(nranks):
             fail(findings, path,
                  f"ranks has {len(ranks)} rows for num_ranks {nranks}")
+    env = doc.get("env")
+    if isinstance(env, list):
+        # Every environment variable the run consulted (via xfci::env) —
+        # name + whether it was set, value only when set.
+        for row in env:
+            if not isinstance(row, dict) or "name" not in row \
+                    or "set" not in row:
+                fail(findings, path, f"malformed env row {row!r}")
+            elif bool(row["set"]) != ("value" in row):
+                fail(findings, path,
+                     f"env row '{row['name']}' must carry a value iff set")
     solver = doc.get("solver")
     if isinstance(solver, dict):
         eh = solver.get("energy_history", [])
@@ -241,6 +252,7 @@ GOOD_METRICS = {
     "comm": {"dlb_calls": 3, "ops_dropped": 0, "ops_delayed": 0},
     "recovery": {"tasks_reassigned": 0, "ops_retried": 0, "ranks_lost": 0},
     "ranks": [{"rank": 0}, {"rank": 1}],
+    "env": [{"name": "XFCI_GEMM_KERNEL", "set": False}],
     "solver": {"converged": True, "iterations": 2, "energy": -1.0,
                "energy_history": [-0.9, -1.0],
                "residual_history": [0.1, 0.001]},
@@ -282,6 +294,16 @@ def self_test() -> int:
     bad = dict(GOOD_METRICS)
     del bad["phases"]
     expect("missing phases caught", check_metrics, bad, True)
+    bad = dict(GOOD_METRICS)
+    del bad["env"]
+    expect("missing env section caught", check_metrics, bad, True)
+    bad = dict(GOOD_METRICS, env=[{"name": "X"}])
+    expect("malformed env row caught", check_metrics, bad, True)
+    bad = dict(GOOD_METRICS, env=[{"name": "X", "set": True}])
+    expect("set env row without value caught", check_metrics, bad, True)
+    good = dict(GOOD_METRICS,
+                env=[{"name": "X", "set": True, "value": "portable"}])
+    expect("set env row with value passes", check_metrics, good, False)
 
     expect("good bench passes", check_bench, GOOD_BENCH, False)
     bad = dict(GOOD_BENCH, rows=[])

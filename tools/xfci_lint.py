@@ -39,8 +39,41 @@ simd                x86 intrinsics (<immintrin.h>, _mm*/__m* tokens) are
                     compiled with -m ISA flags, so an intrinsic anywhere
                     else either breaks the portable build or silently
                     requires the ISA everywhere (DESIGN.md §12).
+lock-annotations    Lock discipline is compiler-checked (DESIGN.md §13):
+                    no raw std::mutex / std::condition_variable members
+                    outside src/common/sync.hpp — concurrency code uses the
+                    annotated xfci::sync wrappers; every sync::Mutex member
+                    must be named by at least one XFCI_GUARDED_BY /
+                    XFCI_PT_GUARDED_BY / XFCI_REQUIRES / XFCI_ACQUIRE in the
+                    same file (a capability nothing is guarded by is a lie);
+                    and every XFCI_NO_THREAD_SAFETY_ANALYSIS carries a
+                    `justification:` comment on the same line or in the
+                    comment block directly above it.
+determinism         No std::unordered_{map,set,multimap,multiset} in src/ —
+                    their iteration order is hash-seed dependent, and the
+                    paper claims bitwise-reproducible outputs, so anything
+                    that could feed an accumulation, checkpoint or report
+                    must iterate deterministically (std::map/sorted vector).
+                    Escape a genuinely order-free use with
+                    `// lint: unordered-ok`.
+include-cycles      The quoted-include graph over src/ headers must be a
+                    DAG; a cycle is reported with its full path.
+env-read            Raw environment access (getenv/setenv/...) is fenced
+                    inside src/common/env.*: everything else goes through
+                    xfci::env::get() so every consulted variable is recorded
+                    and surfaced in the run report (--metrics).
+suppression-budget  The repo-wide suppression counts (NOLINT,
+                    XFCI_NO_THREAD_SAFETY_ANALYSIS, `lint:` escapes) must
+                    equal the budget in .lint-budget: growth fails until the
+                    budget is raised in the same change (reviewable), and a
+                    slack budget fails until ratcheted down.
 self-contained      (--compile-headers) every header under src/ compiles as
                     its own translation unit.
+
+--fix rewrites what is mechanical: inserts a missing #pragma once and
+inserts a justification stub above a bare XFCI_NO_THREAD_SAFETY_ANALYSIS.
+By default it prints a unified diff and exits 1 if fixes are pending;
+--apply writes the files.
 
 Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
 """
@@ -48,6 +81,7 @@ Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
 from __future__ import annotations
 
 import argparse
+import difflib
 import os
 import re
 import subprocess
@@ -331,9 +365,156 @@ def check_simd(path: str, raw: str, code: str, findings: list) -> None:
                     "variant instead"))
 
 
+# The only file allowed to hold raw standard-library lock primitives: the
+# annotated wrappers themselves (DESIGN.md §13).
+SYNC_WRAPPER = "src/common/sync.hpp"
+# The macro definitions; the suppression token legitimately appears here.
+ANNOTATIONS_HEADER = "src/common/annotations.hpp"
+RAW_PRIMITIVE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?)\b")
+SYNC_MUTEX_MEMBER = re.compile(r"\bsync::Mutex\s+(\w+)\s*;")
+TSA_ANNOTATION = re.compile(
+    r"\bXFCI_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES(?:_SHARED)?|"
+    r"ACQUIRE|RELEASE|TRY_ACQUIRE|EXCLUDES|RETURN_CAPABILITY)\s*\(([^()]*)\)")
+TSA_SUPPRESS = "XFCI_NO_THREAD_SAFETY_ANALYSIS"
+JUSTIFICATION = "justification:"
+
+
+def _has_justification(raw_lines: list, lineno: int) -> bool:
+    """True if raw line `lineno` (1-based) carries a `justification:`
+    comment, either trailing on the line itself or in the contiguous
+    //-comment block directly above it."""
+    if JUSTIFICATION in raw_lines[lineno - 1]:
+        return True
+    i = lineno - 2
+    while i >= 0 and raw_lines[i].lstrip().startswith("//"):
+        if JUSTIFICATION in raw_lines[i]:
+            return True
+        i -= 1
+    return False
+
+
+def check_lock_annotations(path: str, raw: str, code: str,
+                           findings: list) -> None:
+    """Compiler-checked lock discipline (DESIGN.md §13)."""
+    norm = path.replace(os.sep, "/")
+    raw_lines = raw.splitlines()
+    if norm != SYNC_WRAPPER:
+        for m in RAW_PRIMITIVE.finditer(code):
+            findings.append(
+                Finding(path, line_of(code, m.start()), "lock-annotations",
+                        f"raw {m.group(0)} outside common/sync.hpp; use the "
+                        "annotated xfci::sync wrappers so Clang "
+                        "-Wthread-safety can prove the lock discipline"))
+    # Every sync::Mutex member must actually guard something: collect the
+    # identifiers named inside XFCI_* annotation arguments in this file and
+    # require each declared capability to appear among them.
+    annotated = set()
+    for m in TSA_ANNOTATION.finditer(code):
+        annotated.update(re.findall(r"\w+", m.group(1)))
+    for m in SYNC_MUTEX_MEMBER.finditer(code):
+        name = m.group(1)
+        if name not in annotated:
+            findings.append(
+                Finding(path, line_of(code, m.start()), "lock-annotations",
+                        f"sync::Mutex member `{name}` is never named by an "
+                        "XFCI_GUARDED_BY/PT_GUARDED_BY/REQUIRES/ACQUIRE "
+                        "annotation in this file; declare what it protects"))
+    if norm == ANNOTATIONS_HEADER:
+        return  # the macro's own definition site
+    for m in re.finditer(r"\b%s\b" % TSA_SUPPRESS, code):
+        lineno = line_of(code, m.start())
+        if not _has_justification(raw_lines, lineno):
+            findings.append(
+                Finding(path, lineno, "lock-annotations",
+                        f"{TSA_SUPPRESS} without a `{JUSTIFICATION}` comment "
+                        "on the same line or directly above; every analysis "
+                        "hole must say why it is sound (or run --fix for a "
+                        "stub)"))
+
+
+UNORDERED = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b")
+UNORDERED_OK = "lint: unordered-ok"
+
+
+def check_determinism(path: str, raw: str, code: str, findings: list) -> None:
+    """Hash containers iterate in a seed-dependent order; the paper claims
+    bitwise-reproducible outputs (DESIGN.md §13)."""
+    raw_lines = raw.splitlines()
+    for m in UNORDERED.finditer(code):
+        lineno = line_of(code, m.start())
+        if UNORDERED_OK in raw_lines[lineno - 1]:
+            continue
+        findings.append(
+            Finding(path, lineno, "determinism",
+                    f"std::unordered_{m.group(1)} iterates in hash order — "
+                    "outputs must be bitwise reproducible; use std::map / a "
+                    f"sorted vector, or escape with `// {UNORDERED_OK}` if "
+                    "no iteration feeds an output"))
+
+
+ENV_ALLOWED = "src/common/env."
+ENV_TOKEN = re.compile(
+    r"\b(?:std::)?(getenv|secure_getenv|setenv|putenv|unsetenv)\s*\(")
+
+
+def check_env_read(path: str, code: str, findings: list) -> None:
+    """Environment access is recorded by xfci::env so run reports list
+    every variable a result depended on."""
+    if path.replace(os.sep, "/").startswith(ENV_ALLOWED):
+        return
+    for m in ENV_TOKEN.finditer(code):
+        findings.append(
+            Finding(path, line_of(code, m.start()), "env-read",
+                    f"raw {m.group(1)}() outside src/common/env.*; go "
+                    "through xfci::env::get() so the read is recorded in "
+                    "the run report"))
+
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]*"([^"]+)"',
+                        re.MULTILINE)
+
+
+def check_include_cycles(graph: dict, edge_lines: dict,
+                         findings: list) -> None:
+    """graph maps src/-relative header paths to the headers they quote-
+    include; any strongly-connected inclusion is reported with its path."""
+    color = {}  # absent = white, 1 = on stack, 2 = done
+    stack = []
+    reported = set()
+
+    def dfs(u):
+        color[u] = 1
+        stack.append(u)
+        for v in sorted(graph.get(u, ())):
+            state = color.get(v)
+            if state == 1:
+                cycle = stack[stack.index(v):] + [v]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    findings.append(
+                        Finding("src/" + cycle[0],
+                                edge_lines.get((cycle[0], cycle[1]), 1),
+                                "include-cycles",
+                                "header include cycle: " +
+                                " -> ".join(cycle)))
+            elif state is None:
+                dfs(v)
+        stack.pop()
+        color[u] = 2
+
+    for u in sorted(graph):
+        if u not in color:
+            dfs(u)
+
+
 def lint_tree(root: str) -> list:
     findings = []
     src = os.path.join(root, "src")
+    include_graph = {}
+    edge_lines = {}
     for dirpath, _dirnames, filenames in os.walk(src):
         for fn in sorted(filenames):
             if not fn.endswith((".hpp", ".cpp", ".h", ".cc")):
@@ -348,12 +529,27 @@ def lint_tree(root: str) -> list:
             check_layering(rel, raw, code, findings)
             check_timing(rel, code, findings)
             check_simd(rel, raw, code, findings)
+            check_lock_annotations(rel, raw, code, findings)
+            check_determinism(rel, raw, code, findings)
+            check_env_read(rel, code, findings)
             if fn.endswith((".hpp", ".h")):
                 check_using_namespace(rel, code, findings)
                 check_pragma_once(rel, raw, findings)
+                hdr = os.path.relpath(path, src).replace(os.sep, "/")
+                include_graph[hdr] = []
+                for m in INCLUDE_RE.finditer(raw):
+                    include_graph[hdr].append(m.group(1))
+                    edge_lines[(hdr, m.group(1))] = line_of(raw, m.start())
             if any(rel.startswith(d) for d in SRC_SUBDIRS_ENTRY) and \
                fn.endswith((".cpp", ".cc")):
                 check_entry_require(rel, raw, code, findings)
+    # Keep only edges between collected headers (system/installed includes
+    # cannot participate in a src/ cycle).
+    include_graph = {
+        h: [i for i in incs if i in include_graph]
+        for h, incs in include_graph.items()
+    }
+    check_include_cycles(include_graph, edge_lines, findings)
     return findings
 
 
@@ -378,6 +574,148 @@ def compile_headers(root: str, cxx: str) -> list:
                         "header does not compile standalone: " +
                         (first[0] if first else "unknown error")))
     return findings
+
+
+# ------------------------------------------------------- suppression budget --
+
+BUDGET_FILE = ".lint-budget"
+BUDGET_KEYS = ("no-thread-safety-analysis", "nolint", "lint-escape")
+
+
+def count_suppressions(root: str) -> dict:
+    counts = {k: 0 for k in BUDGET_KEYS}
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for fn in sorted(filenames):
+            if not fn.endswith((".hpp", ".cpp", ".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as fh:
+                raw = fh.read()
+            if rel != ANNOTATIONS_HEADER:
+                code = strip_comments_and_strings(raw)
+                counts["no-thread-safety-analysis"] += len(
+                    re.findall(r"\b%s\b" % TSA_SUPPRESS, code))
+            # NOLINT and `lint:` escapes live in comments: count on raw.
+            counts["nolint"] += len(re.findall(r"\bNOLINT", raw))
+            counts["lint-escape"] += len(re.findall(r"//\s*lint:", raw))
+    return counts
+
+
+def check_suppression_budget(root: str, findings: list) -> None:
+    """The budget must match reality exactly: a new suppression fails until
+    the budget is raised in the same (reviewable) change, and a removed one
+    fails until the budget is ratcheted down so slack never accumulates."""
+    budget_path = os.path.join(root, BUDGET_FILE)
+    if not os.path.isfile(budget_path):
+        findings.append(
+            Finding(BUDGET_FILE, 1, "suppression-budget",
+                    f"missing {BUDGET_FILE}; record the current counts "
+                    "(see --help) so suppression growth is reviewable"))
+        return
+    budget = {}
+    with open(budget_path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2 or not parts[1].isdigit():
+                findings.append(
+                    Finding(BUDGET_FILE, lineno, "suppression-budget",
+                            f"unparsable budget line `{line}`; expected "
+                            "`<key> <count>`"))
+                return
+            budget[parts[0]] = int(parts[1])
+    counts = count_suppressions(root)
+    for key in BUDGET_KEYS:
+        actual, allowed = counts[key], budget.get(key)
+        if allowed is None:
+            findings.append(
+                Finding(BUDGET_FILE, 1, "suppression-budget",
+                        f"no `{key}` entry; add `{key} {actual}`"))
+        elif actual > allowed:
+            findings.append(
+                Finding(BUDGET_FILE, 1, "suppression-budget",
+                        f"{key} suppressions grew: {actual} in src/ vs "
+                        f"budget {allowed}; remove the new suppression or "
+                        "raise the budget explicitly in this change"))
+        elif actual < allowed:
+            findings.append(
+                Finding(BUDGET_FILE, 1, "suppression-budget",
+                        f"{key} budget is slack: {actual} in src/ vs budget "
+                        f"{allowed}; ratchet the budget down to {actual}"))
+
+
+# --------------------------------------------------------------------- fix --
+
+FIX_STUB = ("// justification: TODO — document why the thread-safety "
+            "analysis must be off here.")
+
+
+def _fix_pragma_once(raw: str) -> str:
+    lines = raw.splitlines(keepends=True)
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        if stripped == "#pragma once":
+            return raw
+        lines.insert(i, "#pragma once\n\n")
+        return "".join(lines)
+    lines.append("#pragma once\n")  # header of comments/blank lines only
+    return "".join(lines)
+
+
+def _fix_justifications(raw: str) -> str:
+    code = strip_comments_and_strings(raw)
+    need = set()
+    raw_lines = raw.splitlines()
+    for m in re.finditer(r"\b%s\b" % TSA_SUPPRESS, code):
+        lineno = line_of(code, m.start())
+        if not _has_justification(raw_lines, lineno):
+            need.add(lineno)
+    if not need:
+        return raw
+    lines = raw.splitlines(keepends=True)
+    for lineno in sorted(need, reverse=True):
+        indent = re.match(r"[ \t]*", lines[lineno - 1]).group(0)
+        lines.insert(lineno - 1, indent + FIX_STUB + "\n")
+    return "".join(lines)
+
+
+def fix_tree(root: str, apply_fixes: bool) -> int:
+    """Applies (or previews) the mechanical fixes; returns the number of
+    files that change."""
+    changed = 0
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for fn in sorted(filenames):
+            if not fn.endswith((".hpp", ".cpp", ".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as fh:
+                raw = fh.read()
+            fixed = raw
+            if fn.endswith((".hpp", ".h")):
+                fixed = _fix_pragma_once(fixed)
+            if rel != ANNOTATIONS_HEADER:
+                fixed = _fix_justifications(fixed)
+            if fixed == raw:
+                continue
+            changed += 1
+            if apply_fixes:
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(fixed)
+                print(f"fixed {rel}")
+            else:
+                sys.stdout.writelines(difflib.unified_diff(
+                    raw.splitlines(keepends=True),
+                    fixed.splitlines(keepends=True),
+                    fromfile="a/" + rel, tofile="b/" + rel))
+    return changed
 
 
 # --------------------------------------------------------------- self-test --
@@ -487,25 +825,194 @@ void unchecked_entry(std::span<const double> c, std::span<double> s) {
 }  // namespace xfci::fci
 """
 
+BAD_RAW_MUTEX_CPP = """\
+#include <mutex>
+namespace xfci::pv {
+class Queue {
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+}  // namespace xfci::pv
+"""
+
+BAD_BARE_SUPPRESS_CPP = """\
+#include "common/annotations.hpp"
+namespace xfci::pv {
+void poke() XFCI_NO_THREAD_SAFETY_ANALYSIS {}
+}  // namespace xfci::pv
+"""
+
+GOOD_JUSTIFIED_SUPPRESS_CPP = """\
+#include "common/annotations.hpp"
+namespace xfci::pv {
+// justification: trusted base — the primitive below is unannotated.
+void poke() XFCI_NO_THREAD_SAFETY_ANALYSIS {}
+}  // namespace xfci::pv
+"""
+
+BAD_UNGUARDED_CAPABILITY_HPP = """\
+#pragma once
+#include "common/sync.hpp"
+namespace xfci::pv {
+class Lonely {
+  xfci::sync::Mutex mu_;
+  long count_ = 0;
+};
+}  // namespace xfci::pv
+"""
+
+GOOD_LOCK_HPP = """\
+#pragma once
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
+namespace xfci::pv {
+class Guarded {
+  void bump() XFCI_REQUIRES(mu_) { ++count_; }
+  xfci::sync::Mutex mu_;
+  long count_ XFCI_GUARDED_BY(mu_) = 0;
+};
+}  // namespace xfci::pv
+"""
+
+BAD_UNORDERED_MAP_CPP = """\
+#include <unordered_map>
+namespace xfci::fci {
+std::unordered_map<int, double> weights;
+}  // namespace xfci::fci
+"""
+
+BAD_UNORDERED_SET_HPP = """\
+#pragma once
+#include <unordered_set>
+namespace xfci::fci {
+using Seen = std::unordered_set<long>;
+}  // namespace xfci::fci
+"""
+
+GOOD_UNORDERED_ESCAPE_CPP = """\
+#include <unordered_map>
+namespace xfci::fci {
+std::unordered_map<int, double> cache;  // lint: unordered-ok (lookup only)
+}  // namespace xfci::fci
+"""
+
+BAD_GETENV_CPP = """\
+#include <cstdlib>
+namespace xfci::fci {
+const char* home() { return std::getenv("HOME"); }
+}  // namespace xfci::fci
+"""
+
+BAD_SETENV_CPP = """\
+#include <cstdlib>
+namespace xfci::fci {
+void pin() { setenv("XFCI_GEMM_KERNEL", "portable", 1); }
+}  // namespace xfci::fci
+"""
+
+SUPPRESSED_SRC_CPP = """\
+#include "common/annotations.hpp"
+namespace xfci::pv {
+// justification: self-test specimen.
+void poke() XFCI_NO_THREAD_SAFETY_ANALYSIS {}
+}  // namespace xfci::pv
+"""
+
+BAD_NO_PRAGMA_FIXABLE = """\
+// A leading comment the fix must keep above the inserted pragma.
+#include <vector>
+namespace xfci::fci {
+inline std::vector<int> v;
+}  // namespace xfci::fci
+"""
+
 
 def self_test() -> int:
     failures = []
+    cases = 0
+
+    def expect_findings(name, found, rule, want):
+        hit = [f for f in found if f.rule == rule]
+        if want and not hit:
+            failures.append(f"{name}: expected a {rule} finding, got "
+                            f"{[str(f) for f in found]}")
+        if not want and hit:
+            failures.append(f"{name}: unexpected {rule} findings "
+                            f"{[str(f) for f in hit]}")
 
     def expect(name, filename, content, rule, want, subdir="fci"):
+        nonlocal cases
+        cases += 1
         with tempfile.TemporaryDirectory() as tmp:
             subdir = os.path.join(tmp, "src", subdir)
             os.makedirs(subdir)
             with open(os.path.join(subdir, filename), "w",
                       encoding="utf-8") as fh:
                 fh.write(content)
-            found = lint_tree(tmp)
-            hit = [f for f in found if f.rule == rule]
-            if want and not hit:
-                failures.append(f"{name}: expected a {rule} finding, got "
-                                f"{[str(f) for f in found]}")
-            if not want and hit:
-                failures.append(f"{name}: unexpected {rule} findings "
-                                f"{[str(f) for f in hit]}")
+            expect_findings(name, lint_tree(tmp), rule, want)
+
+    def expect_tree(name, files, rule, want):
+        """Like expect(), but `files` maps src/-relative paths to contents
+        so tree-level rules (include cycles) get a multi-file specimen."""
+        nonlocal cases
+        cases += 1
+        with tempfile.TemporaryDirectory() as tmp:
+            for rel, content in files.items():
+                path = os.path.join(tmp, "src", rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(content)
+            expect_findings(name, lint_tree(tmp), rule, want)
+
+    def expect_budget(name, budget, content, want):
+        nonlocal cases
+        cases += 1
+        with tempfile.TemporaryDirectory() as tmp:
+            subdir = os.path.join(tmp, "src", "parallel")
+            os.makedirs(subdir)
+            with open(os.path.join(subdir, "x.cpp"), "w",
+                      encoding="utf-8") as fh:
+                fh.write(content)
+            if budget is not None:
+                with open(os.path.join(tmp, BUDGET_FILE), "w",
+                          encoding="utf-8") as fh:
+                    fh.write(budget)
+            findings = []
+            check_suppression_budget(tmp, findings)
+            expect_findings(name, findings, "suppression-budget", want)
+
+    def expect_fix(name, filename, content, rule, subdir="fci"):
+        """--fix must preview without writing, clear the finding when
+        applied, and be a fixed point on its own output."""
+        nonlocal cases
+        cases += 1
+        import contextlib
+        import io
+        with tempfile.TemporaryDirectory() as tmp:
+            subdir_path = os.path.join(tmp, "src", subdir)
+            os.makedirs(subdir_path)
+            path = os.path.join(subdir_path, filename)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(content)
+            with contextlib.redirect_stdout(io.StringIO()) as buf:
+                pending = fix_tree(tmp, apply_fixes=False)
+            with open(path, encoding="utf-8") as fh:
+                after_dry = fh.read()
+            if pending != 1 or after_dry != content:
+                failures.append(f"{name}: dry run must report one pending "
+                                "fix and leave the file untouched")
+                return
+            if "---" not in buf.getvalue():
+                failures.append(f"{name}: dry run printed no unified diff")
+            with contextlib.redirect_stdout(io.StringIO()):
+                fix_tree(tmp, apply_fixes=True)
+            expect_findings(name + " (post-fix lint)", lint_tree(tmp),
+                            rule, False)
+            with contextlib.redirect_stdout(io.StringIO()):
+                again = fix_tree(tmp, apply_fixes=False)
+            if again != 0:
+                failures.append(f"{name}: fix is not idempotent — a second "
+                                "run still wants changes")
 
     expect("seeded raw assert", "bad_assert.cpp", BAD_ASSERT_CPP,
            "raw-assert", True)
@@ -551,12 +1058,102 @@ def self_test() -> int:
            "// the avx512 kernel uses _mm512_fmadd_pd\nvoid f();\n",
            "simd", False)
 
+    # lock-annotations: raw primitives, unguarded capabilities, bare
+    # suppressions.
+    expect("seeded raw std::mutex member", "bad_queue.cpp",
+           BAD_RAW_MUTEX_CPP, "lock-annotations", True, subdir="parallel")
+    expect("seeded bare thread-safety suppression", "bad_suppress.cpp",
+           BAD_BARE_SUPPRESS_CPP, "lock-annotations", True, subdir="parallel")
+    expect("seeded unguarded sync::Mutex member", "lonely.hpp",
+           BAD_UNGUARDED_CAPABILITY_HPP, "lock-annotations", True,
+           subdir="parallel")
+    expect("annotated class passes", "guarded.hpp", GOOD_LOCK_HPP,
+           "lock-annotations", False, subdir="parallel")
+    expect("justified suppression passes", "justified.cpp",
+           GOOD_JUSTIFIED_SUPPRESS_CPP, "lock-annotations", False,
+           subdir="parallel")
+    expect("raw primitives allowed in the sync wrapper", "sync.hpp",
+           "#pragma once\n#include <mutex>\nstd::mutex m;\n",
+           "lock-annotations", False, subdir="common")
+    expect("comment mention of std::mutex allowed", "doc.cpp",
+           "// wraps std::mutex behind sync::Mutex\nvoid f();\n",
+           "lock-annotations", False, subdir="parallel")
+
+    # determinism: hash containers vs bitwise-reproducible outputs.
+    expect("seeded unordered_map", "bad_umap.cpp", BAD_UNORDERED_MAP_CPP,
+           "determinism", True)
+    expect("seeded unordered_set header", "bad_uset.hpp",
+           BAD_UNORDERED_SET_HPP, "determinism", True)
+    expect("escaped unordered_map passes", "escaped.cpp",
+           GOOD_UNORDERED_ESCAPE_CPP, "determinism", False)
+    expect("comment mention of unordered allowed", "doc_unordered.cpp",
+           "// std::unordered_map would break determinism here\nvoid f();\n",
+           "determinism", False)
+
+    # include-cycles: the src/ header graph must stay a DAG.
+    expect_tree("seeded two-header cycle", {
+        "fci/a.hpp": '#pragma once\n#include "fci/b.hpp"\n',
+        "fci/b.hpp": '#pragma once\n#include "fci/a.hpp"\n',
+    }, "include-cycles", True)
+    expect_tree("seeded three-header cycle", {
+        "fci/a.hpp": '#pragma once\n#include "fci/b.hpp"\n',
+        "fci/b.hpp": '#pragma once\n#include "parallel/c.hpp"\n',
+        "parallel/c.hpp": '#pragma once\n#include "fci/a.hpp"\n',
+    }, "include-cycles", True)
+    expect_tree("seeded self-include", {
+        "fci/a.hpp": '#pragma once\n#include "fci/a.hpp"\n',
+    }, "include-cycles", True)
+    expect_tree("acyclic diamond passes", {
+        "fci/top.hpp": '#pragma once\n#include "fci/l.hpp"\n'
+                       '#include "fci/r.hpp"\n',
+        "fci/l.hpp": '#pragma once\n#include "common/base.hpp"\n',
+        "fci/r.hpp": '#pragma once\n#include "common/base.hpp"\n',
+        "common/base.hpp": "#pragma once\n",
+    }, "include-cycles", False)
+
+    # env-read: raw environment access is fenced to src/common/env.*.
+    expect("seeded raw getenv", "bad_env.cpp", BAD_GETENV_CPP,
+           "env-read", True)
+    expect("seeded raw setenv", "bad_setenv.cpp", BAD_SETENV_CPP,
+           "env-read", True)
+    expect("getenv allowed in the env layer", "env.cpp", BAD_GETENV_CPP,
+           "env-read", False, subdir="common")
+    expect("comment mention of getenv allowed", "doc_env.cpp",
+           "// std::getenv stays behind xfci::env::get\nvoid f();\n",
+           "env-read", False)
+
+    # suppression-budget: exact-match ratchet against .lint-budget.
+    budget_ok = ("no-thread-safety-analysis 1\n"
+                 "nolint 0\n"
+                 "lint-escape 0\n")
+    expect_budget("matching budget passes", budget_ok, SUPPRESSED_SRC_CPP,
+                  False)
+    expect_budget("suppression growth fails",
+                  budget_ok.replace("analysis 1", "analysis 0"),
+                  SUPPRESSED_SRC_CPP, True)
+    expect_budget("slack budget fails",
+                  budget_ok.replace("analysis 1", "analysis 2"),
+                  SUPPRESSED_SRC_CPP, True)
+    expect_budget("missing budget file fails", None, SUPPRESSED_SRC_CPP,
+                  True)
+    expect_budget("missing budget key fails", "nolint 0\nlint-escape 1\n",
+                  SUPPRESSED_SRC_CPP, True)
+
+    # --fix: preview-only by default, clears the finding, idempotent.
+    expect_fix("fix inserts #pragma once after leading comments",
+               "fixable.hpp", BAD_NO_PRAGMA_FIXABLE, "pragma-once")
+    expect_fix("fix inserts pragma before an include guard",
+               "guarded_old.hpp", BAD_NO_PRAGMA, "pragma-once")
+    expect_fix("fix stubs a justification comment", "bare.cpp",
+               BAD_BARE_SUPPRESS_CPP, "lock-annotations",
+               subdir="parallel")
+
     if failures:
         print("xfci_lint self-test FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("xfci_lint self-test passed (19 cases).")
+    print(f"xfci_lint self-test passed ({cases} cases).")
     return 0
 
 
@@ -570,10 +1167,19 @@ def main() -> int:
                     help="compiler for --compile-headers")
     ap.add_argument("--self-test", action="store_true",
                     help="run the linter's own seeded-violation tests")
+    ap.add_argument("--fix", action="store_true",
+                    help="mechanical fixes: insert missing #pragma once, "
+                         "stub missing justification comments; prints a "
+                         "unified diff unless --apply is given")
+    ap.add_argument("--apply", action="store_true",
+                    help="with --fix: write the fixes instead of previewing")
     args = ap.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.apply and not args.fix:
+        print("xfci_lint: --apply requires --fix", file=sys.stderr)
+        return 2
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
@@ -581,7 +1187,20 @@ def main() -> int:
         print(f"xfci_lint: no src/ under {root}", file=sys.stderr)
         return 2
 
+    if args.fix:
+        changed = fix_tree(root, apply_fixes=args.apply)
+        if args.apply:
+            print(f"xfci_lint: fixed {changed} file(s).")
+            return 0
+        if changed:
+            print(f"xfci_lint: {changed} file(s) need fixes "
+                  "(re-run with --fix --apply).", file=sys.stderr)
+            return 1
+        print("xfci_lint: nothing to fix.")
+        return 0
+
     findings = lint_tree(root)
+    check_suppression_budget(root, findings)
     if args.compile_headers:
         findings += compile_headers(root, args.cxx)
 
