@@ -5,12 +5,17 @@
 //   $ ./examples/c2_on_simulated_x1 [num_msps] [options]
 //
 // Options (shared driver flags, see fci_parallel/driver_cli.hpp):
-//   --backend sim|threads  execution backend (default: simulated X1)
+//   --backend sim|threads|process  execution backend (default: simulated
+//                       X1; process = forked OS ranks over POSIX shm with
+//                       real SIGKILL fault injection, Linux only)
+//   --ranks N           rank count (same as the bare integer form)
 //   --threads N         worker threads for --backend threads (0 = auto)
 //   --faults            seeded fault demo: kill one MSP mid-sigma and drop
 //                       an accumulate; the run recovers, converges to the
 //                       same energy, and the breakdown shows what the
-//                       recovery cost
+//                       recovery cost.  On --backend process the kills are
+//                       real SIGKILLs of live rank processes, including
+//                       one mid-accumulate (a torn shared-memory write).
 //   --checkpoint PATH   write the solver state to PATH every iteration
 //   --restart PATH      resume from a checkpoint written by --checkpoint
 //                       (bitwise continuation for the single-vector methods)
@@ -66,6 +71,13 @@ int main(int argc, char** argv) {
     popt.faults.kill_rank_at_op(3 % msps, 40).drop_op(0, 7);
     std::printf("fault plan: kill MSP %zu at op 40, drop MSP 0 op 7\n",
                 3 % msps);
+    if (cli.backend == fcp::ExecutionMode::kProcess && msps > 1) {
+      // On the process backend also SIGKILL a second live rank on its 2nd
+      // chunk claim, mid-accumulate: a genuinely torn shm write that the
+      // seqlock protocol must discard and reassign.
+      popt.faults.kill_worker_at_claim(1, 2);
+      std::printf("fault plan: SIGKILL rank 1 mid-accumulate (claim 2)\n");
+    }
   }
   std::printf("\n");
 

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "linalg/gemm_kernels.hpp"
+#include "parallel/shm_ipc.hpp"
 
 namespace xfci::fcp {
 namespace {
@@ -13,8 +14,9 @@ namespace {
 [[noreturn]] void usage_error(const char* prog, const char* bad) {
   std::fprintf(stderr,
                "%s: unknown, incomplete or malformed argument '%s'\n"
-               "usage: %s [num_ranks] [--backend sim|threads] [--threads N]\n"
-               "          [--faults] [--checkpoint PATH] [--restart PATH]\n"
+               "usage: %s [num_ranks] [--backend sim|threads|process]\n"
+               "          [--threads N] [--ranks N] [--faults]\n"
+               "          [--checkpoint PATH] [--restart PATH]\n"
                "          [--max-iters N] [--trace PATH] [--metrics PATH]\n"
                "          [--gemm-kernel portable|avx2|avx512]\n",
                prog, bad, prog);
@@ -76,8 +78,20 @@ DriverCli DriverCli::parse(int argc, char** argv,
         cli.backend = ExecutionMode::kSimulate;
       else if (std::strcmp(name, "threads") == 0)
         cli.backend = ExecutionMode::kThreads;
-      else
+      else if (std::strcmp(name, "process") == 0) {
+        if (!pv::process_backend_supported()) {
+          std::fprintf(stderr,
+                       "%s: --backend process needs POSIX shm_open/fork "
+                       "(Linux); this platform cannot host it\n",
+                       prog);
+          std::exit(2);
+        }
+        cli.backend = ExecutionMode::kProcess;
+      } else
         usage_error(prog, name);
+    } else if (std::strcmp(arg, "--ranks") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], cli.num_ranks))
+        usage_error(prog, argv[i]);
     } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
       if (!parse_count(argv[++i], cli.num_threads))
         usage_error(prog, argv[i]);
@@ -111,7 +125,14 @@ ParallelOptions DriverCli::parallel_options() const {
 }
 
 const char* DriverCli::backend_name() const {
-  return backend == ExecutionMode::kThreads ? "threads" : "sim";
+  switch (backend) {
+    case ExecutionMode::kThreads:
+      return "threads";
+    case ExecutionMode::kProcess:
+      return "process";
+    default:
+      return "sim";
+  }
 }
 
 }  // namespace xfci::fcp

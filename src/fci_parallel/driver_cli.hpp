@@ -14,7 +14,12 @@ namespace xfci::fcp {
 
 /// Parsed driver options.  Flags (all optional):
 ///   [N]                  bare integer: number of ranks / simulated MSPs
-///   --backend sim|threads  execution backend (default: sim)
+///   --backend sim|threads|process  execution backend (default: sim).
+///                        "process" forks one OS process per rank over a
+///                        POSIX shm arena (Linux only; on platforms that
+///                        cannot host it the parser exits with code 2 and
+///                        a platform message before any work starts)
+///   --ranks N            rank count (equivalent to the bare integer form)
 ///   --threads N          worker threads for --backend threads (0 = auto)
 ///   --faults             enable the driver's seeded fault demo
 ///   --checkpoint PATH    write solver state to PATH every iteration
@@ -52,7 +57,7 @@ struct DriverCli {
   /// thread count, and the overhead-scaled cost model.
   ParallelOptions parallel_options() const;
 
-  /// Human-readable backend name ("sim" / "threads").
+  /// Human-readable backend name ("sim" / "threads" / "process").
   const char* backend_name() const;
 };
 

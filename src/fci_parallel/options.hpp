@@ -8,6 +8,7 @@
 #include "common/trace.hpp"
 #include "fci/fci.hpp"
 #include "parallel/fault.hpp"
+#include "parallel/process_ddi.hpp"
 #include "parallel/task_pool.hpp"
 #include "x1/cost_model.hpp"
 
@@ -26,6 +27,11 @@ enum class ExecutionMode {
   /// kSimulate for every thread count (disjoint writes in the static
   /// phases, ordered commit in the dynamic mixed-spin phase).
   kThreads,
+  /// Real multi-process execution: each rank is a forked OS process over
+  /// a POSIX shared-memory arena (pv::make_process_ddi) with a genuine
+  /// failure domain — FaultPlan deaths are actual SIGKILLs.  Same ordered
+  /// commit, so still bitwise-identical.  Linux only.
+  kProcess,
 };
 
 struct ParallelOptions {
@@ -42,6 +48,9 @@ struct ParallelOptions {
   ExecutionMode execution = ExecutionMode::kSimulate;
   /// Thread count for ExecutionMode::kThreads (0 = hardware concurrency).
   std::size_t num_threads = 0;
+  /// Failure-domain deadlines of ExecutionMode::kProcess (defaults are
+  /// generous for production; tests shrink them to exercise degradation).
+  pv::ProcessDdiParams process;
   /// Fault injection: installed into the simulated machine (kSimulate);
   /// the threads backend consults the worker-death schedule (kThreads).
   pv::FaultPlan faults;

@@ -33,6 +33,9 @@ std::unique_ptr<pv::Ddi> make_backend(const ParallelOptions& options) {
   if (options.execution == ExecutionMode::kThreads)
     return pv::make_threads_ddi(options.num_ranks, options.num_threads,
                                 options.faults);
+  if (options.execution == ExecutionMode::kProcess)
+    return pv::make_process_ddi(options.num_ranks, options.faults,
+                                options.process);
   return pv::make_simulated_ddi(options.num_ranks, options.cost,
                                 options.faults);
 }

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "fci/fci.hpp"
+#include "linalg/gemm.hpp"
 #include "parallel/task_pool.hpp"
 
 namespace xfci::fcp {
@@ -371,6 +372,21 @@ void SameSpinEngine::parity_fold(std::span<double> sigma,
 // MixedSpinEngine
 // ---------------------------------------------------------------------------
 
+std::size_t MixedSpinEngine::layout_stage(std::size_t hk, std::size_t ik,
+                                          ItemStage& stage) const {
+  const fci::CiSpace& space = s_.ctx.space();
+  const auto& alist = s_.ctx.alpha_create()->list(hk, ik);
+  std::size_t total = 0;
+  stage.offs.assign(alist.size(), kNone);
+  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
+    const std::size_t b = s_.block_of_halpha[alist[ai].irrep];
+    if (b == kNone) continue;
+    stage.offs[ai] = total;
+    total += space.blocks()[b].nb;
+  }
+  return total;
+}
+
 bool MixedSpinEngine::stage_item(std::size_t worker, std::size_t hk,
                                  std::size_t ik, std::span<const double> c,
                                  ItemStage& stage, WorkerScratch& scratch) {
@@ -380,14 +396,7 @@ bool MixedSpinEngine::stage_item(std::size_t worker, std::size_t hk,
   const auto& alist = s_.ctx.alpha_create()->list(hk, ik);
 
   // Layout of the gathered / accumulation buffers.
-  std::size_t total = 0;
-  stage.offs.assign(alist.size(), kNone);
-  for (std::size_t ai = 0; ai < alist.size(); ++ai) {
-    const std::size_t b = s_.block_of_halpha[alist[ai].irrep];
-    if (b == kNone) continue;
-    stage.offs[ai] = total;
-    total += space.blocks()[b].nb;
-  }
+  const std::size_t total = layout_stage(hk, ik, stage);
   scratch.gather.resize(total);
   stage.acc.assign(total, 0.0);
   scratch.ccols.assign(alist.size(), nullptr);
@@ -509,6 +518,32 @@ void MixedSpinEngine::dgemm(std::span<const double> c,
     stages_[it] = ItemStage{};  // release the staged payload
   };
   hooks.on_worker_death = [&] { recovery_.maybe_redistribute(); };
+  // Address-space-crossing hooks (the process backend): an item's staged
+  // payload IS its accumulation buffer, whose layout is a pure function
+  // of the CI space (layout_stage), so pack/unpack are flat copies.
+  hooks.stage_words = [&](std::size_t it) {
+    const auto [hk, ik] = items[it];
+    ItemStage probe;
+    return layout_stage(hk, ik, probe);
+  };
+  hooks.pack = [&](std::size_t it, double* dst) {
+    const ItemStage& stage = stages_[it];
+    std::copy(stage.acc.begin(), stage.acc.end(), dst);
+    return stage.acc.size();
+  };
+  hooks.unpack = [&](std::size_t it, const double* src, std::size_t words) {
+    const auto [hk, ik] = items[it];
+    ItemStage& stage = stages_[it];
+    const std::size_t total = layout_stage(hk, ik, stage);
+    XFCI_ASSERT(words == total,
+                "unpacked mixed-spin payload does not match its layout");
+    stage.acc.assign(src, src + words);
+  };
+  hooks.on_child_start = [](std::size_t) {
+    // A forked worker inherits the driver's GEMM thread-team pointer, but
+    // the team's threads do not survive fork: run dense kernels serially.
+    linalg::set_gemm_team(nullptr);
+  };
 
   const pv::Ddi::PoolStats st = s_.ddi.run_pool(pool, hooks);
   s_.breakdown.tasks_reassigned += st.tasks_reassigned;

@@ -127,6 +127,13 @@ class MixedSpinEngine {
     std::vector<double*> scols;
   };
 
+  /// Lays out item (hk, ik)'s accumulation buffer: fills `stage.offs` and
+  /// returns the total payload words.  A pure function of the CI space, so
+  /// the driver and a forked worker compute identical layouts — this is
+  /// what makes the flat pack/unpack serialization of the process backend
+  /// a plain copy.
+  std::size_t layout_stage(std::size_t hk, std::size_t ik,
+                           ItemStage& stage) const;
   /// Gathers, computes and charges one item on `worker` into `stage`;
   /// returns false when the worker died mid-item (stage discarded).
   bool stage_item(std::size_t worker, std::size_t hk, std::size_t ik,

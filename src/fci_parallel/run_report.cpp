@@ -28,7 +28,7 @@ void breakdown_json(const PhaseBreakdown& b, obs::JsonWriter& w) {
 RunMetrics RunMetrics::capture(const ParallelSigma& op) {
   const pv::Ddi& ddi = op.ddi();
   RunMetrics m;
-  m.backend = ddi.models_cost() ? "sim" : "threads";
+  m.backend = ddi.name();
   m.algorithm =
       op.options().algorithm == fci::Algorithm::kMoc ? "moc" : "dgemm";
   m.num_ranks = ddi.num_ranks();

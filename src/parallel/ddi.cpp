@@ -26,6 +26,7 @@ class SimulatedDdi final : public Ddi {
     machine_.set_fault_plan(faults);
   }
 
+  const char* name() const override { return "sim"; }
   std::size_t num_ranks() const override { return machine_.num_ranks(); }
   std::size_t num_workers() const override { return machine_.num_ranks(); }
   bool alive(std::size_t rank) const override { return machine_.alive(rank); }
@@ -198,6 +199,7 @@ class ThreadsDdi final : public Ddi {
     counters_.assign(num_ranks_, CommCounters{});
   }
 
+  const char* name() const override { return "threads"; }
   std::size_t num_ranks() const override { return num_ranks_; }
   std::size_t num_workers() const override { return team_.size(); }
   bool alive(std::size_t) const override { return true; }

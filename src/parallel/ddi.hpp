@@ -19,6 +19,11 @@
 //    columns live in the shared address space), clocks are wall time, and
 //    run_pool() commits chunks through an OrderedSequencer so results are
 //    bitwise identical for every thread count.
+//  * ProcessDdi (make_process_ddi, parallel/process_ddi.hpp): ranks are
+//    forked OS processes over a POSIX shm_open+mmap arena — true one-sided
+//    atomics, a real SHMEM_SWAP-style DLB counter, and a genuine failure
+//    domain: FaultPlan deaths are actual SIGKILLs, detected by heartbeats
+//    and deadlines, recovered by generation-fenced chunk reassignment.
 //
 // Concurrency contract: a Ddi instance is owned by one driver thread.
 // Methods called *inside* parallel regions (the for_ranks/for_range/
@@ -71,6 +76,10 @@ struct CommCounters {
 class Ddi {
  public:
   virtual ~Ddi() = default;
+
+  /// Stable backend identifier ("sim" / "threads" / "process"), used by
+  /// run reports and driver banners.
+  virtual const char* name() const = 0;
 
   // --- process group / liveness ---------------------------------------------
   /// Logical ranks of the data distribution (columns are split this way on
@@ -149,6 +158,30 @@ class Ddi {
     std::function<void()> on_worker_death;
     /// Reassignments allowed per aggregated task before the run aborts.
     std::size_t max_task_retries = 3;
+
+    // Address-space-crossing hooks, consumed only by backends whose
+    // workers are separate OS processes (ProcessDdi): a child's writes to
+    // caller-owned staging are invisible to the driver, so staged results
+    // travel through a shared arena as flat double payloads.  In-process
+    // backends ignore all four; a process backend requires the first
+    // three.
+    /// Upper bound (in doubles) on `item`'s packed payload; sizes the
+    /// item's arena slot.  Must be computable without staging.
+    std::function<std::size_t(std::size_t item)> stage_words;
+    /// Serializes the staged result of `item` into `dst` (capacity
+    /// stage_words(item)); returns the words written.  Runs in the worker
+    /// that staged the item.
+    std::function<std::size_t(std::size_t item, double* dst)> pack;
+    /// Rebuilds the staged result of `item` from a packed payload, in the
+    /// driver, immediately before commit(item).
+    std::function<void(std::size_t item, const double* src,
+                       std::size_t words)>
+        unpack;
+    /// Runs once per worker before its first claim, *in the worker's own
+    /// address space*: process backends sanitize inherited process-wide
+    /// state here (thread pools do not survive fork).  In-process
+    /// backends never call it.
+    std::function<void(std::size_t worker)> on_child_start;
   };
   struct PoolStats {
     std::size_t tasks_reassigned = 0;  ///< chunks redone after a death

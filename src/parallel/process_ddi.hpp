@@ -1,0 +1,74 @@
+#pragma once
+// ProcessDdi: a pv::Ddi backend whose ranks are forked OS processes with a
+// *real* failure domain — the transport the paper's DDI actually ran on
+// (SHMEM over hardware shared memory), reproduced with POSIX shm.
+//
+// Each run_pool() forks one child per surviving rank.  The children share
+// two shm_open+mmap arenas with the driver: a long-lived control segment
+// (per-rank heartbeat words, alive flags, one-sided op counters, comm
+// counters, flop counters, and the SHMEM_SWAP-style DLB counter — all
+// std::atomic fetch-ops on shared cache lines) and a per-pool segment
+// (chunk claim table, a retry ring for reassigned chunks, and one seqlock-
+// protected payload slot per work item).  Children claim aggregated tasks
+// from the shared counter, stage them through the PoolHooks pack
+// serialization into their item slots, and publish with a seq/generation
+// handshake; the driver commits in global item order, so the accumulation
+// is bitwise identical to the simulated and threaded backends.
+//
+// The robustness envelope (DESIGN.md §14):
+//  * FaultPlan rank deaths are *actual* SIGKILLs: op-count triggers make
+//    the child raise(SIGKILL) mid-operation (worker-claim triggers die
+//    mid-publish, leaving a genuinely torn payload for the seqlock to
+//    catch); time triggers make the driver's watchdog kill the child pid.
+//  * Deaths are detected within a deadline via waitpid and per-rank
+//    heartbeats; the victim's chunk is re-issued through the retry ring
+//    with a bumped generation, after STONITH-fencing the old claimant.
+//  * Pool entry/exit barriers degrade to the survivor set at a deadline
+//    instead of hanging on a dead or wedged rank.
+//  * Orphan hygiene: children tether to the parent (prctl PDEATHSIG),
+//    segments are RAII-unlinked on every exit path, and construction
+//    reaps stale segments leaked by previously SIGKILL'd runs.
+//
+// Static phases (for_ranks/for_range) execute sequentially in the driver:
+// on this backend they are zero-communication by construction (every
+// rank's columns live in the driver's address space), and the dynamic
+// mixed-spin pool is where all one-sided traffic and all deaths happen.
+
+#include <cstddef>
+#include <memory>
+
+#include "parallel/ddi.hpp"
+
+namespace xfci::pv {
+
+/// Deadlines and polling knobs of the process backend's failure domain.
+struct ProcessDdiParams {
+  /// Seconds a claimed chunk may go unpublished before the driver fences
+  /// (SIGKILLs) the claimant and re-issues the chunk.
+  double task_deadline = 20.0;
+  /// Seconds without a heartbeat tick before a rank is declared wedged
+  /// and fenced, even between claims.
+  double heartbeat_deadline = 20.0;
+  /// Pool entry barrier: seconds to wait for a forked rank to check in
+  /// before degrading to the survivor set.
+  double spawn_deadline = 10.0;
+  /// Pool exit barrier: seconds to wait for children to retire after the
+  /// last commit before they are fenced.
+  double shutdown_deadline = 10.0;
+  /// Poll interval (microseconds) of the driver's watchdog loop and the
+  /// children's idle claim loop.
+  std::size_t poll_micros = 200;
+  /// Upper bound on one pool's staged-payload arena, in doubles (guards
+  /// ftruncate against a miscomputed layout).
+  std::size_t max_payload_words = std::size_t(1) << 27;  // 1 GiB
+};
+
+/// Multi-process backend: `num_ranks` forked ranks over POSIX shared
+/// memory; `faults` maps to real SIGKILLs of child ranks.  Throws on
+/// platforms without shm_open/fork support (process_backend_supported()
+/// in shm_ipc.hpp is the advance check).
+std::unique_ptr<Ddi> make_process_ddi(std::size_t num_ranks,
+                                      const FaultPlan& faults,
+                                      const ProcessDdiParams& params = {});
+
+}  // namespace xfci::pv

@@ -10,6 +10,7 @@
 
 #include "fci_parallel/driver_cli.hpp"
 #include "linalg/gemm_kernels.hpp"
+#include "parallel/shm_ipc.hpp"
 
 namespace xfcp = xfci::fcp;
 
@@ -45,6 +46,16 @@ TEST(DriverCli, ParsesValidArguments) {
   EXPECT_TRUE(cli.faults);
 }
 
+TEST(DriverCli, ParsesProcessBackendAndRanksFlag) {
+  if (!xfci::pv::process_backend_supported())
+    GTEST_SKIP() << "process backend unsupported on this platform";
+  const auto cli = parse({"--backend", "process", "--ranks", "3"});
+  EXPECT_EQ(cli.backend, xfcp::ExecutionMode::kProcess);
+  EXPECT_EQ(cli.num_ranks, 3u);
+  EXPECT_STREQ(cli.backend_name(), "process");
+  EXPECT_EQ(cli.parallel_options().execution, xfcp::ExecutionMode::kProcess);
+}
+
 TEST(DriverCli, DefaultsApply) {
   const auto cli = parse({});
   EXPECT_EQ(cli.num_ranks, 16u);
@@ -69,6 +80,8 @@ TEST(DriverCliDeath, RejectsMalformedMaxIters) {
 TEST(DriverCliDeath, RejectsMalformedRankCounts) {
   expect_usage_exit({"12abc"});  // atoi would coerce to 12
   expect_usage_exit({"99999999999999999999999999"});  // overflows size_t
+  expect_usage_exit({"--ranks", "four"});
+  expect_usage_exit({"--ranks", "-3"});
 }
 
 TEST(DriverCliDeath, RejectsEmptyStringFlagValues) {

@@ -69,6 +69,34 @@ else
   echo "== observability: ${c2} not built; skipped =="
 fi
 
+# Process-backend smoke (DESIGN.md §14): a faulted multi-process C2 run —
+# forked ranks, real SIGKILLs, torn shm writes — must still converge, and
+# no /dev/shm segment may survive the run.  tsan cannot host the fork+shm
+# children (its runtime would report on its own bookkeeping; the tsan
+# ctest preset excludes the Process* tests for the same reason), and the
+# backend itself is Linux-only, so everything else prints a SKIPPED line.
+if [ "$(uname -s)" = "Linux" ] && [ "${presets[0]}" != "tsan" ] \
+    && [ -x "${c2}" ]; then
+  echo "== process backend: faulted C2 smoke (${presets[0]} preset) =="
+  shm_glob() { find /dev/shm -maxdepth 1 -name 'xfci-*' 2>/dev/null; }
+  shm_before=$(shm_glob | wc -l)
+  if ! "${c2}" 3 --backend process --ranks 3 --faults > /dev/null; then
+    # A failed run must not leak its arenas past this script.
+    shm_glob | xargs -r rm -f
+    echo "process-backend smoke FAILED (leaked segments cleaned up)"
+    exit 1
+  fi
+  shm_after=$(shm_glob | wc -l)
+  if [ "${shm_after}" -gt "${shm_before}" ]; then
+    shm_glob | xargs -r rm -f
+    echo "process-backend smoke leaked shm segments (cleaned up)"
+    exit 1
+  fi
+else
+  echo "SKIPPED: process-backend smoke (needs Linux, a non-tsan preset," \
+       "and a built ${c2})"
+fi
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="
   cmake --build --preset default --target tidy

@@ -304,6 +304,32 @@ def check_layering(path: str, raw: str, code: str, findings: list) -> None:
                     "through the pv::Ddi interface"))
 
 
+# Raw process/shared-memory syscalls are fenced inside the two ipc files of
+# the DDI layer (shm_ipc.* and process_ddi.*), the same way pv::Machine is
+# fenced inside src/parallel/: everything else talks to pv::Ddi and stays
+# portable and fork-free (a stray fork() under a live ThreadTeam, or an
+# unmanaged shm_open, is exactly the class of bug the ProcessDdi design
+# confines — see DESIGN.md §14).
+IPC_ALLOWED = ("src/parallel/shm_ipc.", "src/parallel/process_ddi.")
+IPC_TOKEN = re.compile(
+    r"\b(fork|vfork|shm_open|shm_unlink|mmap|munmap|ftruncate|waitpid|"
+    r"prctl|kill|sigaction)\s*\(")
+
+
+def check_ipc_fence(path: str, code: str, findings: list) -> None:
+    """Raw ipc syscalls live in the process-backend files (DESIGN.md §14)."""
+    norm = path.replace(os.sep, "/")
+    if any(norm.startswith(p) for p in IPC_ALLOWED):
+        return
+    for m in IPC_TOKEN.finditer(code):
+        findings.append(
+            Finding(path, line_of(code, m.start()), "ipc-fence",
+                    f"raw ipc syscall `{m.group(1)}` outside "
+                    "src/parallel/{shm_ipc,process_ddi}.*; processes and "
+                    "shared memory are owned by the ProcessDdi backend — "
+                    "use pv::Ddi / parallel/shm_ipc.hpp"))
+
+
 HANDLES_EXCEPTION = re.compile(
     r"\bthrow\b|\brethrow_exception\b|\bcurrent_exception\b|"
     r"\bcerr\b|\bclog\b|\bfprintf\b|\blog\w*\s*\(")
@@ -527,6 +553,7 @@ def lint_tree(root: str) -> list:
             check_raw_assert(rel, code, findings)
             check_catch_swallow(rel, code, findings)
             check_layering(rel, raw, code, findings)
+            check_ipc_fence(rel, code, findings)
             check_timing(rel, code, findings)
             check_simd(rel, raw, code, findings)
             check_lock_annotations(rel, raw, code, findings)
@@ -796,6 +823,27 @@ void f() {}
 }  // namespace xfci::fcp
 """
 
+BAD_IPC_CPP = """\
+#include <sys/mman.h>
+#include <unistd.h>
+namespace xfci::fcp {
+void f() {
+  int fd = shm_open("/x", 0, 0);
+  if (fork() == 0) kill(getppid(), 9);
+  (void)fd;
+}
+}  // namespace xfci::fcp
+"""
+
+GOOD_IPC_CPP = """\
+// shm_open / fork / kill live in the process backend; a comment mention
+// (or the word forklift) must not trip the ipc fence.
+namespace xfci::fcp {
+void forklift_kill_switch();  // identifiers containing the tokens are fine
+void f() { forklift_kill_switch(); }
+}  // namespace xfci::fcp
+"""
+
 BAD_TIMING_CPP = """\
 #include <chrono>
 namespace xfci::fci {
@@ -1040,6 +1088,16 @@ def self_test() -> int:
            BAD_LAYER_CPP, "layering", True)
     expect("comment mention of machine allowed", "good_layer.cpp",
            GOOD_LAYER_CPP, "layering", False)
+    expect("seeded raw ipc syscalls outside src/parallel", "bad_ipc.cpp",
+           BAD_IPC_CPP, "ipc-fence", True)
+    expect("ipc syscalls allowed in shm_ipc", "shm_ipc.cpp",
+           BAD_IPC_CPP, "ipc-fence", False, subdir="parallel")
+    expect("ipc syscalls allowed in process_ddi", "process_ddi.cpp",
+           BAD_IPC_CPP, "ipc-fence", False, subdir="parallel")
+    expect("ipc fenced elsewhere in src/parallel too", "thread_team.cpp",
+           BAD_IPC_CPP, "ipc-fence", True, subdir="parallel")
+    expect("comment/identifier ipc mentions allowed", "good_ipc.cpp",
+           GOOD_IPC_CPP, "ipc-fence", False)
     expect("seeded raw clock read", "bad_clock.cpp", BAD_TIMING_CPP,
            "timing", True)
     expect("clock read allowed in src/parallel", "backend_clock.cpp",
