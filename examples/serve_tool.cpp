@@ -1,0 +1,109 @@
+// serve_tool: drain a directory of FCIDUMP jobs through the serve::Engine
+// (DESIGN.md §15) — the multi-tenant front door to the solve pipeline.
+//
+//   serve_tool <dir> [--jobs N] [--priority interactive|batch]
+//              [--metrics PATH]
+//
+// Every *.fcidump file under <dir> becomes one job; files with identical
+// bytes share one cached SolveSetup, so a directory of repeated systems
+// (parameter scans, restarted workloads) pays the parse + setup cost once
+// per distinct Hamiltonian.  --jobs sets the worker count (0 = hardware
+// concurrency), --priority the class every job is submitted under, and
+// --metrics writes the engine's xfci-metrics-v1 run report (cache and
+// per-job sections included; validate with tools/check_trace.py
+// --metrics).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fci_parallel/driver_cli.hpp"
+#include "serve/engine.hpp"
+
+namespace fs = std::filesystem;
+namespace xv = xfci::serve;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: serve_tool <dir> [--jobs N] "
+               "[--priority interactive|batch] [--metrics PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') return usage();
+  const std::string dir = argv[1];
+
+  // Shift the directory out so the shared driver CLI sees only flags.
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  const auto cli = xfci::fcp::DriverCli::parse(
+      static_cast<int>(rest.size()), rest.data());
+
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".fcidump")
+      files.push_back(entry.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "serve_tool: cannot read directory %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "serve_tool: no *.fcidump files in %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());  // deterministic submission order
+
+  xv::EngineOptions eopt;
+  eopt.num_workers = cli.jobs;
+  eopt.run_label = "serve_tool";
+  xv::Engine engine(eopt);
+  const xv::Priority priority = xv::parse_priority(cli.priority);
+  for (const std::string& path : files) {
+    xv::JobSpec spec;
+    spec.name = fs::path(path).filename().string();
+    spec.fcidump_path = path;
+    spec.priority = priority;
+    engine.submit(std::move(spec));
+  }
+  engine.drain();
+
+  std::printf("%-28s %-8s %16s %6s %10s %6s %9s\n", "job", "state",
+              "E(FCI)/Eh", "iters", "dim", "cache", "total/ms");
+  int failures = 0;
+  for (const xv::JobResult& r : engine.results()) {
+    if (r.state == xv::JobState::kDone) {
+      std::printf("%-28s %-8s %16.10f %6zu %10zu %6s %9.2f\n",
+                  r.name.c_str(), xv::job_state_name(r.state).c_str(),
+                  r.energy, r.iterations, r.dimension,
+                  r.cache_hit ? "hit" : "miss", r.total_seconds * 1e3);
+    } else {
+      ++failures;
+      std::printf("%-28s %-8s   %s\n", r.name.c_str(),
+                  xv::job_state_name(r.state).c_str(), r.error.c_str());
+    }
+  }
+  const xv::CacheStats cs = engine.cache_stats();
+  std::printf("\n%zu jobs on %zu workers: cache %zu hits / %zu misses, "
+              "%zu evictions, %.1f MiB resident\n",
+              engine.jobs_submitted(), engine.num_workers(), cs.hits,
+              cs.misses, cs.evictions,
+              static_cast<double>(cs.resident_bytes) / (1024.0 * 1024.0));
+  if (!cli.metrics.empty()) {
+    engine.write_report(cli.metrics);
+    std::printf("wrote %s\n", cli.metrics.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

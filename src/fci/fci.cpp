@@ -2,16 +2,9 @@
 
 #include <cmath>
 
-namespace xfci::fci {
+#include "fci/solve_session.hpp"
 
-std::string algorithm_name(Algorithm a) {
-  switch (a) {
-    case Algorithm::kDgemm: return "dgemm";
-    case Algorithm::kMoc: return "moc";
-    case Algorithm::kDense: return "dense";
-  }
-  return "?";
-}
+namespace xfci::fci {
 
 std::unique_ptr<SigmaOperator> make_sigma(Algorithm algorithm,
                                           const SigmaContext& context,
@@ -31,20 +24,11 @@ std::unique_ptr<SigmaOperator> make_sigma(Algorithm algorithm,
 FciResult run_fci(const integrals::IntegralTables& ints, std::size_t nalpha,
                   std::size_t nbeta, std::size_t target_irrep,
                   const FciOptions& options) {
-  const CiSpace space(ints.norb, nalpha, nbeta, ints.group,
-                      ints.orbital_irreps, target_irrep);
-  const SigmaContext context(space, ints);
-  auto sigma = make_sigma(options.algorithm, context, options.ms0_transpose);
-
-  FciResult res;
-  res.dimension = space.dimension();
-  SolverOptions solver = options.solver;
-  if (options.ms0_transpose && nalpha == nbeta && !solver.purify)
-    solver.purify = make_parity_purifier(space);
-  res.solve = solve_lowest(*sigma, ints, solver);
-  res.stats = sigma->stats();
-  res.s_squared = s_squared_expectation(space, res.solve.vector);
-  return res;
+  const auto setup = SolveSetup::create(
+      ints, nalpha, nbeta, target_irrep,
+      SetupOptions{options.algorithm, options.ms0_transpose});
+  SolveSession session(setup);
+  return session.solve(options.solver);
 }
 
 integrals::IntegralTables truncate_orbitals(

@@ -12,18 +12,15 @@
 
 #include "fci/ci_space.hpp"
 #include "fci/sigma.hpp"
+#include "fci/solve_setup.hpp"
 #include "fci/solvers.hpp"
 #include "integrals/tables.hpp"
 
 namespace xfci::fci {
 
-enum class Algorithm {
-  kDgemm,  ///< the paper's DGEMM-based sigma
-  kMoc,    ///< minimum-operation-count baseline
-  kDense,  ///< explicit Hamiltonian (tiny spaces; validation)
-};
-
-std::string algorithm_name(Algorithm a);
+// Algorithm and algorithm_name live in solve_setup.hpp (the setup layer
+// owns the choices baked into a shareable SolveSetup); re-exported here —
+// fci.hpp remains the primary entry-point header.
 
 struct FciOptions {
   Algorithm algorithm = Algorithm::kDgemm;
@@ -48,6 +45,10 @@ std::unique_ptr<SigmaOperator> make_sigma(Algorithm algorithm,
                                           bool ms0_transpose = false);
 
 /// Runs an FCI calculation for the lowest state of the given symmetry.
+/// Thin wrapper over the setup/session layers (solve_setup.hpp /
+/// solve_session.hpp): builds a throwaway SolveSetup and runs one
+/// SolveSession against it.  Callers doing many solves over the same
+/// integrals should build the SolveSetup once and share it.
 FciResult run_fci(const integrals::IntegralTables& ints, std::size_t nalpha,
                   std::size_t nbeta, std::size_t target_irrep = 0,
                   const FciOptions& options = {});

@@ -1,0 +1,79 @@
+#include "fci/solve_setup.hpp"
+
+#include "fci/fci.hpp"
+
+namespace xfci::fci {
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDgemm: return "dgemm";
+    case Algorithm::kMoc: return "moc";
+    case Algorithm::kDense: return "dense";
+  }
+  return "?";
+}
+
+std::shared_ptr<const SolveSetup> SolveSetup::create(
+    integrals::IntegralTables ints, std::size_t nalpha, std::size_t nbeta,
+    std::size_t target_irrep, const SetupOptions& options) {
+  // make_shared needs a public constructor; new + shared_ptr keeps the
+  // constructor private so every SolveSetup is heap-pinned from birth.
+  return std::shared_ptr<const SolveSetup>(new SolveSetup(
+      std::move(ints), nalpha, nbeta, target_irrep, options));
+}
+
+SolveSetup::SolveSetup(integrals::IntegralTables ints, std::size_t nalpha,
+                       std::size_t nbeta, std::size_t target_irrep,
+                       const SetupOptions& options)
+    : ints_(std::move(ints)),
+      space_(ints_.norb, nalpha, nbeta, ints_.group, ints_.orbital_irreps,
+             target_irrep),
+      context_(space_, ints_),
+      options_(options),
+      target_irrep_(target_irrep) {
+  // Materialize every lazily-built table a sigma application or the parity
+  // purifier can touch, so sessions sharing this setup never race on a
+  // first touch (ParallelSigma's concurrent path plays the same trick):
+  //  * the transposed SigmaContext (sigma_dgemm/sigma_moc, nbeta >= 1),
+  //  * the transpose map of the transposed space — the transpose *back*
+  //    in the beta-side phase routes through it,
+  //  * space_.transposed() itself, which transpose_vector (and with it the
+  //    Ms = 0 purifier and transpose_parity) builds on first use.
+  if (options_.algorithm != Algorithm::kDense &&
+      (space_.nbeta() >= 1 ||
+       (options_.ms0_transpose && nalpha == nbeta))) {
+    context_.transposed();
+    space_.transposed().transposed();
+  }
+}
+
+std::unique_ptr<SigmaOperator> SolveSetup::make_sigma() const {
+  return fci::make_sigma(options_.algorithm, context_,
+                         options_.ms0_transpose);
+}
+
+std::shared_ptr<const ModelSpacePreconditioner> SolveSetup::preconditioner(
+    std::size_t model_space) const {
+  sync::MutexLock lock(mu_);
+  auto& slot = preconds_[model_space];
+  if (!slot)
+    slot = std::make_shared<const ModelSpacePreconditioner>(space_, ints_,
+                                                            model_space);
+  return slot;
+}
+
+std::size_t SolveSetup::memory_bytes() const {
+  const std::size_t w = sizeof(double);
+  std::size_t bytes = ints_.h.size() * w + ints_.eri.packed_size() * w;
+  // DGEMM operand matrices exist in both context orientations.
+  const std::size_t nh = ints_.group.num_irreps();
+  for (std::size_t h = 0; h < nh; ++h)
+    bytes += 2 * w *
+             (context_.ab_integrals(h).size() + context_.ss_integrals(h).size());
+  // CI-dimension state held per setup: the preconditioner diagonal and the
+  // string/block tables (a few words per determinant at most).
+  bytes += space_.dimension() * w;
+  return bytes;
+}
+
+}  // namespace xfci::fci

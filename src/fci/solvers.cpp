@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 
 #include "fci/checkpoint.hpp"
@@ -182,6 +183,12 @@ std::vector<double> olsen_correction(const ModelSpacePreconditioner& precond,
   return t;
 }
 
+// Cooperative cancellation poll (iteration boundaries only, so a stopped
+// run always holds a complete iteration's state).
+bool stop_requested(const SolverOptions& opt) {
+  return opt.should_stop && opt.should_stop();
+}
+
 // The attached tracer when it is actually recording, else nullptr so each
 // emission site costs one predicted branch on untraced runs.
 obs::Tracer* solver_tracer(const SolverOptions& opt) {
@@ -273,6 +280,13 @@ SolverResult solve_davidson(SigmaOperator& op,
   std::vector<double> theta(nroots, 0.0);
 
   while (res.iterations < opt.max_iterations) {
+    if (stop_requested(opt)) {
+      res.cancelled = true;
+      // Cancelled before the first Rayleigh-Ritz: fall back to the seed so
+      // the returned vector is normalizable.
+      if (dot(ritz[0], ritz[0]) == 0.0) ritz[0] = basis[0];
+      break;
+    }
     // Apply H to every not-yet-applied basis vector.
     while (hbasis.size() < basis.size() &&
            res.iterations < opt.max_iterations) {
@@ -421,6 +435,10 @@ SolverResult solve_subspace2(SigmaOperator& op,
   end_iteration(1, it_init, e + core, 0.0);
 
   for (std::size_t iter = 2; iter <= opt.max_iterations; ++iter) {
+    if (stop_requested(opt)) {
+      res.cancelled = true;
+      break;
+    }
     const double it0 = tr != nullptr ? tr->now() : 0.0;
     std::vector<double> r(dim);
     for (std::size_t i = 0; i < dim; ++i) r[i] = sigma[i] - e * c[i];
@@ -557,6 +575,10 @@ SolverResult solve_single_vector(SigmaOperator& op,
   };
 
   for (std::size_t iter = first_iter; iter <= opt.max_iterations; ++iter) {
+    if (stop_requested(opt)) {
+      res.cancelled = true;
+      break;
+    }
     const double it0 = tr != nullptr ? tr->now() : 0.0;
     op.apply(c, sigma);
     res.iterations = iter;
@@ -688,18 +710,23 @@ SolverResult solve_single_vector(SigmaOperator& op,
 
 SolverResult solve_lowest(SigmaOperator& op,
                           const integrals::IntegralTables& ints,
-                          const SolverOptions& options) {
+                          const SolverOptions& options,
+                          const ModelSpacePreconditioner* precond) {
   XFCI_REQUIRE(options.num_roots == 1 || options.method == Method::kDavidson,
                "multiple roots require the Davidson method");
-  const ModelSpacePreconditioner precond(op.space(), ints,
-                                         options.model_space);
+  std::unique_ptr<const ModelSpacePreconditioner> own;
+  if (precond == nullptr) {
+    own = std::make_unique<const ModelSpacePreconditioner>(
+        op.space(), ints, options.model_space);
+    precond = own.get();
+  }
   SolverResult res;
   if (options.method == Method::kDavidson)
-    res = solve_davidson(op, precond, ints.core_energy, options);
+    res = solve_davidson(op, *precond, ints.core_energy, options);
   else if (options.method == Method::kSubspace2)
-    res = solve_subspace2(op, precond, ints.core_energy, options);
+    res = solve_subspace2(op, *precond, ints.core_energy, options);
   else
-    res = solve_single_vector(op, precond, ints.core_energy, options);
+    res = solve_single_vector(op, *precond, ints.core_energy, options);
   if (res.energies.empty()) {
     res.energies = {res.energy};
     res.vectors = {res.vector};

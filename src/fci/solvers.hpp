@@ -73,10 +73,19 @@ struct SolverOptions {
   /// backend's clock domain.  run_parallel_fci shares the Ddi backend's
   /// tracer automatically; nullptr records nothing.
   obs::Tracer* tracer = nullptr;
+  /// Cooperative cancellation: polled at every iteration boundary.  When
+  /// it returns true the solver stops, marks the result cancelled, and
+  /// returns the best state reached so far (SolveSession::request_cancel
+  /// wires this to its cancel flag).  Empty = never cancelled, and the
+  /// solver behaves exactly as before the hook existed.
+  std::function<bool()> should_stop;
 };
 
 struct SolverResult {
   bool converged = false;
+  /// True when should_stop() ended the run early; `vector`/`energy` hold
+  /// the last completed iteration's state and `converged` is false.
+  bool cancelled = false;
   std::size_t iterations = 0;         ///< sigma applications
   double energy = 0.0;                ///< lowest root (electronic + core)
   std::vector<double> vector;         ///< normalized lowest CI vector
@@ -124,9 +133,14 @@ class ModelSpacePreconditioner {
   std::size_t lowest_ = 0;
 };
 
-/// Solves for the lowest eigenpair of the sigma operator.
+/// Solves for the lowest eigenpair of the sigma operator.  `precond`, when
+/// non-null, supplies a prebuilt model-space preconditioner whose block
+/// size must match options.model_space (SolveSetup memoizes one per size
+/// so sessions sharing a setup skip the rebuild); null builds a fresh one,
+/// which is bitwise-identical.
 SolverResult solve_lowest(SigmaOperator& sigma,
                           const integrals::IntegralTables& ints,
-                          const SolverOptions& options = {});
+                          const SolverOptions& options = {},
+                          const ModelSpacePreconditioner* precond = nullptr);
 
 }  // namespace xfci::fci

@@ -18,7 +18,8 @@ namespace {
                "          [--threads N] [--ranks N] [--faults]\n"
                "          [--checkpoint PATH] [--restart PATH]\n"
                "          [--max-iters N] [--trace PATH] [--metrics PATH]\n"
-               "          [--gemm-kernel portable|avx2|avx512]\n",
+               "          [--gemm-kernel portable|avx2|avx512]\n"
+               "          [--jobs N] [--priority interactive|batch]\n",
                prog, bad, prog);
   std::exit(2);
 }
@@ -106,6 +107,12 @@ DriverCli DriverCli::parse(int argc, char** argv,
         usage_error(prog, cli.gemm_kernel.c_str());
     } else if (std::strcmp(arg, "--max-iters") == 0 && i + 1 < argc) {
       if (!parse_count(argv[++i], cli.max_iters)) usage_error(prog, argv[i]);
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], cli.jobs)) usage_error(prog, argv[i]);
+    } else if (string_flag(prog, "--priority", argc, argv, i,
+                           cli.priority)) {
+      if (cli.priority != "interactive" && cli.priority != "batch")
+        usage_error(prog, cli.priority.c_str());
     } else if (arg[0] >= '0' && arg[0] <= '9') {
       if (!parse_count(arg, cli.num_ranks)) usage_error(prog, arg);
     } else {

@@ -31,6 +31,10 @@ namespace xfci::fcp {
 ///   --gemm-kernel NAME   pin the GEMM micro-kernel (portable|avx2|avx512)
 ///                        instead of the cpuid-dispatched default; applied
 ///                        immediately via linalg::set_gemm_kernel
+///   --jobs N             serve-layer drivers: engine worker count
+///                        (0 = hardware concurrency)
+///   --priority P         serve-layer drivers: default priority class for
+///                        submitted jobs, "interactive" or "batch"
 /// String-valued flags also accept the --flag=VALUE form.  Unknown flags,
 /// malformed or negative numeric values, empty string-flag values and
 /// unavailable kernel names abort with a usage message on stderr and exit
@@ -46,6 +50,8 @@ struct DriverCli {
   std::string trace;    ///< Chrome trace output path ("" = tracing off)
   std::string metrics;  ///< run-report JSON output path ("" = off)
   std::string gemm_kernel;  ///< pinned micro-kernel name ("" = dispatch)
+  std::size_t jobs = 0;     ///< serve-engine workers (0 = hardware)
+  std::string priority = "batch";  ///< serve default priority class
   /// Cost-model overhead scaling shared by the small-system drivers
   /// (EXPERIMENTS.md): latencies scaled with the problem size.
   double overhead_scale = 0.02;

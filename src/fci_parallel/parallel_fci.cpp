@@ -204,20 +204,36 @@ ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
                                    const fci::SolverOptions& solver) {
   XFCI_REQUIRE(options.algorithm != fci::Algorithm::kDense,
                "parallel driver supports dgemm and moc algorithms");
-  const fci::CiSpace space(ints.norb, nalpha, nbeta, ints.group,
-                           ints.orbital_irreps, target_irrep);
-  const fci::SigmaContext context(space, ints);
-  ParallelSigma op(context, options);
+  const auto setup = fci::SolveSetup::create(
+      ints, nalpha, nbeta, target_irrep,
+      fci::SetupOptions{options.algorithm, options.ms0_transpose});
+  return run_parallel_fci(setup, options, solver);
+}
+
+ParallelFciResult run_parallel_fci(
+    std::shared_ptr<const fci::SolveSetup> setup,
+    const ParallelOptions& options, const fci::SolverOptions& solver) {
+  XFCI_REQUIRE(setup != nullptr, "run_parallel_fci needs a setup");
+  XFCI_REQUIRE(options.algorithm != fci::Algorithm::kDense,
+               "parallel driver supports dgemm and moc algorithms");
+  XFCI_REQUIRE(setup->algorithm() == options.algorithm,
+               "setup was built for a different sigma algorithm");
+  XFCI_REQUIRE(setup->ms0_transpose() == options.ms0_transpose,
+               "setup was built with a different Ms = 0 transpose choice");
+  const fci::CiSpace& space = setup->space();
+  ParallelSigma op(setup->context(), options);
 
   ParallelFciResult res;
   res.dimension = space.dimension();
   fci::SolverOptions sopt = solver;
-  if (options.ms0_transpose && nalpha == nbeta && !sopt.purify)
+  if (options.ms0_transpose && space.nalpha() == space.nbeta() &&
+      !sopt.purify)
     sopt.purify = fci::make_parity_purifier(space);
   // The solver shares the backend's trace sink and clock domain, so its
   // per-iteration spans interleave correctly with the sigma phase spans.
   if (sopt.tracer == nullptr) sopt.tracer = op.ddi().tracer();
-  res.solve = fci::solve_lowest(op, ints, sopt);
+  const auto precond = setup->preconditioner(sopt.model_space);
+  res.solve = fci::solve_lowest(op, setup->ints(), sopt, precond.get());
   res.per_sigma = op.breakdown().averaged();
   // Cost-modeling backends report simulated makespan; real backends report
   // the wall time spent inside the sigmas.  Either way the sustained rate

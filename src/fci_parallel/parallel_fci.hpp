@@ -108,4 +108,13 @@ ParallelFciResult run_parallel_fci(const integrals::IntegralTables& ints,
                                    const ParallelOptions& options,
                                    const fci::SolverOptions& solver = {});
 
+/// Same solve over a pre-built (possibly cache-shared) SolveSetup.  The
+/// setup must have been created for the same algorithm / Ms = 0 choice the
+/// ParallelOptions select, so a serve-layer cache key that includes both
+/// always hands back a compatible setup.  Results are bitwise-identical to
+/// the table-based overload above.
+ParallelFciResult run_parallel_fci(
+    std::shared_ptr<const fci::SolveSetup> setup,
+    const ParallelOptions& options, const fci::SolverOptions& solver = {});
+
 }  // namespace xfci::fcp

@@ -91,12 +91,39 @@ std::vector<long> namelist_values(const std::string& header,
   return out;
 }
 
+// Number of "KEY=" declarations in the header.  A duplicate declaration is
+// ambiguous (namelist_values silently takes the first), so the reader
+// rejects it instead of guessing which one the producer meant.
+std::size_t namelist_count(const std::string& header,
+                           const std::string& key) {
+  std::size_t n = 0;
+  const std::string needle = key + "=";
+  for (auto pos = header.find(needle); pos != std::string::npos;
+       pos = header.find(needle, pos + 1))
+    ++n;
+  return n;
+}
+
+void require_unique(const std::string& header, const std::string& key) {
+  XFCI_REQUIRE(namelist_count(header, key) <= 1,
+               "duplicate " + key + " declaration in FCIDUMP header");
+}
+
 }  // namespace
 
 FcidumpData read_fcidump(const std::string& path,
                          const std::string& group_name) {
-  std::ifstream is(path);
-  XFCI_REQUIRE(is.good(), "cannot open " + path);
+  std::ifstream file(path);
+  XFCI_REQUIRE(file.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  XFCI_REQUIRE(!file.bad(), "read error on " + path);
+  return read_fcidump_text(buf.str(), group_name);
+}
+
+FcidumpData read_fcidump_text(const std::string& text,
+                              const std::string& group_name) {
+  std::istringstream is(text);
 
   // Header: everything up to &END (case-insensitive variants /, &END).
   std::string header, lineStr;
@@ -109,6 +136,8 @@ FcidumpData read_fcidump(const std::string& path,
       header_done = true;
   }
   XFCI_REQUIRE(header_done, "FCIDUMP header not terminated");
+  for (const char* key : {"NORB", "NELEC", "MS2", "ISYM", "ORBSYM"})
+    require_unique(header, key);
 
   const long norb = namelist_values(header, "NORB").at(0);
   const long nelec = namelist_values(header, "NELEC").at(0);
@@ -148,7 +177,11 @@ FcidumpData read_fcidump(const std::string& path,
   // Integral records.
   double v;
   long i, j, k, l;
-  while (is >> v >> i >> j >> k >> l) {
+  while (is >> v) {
+    XFCI_REQUIRE(static_cast<bool>(is >> i >> j >> k >> l),
+                 "truncated FCIDUMP record");
+    XFCI_REQUIRE(std::isfinite(v),
+                 "non-finite integral value in FCIDUMP record");
     XFCI_REQUIRE(i >= 0 && i <= norb && j >= 0 && j <= norb && k >= 0 &&
                      k <= norb && l >= 0 && l <= norb,
                  "FCIDUMP index out of range");
@@ -169,6 +202,9 @@ FcidumpData read_fcidump(const std::string& path,
           v);
     }
   }
+  // The value read above fails either at end-of-input (fine) or on an
+  // unparsable token (a silently-ignored record corrupts the Hamiltonian).
+  XFCI_REQUIRE(is.eof(), "unparsable text in FCIDUMP integral records");
   return data;
 }
 

@@ -37,8 +37,16 @@ struct FcidumpData {
 };
 
 /// Reads an FCIDUMP file.  `group_name` interprets the ORBSYM labels
-/// ("C1" ignores them).  Throws on malformed input.
+/// ("C1" ignores them).  Throws on malformed input: non-finite integral
+/// values, out-of-range or truncated records, unparsable trailing text and
+/// duplicate NORB/NELEC/MS2/ISYM/ORBSYM declarations are all rejected.
 FcidumpData read_fcidump(const std::string& path,
                          const std::string& group_name = "C1");
+
+/// Same parser over an in-memory FCIDUMP image.  Callers that already hold
+/// the file bytes (e.g. the serve layer, which hashes them for its setup
+/// cache) avoid a second read from disk.
+FcidumpData read_fcidump_text(const std::string& text,
+                              const std::string& group_name = "C1");
 
 }  // namespace xfci::integrals

@@ -1,0 +1,110 @@
+#include "serve/setup_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xfci::serve {
+
+std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed) {
+  // FNV-1a, 64-bit.  Deterministic across platforms and runs (unlike
+  // std::hash, whose value is unspecified), which matters because the
+  // hash is part of a cache key that tests and reports observe.
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+SetupCache::SetupCache(std::size_t num_shards, std::size_t byte_budget) {
+  XFCI_REQUIRE(num_shards >= 1, "SetupCache needs at least one shard");
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+  shard_budget_ = byte_budget == 0
+                      ? 0
+                      : std::max<std::size_t>(1, byte_budget / num_shards);
+}
+
+SetupCache::Shard& SetupCache::shard_for(const SetupKey& key) {
+  std::uint64_t h = key.source_hash;
+  h = mix(h, key.nalpha);
+  h = mix(h, key.nbeta);
+  h = mix(h, key.irrep);
+  h = mix(h, static_cast<std::uint64_t>(key.algorithm));
+  h = mix(h, key.ms0_transpose ? 1 : 0);
+  return *shards_[h % shards_.size()];
+}
+
+std::shared_ptr<const fci::SolveSetup> SetupCache::get_or_build(
+    const SetupKey& key, const Builder& build, bool* hit) {
+  Shard& shard = shard_for(key);
+  sync::MutexLock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    ++shard.hits;
+    it->second.last_use = ++shard.tick;
+    if (hit != nullptr) *hit = true;
+    return it->second.setup;
+  }
+  ++shard.misses;
+  if (hit != nullptr) *hit = false;
+  // Build under the shard lock: a second request for this key waits here
+  // and then takes the hit path instead of duplicating the build.
+  std::shared_ptr<const fci::SolveSetup> setup = build();
+  XFCI_REQUIRE(setup != nullptr, "SetupCache builder returned null");
+  Entry entry;
+  entry.setup = setup;
+  entry.bytes = setup->memory_bytes();
+  entry.last_use = ++shard.tick;
+  shard.bytes += entry.bytes;
+  shard.entries.emplace(key, std::move(entry));
+  // LRU eviction against this shard's slice of the byte budget.  The
+  // entry just inserted is the most recently used, so it survives even
+  // when it alone exceeds the budget (a cache that cannot hold the
+  // working item would thrash forever).
+  while (shard_budget_ != 0 && shard.bytes > shard_budget_ &&
+         shard.entries.size() > 1) {
+    auto victim = shard.entries.begin();
+    for (auto e = shard.entries.begin(); e != shard.entries.end(); ++e)
+      if (e->second.last_use < victim->second.last_use) victim = e;
+    shard.bytes -= victim->second.bytes;
+    ++shard.evictions;
+    shard.entries.erase(victim);
+  }
+  return setup;
+}
+
+void SetupCache::clear() {
+  for (auto& shard : shards_) {
+    sync::MutexLock lock(shard->mu);
+    shard->entries.clear();
+    shard->bytes = 0;
+  }
+}
+
+CacheStats SetupCache::stats() const {
+  CacheStats s;
+  for (const auto& shard : shards_) {
+    sync::MutexLock lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.evictions += shard->evictions;
+    s.resident_bytes += shard->bytes;
+    s.resident_entries += shard->entries.size();
+  }
+  return s;
+}
+
+}  // namespace xfci::serve

@@ -72,6 +72,31 @@ TEST(DriverCliDeath, RejectsMalformedThreadCounts) {
   expect_usage_exit({"--threads", ""});
 }
 
+TEST(DriverCli, ParsesServeFlags) {
+  const auto cli = parse({"--jobs", "6", "--priority", "interactive"});
+  EXPECT_EQ(cli.jobs, 6u);
+  EXPECT_EQ(cli.priority, "interactive");
+}
+
+TEST(DriverCli, ServeFlagDefaultsAndEqualsForm) {
+  const auto defaults = parse({});
+  EXPECT_EQ(defaults.jobs, 0u);
+  EXPECT_EQ(defaults.priority, "batch");
+  const auto eq = parse({"--priority=batch"});
+  EXPECT_EQ(eq.priority, "batch");
+}
+
+TEST(DriverCliDeath, RejectsMalformedJobs) {
+  expect_usage_exit({"--jobs", "six"});
+  expect_usage_exit({"--jobs", "-1"});    // atoi would wrap to huge
+  expect_usage_exit({"--jobs", "4x"});    // atoi would coerce to 4
+}
+
+TEST(DriverCliDeath, RejectsUnknownPriority) {
+  expect_usage_exit({"--priority", "urgent"});
+  expect_usage_exit({"--priority="});
+}
+
 TEST(DriverCliDeath, RejectsMalformedMaxIters) {
   expect_usage_exit({"--max-iters", "ten"});
   expect_usage_exit({"--max-iters", "7.5"});

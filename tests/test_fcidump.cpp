@@ -1,0 +1,121 @@
+// Hardening tests for the FCIDUMP reader: malformed files must be
+// rejected with clear errors instead of silently corrupting the
+// Hamiltonian (a truncated record or NaN integral that parses "best
+// effort" produces a wrong energy, not a crash).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "integrals/fcidump.hpp"
+
+namespace xi = xfci::integrals;
+
+namespace {
+
+const char* kGoodHeader =
+    "&FCI NORB=2,NELEC=2,MS2=0,\n  ORBSYM=1,1,\n  ISYM=1,\n &END\n";
+
+std::string good_body() {
+  return std::string(kGoodHeader) +
+         " 0.5 1 1 1 1\n"
+         " 0.4 2 2 2 2\n"
+         "-1.2 1 1 0 0\n"
+         "-0.9 2 2 0 0\n"
+         " 0.7 0 0 0 0\n";
+}
+
+std::string write_temp(const std::string& text) {
+  const std::string path = "/tmp/xfci_test_fcidump_case.fcidump";
+  std::ofstream os(path);
+  os << text;
+  return path;
+}
+
+}  // namespace
+
+TEST(FcidumpHardening, GoodFileParses) {
+  const auto data = xi::read_fcidump(write_temp(good_body()));
+  EXPECT_EQ(data.tables.norb, 2u);
+  EXPECT_EQ(data.nalpha, 1u);
+  EXPECT_EQ(data.nbeta, 1u);
+  EXPECT_DOUBLE_EQ(data.tables.core_energy, 0.7);
+  EXPECT_DOUBLE_EQ(data.tables.eri(0, 0, 0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(data.tables.h(1, 1), -0.9);
+}
+
+TEST(FcidumpHardening, TextEntryPointMatchesFileEntryPoint) {
+  const auto from_file = xi::read_fcidump(write_temp(good_body()));
+  const auto from_text = xi::read_fcidump_text(good_body());
+  EXPECT_EQ(from_file.tables.norb, from_text.tables.norb);
+  EXPECT_EQ(from_file.tables.eri.raw(), from_text.tables.eri.raw());
+  EXPECT_EQ(from_file.tables.h.span().size(),
+            from_text.tables.h.span().size());
+}
+
+TEST(FcidumpHardening, RejectsNanValue) {
+  EXPECT_THROW(
+      xi::read_fcidump_text(std::string(kGoodHeader) + " nan 1 1 1 1\n"),
+      xfci::Error);
+}
+
+TEST(FcidumpHardening, RejectsInfValue) {
+  EXPECT_THROW(
+      xi::read_fcidump_text(std::string(kGoodHeader) + " inf 1 1 0 0\n"),
+      xfci::Error);
+  EXPECT_THROW(
+      xi::read_fcidump_text(std::string(kGoodHeader) + " -inf 0 0 0 0\n"),
+      xfci::Error);
+}
+
+TEST(FcidumpHardening, RejectsOutOfRangeIndex) {
+  EXPECT_THROW(
+      xi::read_fcidump_text(std::string(kGoodHeader) + " 0.5 3 1 1 1\n"),
+      xfci::Error);
+  EXPECT_THROW(
+      xi::read_fcidump_text(std::string(kGoodHeader) + " 0.5 1 1 1 7\n"),
+      xfci::Error);
+}
+
+TEST(FcidumpHardening, RejectsTruncatedRecord) {
+  EXPECT_THROW(
+      xi::read_fcidump_text(std::string(kGoodHeader) + " 0.5 1 1\n"),
+      xfci::Error);
+}
+
+TEST(FcidumpHardening, RejectsUnparsableTrailingText) {
+  EXPECT_THROW(xi::read_fcidump_text(good_body() + "garbage here\n"),
+               xfci::Error);
+  // ...including junk *between* records, which the old reader treated as
+  // end-of-file, silently dropping everything after it.
+  EXPECT_THROW(
+      xi::read_fcidump_text(std::string(kGoodHeader) +
+                            " 0.5 1 1 1 1\n oops\n 0.4 2 2 2 2\n"),
+      xfci::Error);
+}
+
+TEST(FcidumpHardening, RejectsDuplicateDeclarations) {
+  EXPECT_THROW(
+      xi::read_fcidump_text(
+          "&FCI NORB=2,NELEC=2,NORB=3,MS2=0,\n &END\n 0.7 0 0 0 0\n"),
+      xfci::Error);
+  EXPECT_THROW(
+      xi::read_fcidump_text(
+          "&FCI NORB=2,NELEC=2,NELEC=4,MS2=0,\n &END\n 0.7 0 0 0 0\n"),
+      xfci::Error);
+  EXPECT_THROW(
+      xi::read_fcidump_text(
+          "&FCI NORB=2,NELEC=2,MS2=0,MS2=2,\n &END\n 0.7 0 0 0 0\n"),
+      xfci::Error);
+  EXPECT_THROW(
+      xi::read_fcidump_text("&FCI NORB=2,NELEC=2,ISYM=1,ISYM=2,\n &END\n"
+                            " 0.7 0 0 0 0\n"),
+      xfci::Error);
+}
+
+TEST(FcidumpHardening, RejectsMissingHeaderTerminator) {
+  EXPECT_THROW(xi::read_fcidump_text("&FCI NORB=2,NELEC=2,MS2=0,\n"),
+               xfci::Error);
+}

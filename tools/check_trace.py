@@ -12,7 +12,9 @@ Three document kinds, matched to the files our drivers emit:
 --metrics FILE   Run report written by --metrics=FILE (RunMetrics::write,
                  schema "xfci-metrics-v1").  Checks the schema tag, the
                  required keys, and internal consistency (one ranks[] row
-                 per rank, solver histories of equal length).
+                 per rank, solver histories of equal length, and — when a
+                 serve::Engine report carries them — a well-formed "cache"
+                 section and "jobs" array).
 --bench FILE     BENCH_*.json written by the bench binaries (BenchReport,
                  schema "xfci-bench-v1"): schema tag, non-empty rows with
                  a consistent column set, numeric total_seconds.
@@ -129,6 +131,13 @@ METRICS_KEYS = ("schema", "backend", "algorithm", "num_ranks",
 PHASE_KEYS = ("beta_side", "alpha_side", "mixed", "transpose",
               "vector_ops", "load_imbalance", "recovery", "total",
               "comm_words", "flops", "count")
+# Optional serve::Engine extensions (engine.cpp report_json).
+CACHE_KEYS = ("hits", "misses", "evictions", "resident_bytes",
+              "resident_entries")
+JOB_KEYS = ("id", "name", "state", "priority", "cache_hit", "sequence",
+            "queue_seconds", "setup_seconds", "solve_seconds",
+            "total_seconds")
+JOB_STATES = {"queued", "running", "done", "failed", "rejected"}
 
 
 def check_metrics(path: str, doc, findings: list) -> None:
@@ -174,6 +183,39 @@ def check_metrics(path: str, doc, findings: list) -> None:
                  f"{len(rh)} residuals")
         if solver.get("converged") and not eh:
             fail(findings, path, "solver converged with empty history")
+    # serve::Engine reports extend the schema with cache statistics and a
+    # per-job array; when present they must be internally consistent.
+    if "cache" in doc:
+        cache = doc["cache"]
+        if not isinstance(cache, dict):
+            fail(findings, path, "'cache' must be an object")
+        else:
+            for key in CACHE_KEYS:
+                if key not in cache:
+                    fail(findings, path, f"cache missing '{key}'")
+                elif not isinstance(cache[key], (int, float)) \
+                        or cache[key] < 0:
+                    fail(findings, path,
+                         f"cache '{key}' must be a non-negative number, "
+                         f"got {cache[key]!r}")
+            if "enabled" in cache and not isinstance(cache["enabled"], bool):
+                fail(findings, path, "cache 'enabled' must be a boolean")
+    jobs = doc.get("jobs")
+    if jobs is not None:
+        if not isinstance(jobs, list):
+            fail(findings, path, "'jobs' must be an array")
+        else:
+            for i, job in enumerate(jobs):
+                if not isinstance(job, dict):
+                    fail(findings, path, f"jobs[{i}] is not an object")
+                    continue
+                for key in JOB_KEYS:
+                    if key not in job:
+                        fail(findings, path, f"jobs[{i}] missing '{key}'")
+                if job.get("state") not in JOB_STATES:
+                    fail(findings, path,
+                         f"jobs[{i}] state {job.get('state')!r} not one of "
+                         f"{sorted(JOB_STATES)}")
 
 
 # ------------------------------------------------------------------ bench --
@@ -266,10 +308,24 @@ GOOD_BENCH = {
 }
 
 
+GOOD_SERVE_CACHE = {"enabled": True, "hits": 2, "misses": 1,
+                    "evictions": 0, "resident_bytes": 4096,
+                    "resident_entries": 1}
+GOOD_SERVE_JOBS = [{
+    "id": 0, "name": "h2.fcidump", "state": "done", "priority": "batch",
+    "cache_hit": False, "sequence": 1, "queue_seconds": 0.0,
+    "setup_seconds": 0.01, "solve_seconds": 0.02, "total_seconds": 0.03,
+    "energy": -1.1, "converged": True,
+}]
+
+
 def self_test() -> int:
     failures = []
+    cases = 0
 
     def expect(name, checker, doc, want_findings, **kw):
+        nonlocal cases
+        cases += 1
         findings: list = []
         checker("<self-test>", doc, findings, **kw)
         if want_findings and not findings:
@@ -305,6 +361,26 @@ def self_test() -> int:
                 env=[{"name": "X", "set": True, "value": "portable"}])
     expect("set env row with value passes", check_metrics, good, False)
 
+    # serve::Engine extensions: cache statistics + per-job rows.
+    good = dict(GOOD_METRICS, backend="serve", cache=GOOD_SERVE_CACHE,
+                jobs=GOOD_SERVE_JOBS)
+    expect("serve metrics with cache/jobs pass", check_metrics, good, False)
+    bad = dict(good, cache=dict(GOOD_SERVE_CACHE, misses=-1))
+    expect("negative cache count caught", check_metrics, bad, True)
+    bad = dict(good, cache="warm")
+    expect("non-object cache caught", check_metrics, bad, True)
+    incomplete = {k: v for k, v in GOOD_SERVE_CACHE.items()
+                  if k != "evictions"}
+    bad = dict(good, cache=incomplete)
+    expect("missing cache key caught", check_metrics, bad, True)
+    bad = dict(good, jobs=[dict(GOOD_SERVE_JOBS[0], state="exploded")])
+    expect("unknown job state caught", check_metrics, bad, True)
+    bad = dict(good, jobs=[{k: v for k, v in GOOD_SERVE_JOBS[0].items()
+                            if k != "sequence"}])
+    expect("job row missing key caught", check_metrics, bad, True)
+    bad = dict(good, jobs={"0": GOOD_SERVE_JOBS[0]})
+    expect("non-array jobs caught", check_metrics, bad, True)
+
     expect("good bench passes", check_bench, GOOD_BENCH, False)
     bad = dict(GOOD_BENCH, rows=[])
     expect("empty bench rows caught", check_bench, bad, True)
@@ -337,7 +413,7 @@ def self_test() -> int:
         for f in failures:
             print("  " + f, file=sys.stderr)
         return 1
-    print("check_trace self-test passed (16 cases).")
+    print(f"check_trace self-test passed ({cases} cases).")
     return 0
 
 

@@ -21,6 +21,11 @@ layering            The simulated machine is an implementation detail of the
                     parallel/machine.hpp or name pv::Machine directly.
                     Application code (src/fci_parallel/, drivers, ...) talks
                     to pv::Ddi so every backend goes through one interface.
+serve-layering      The serve layer sits *on top of* the solve pipeline
+                    (DESIGN.md §15): src/serve/ may include fci/ and
+                    fci_parallel/ headers, but nothing under src/ outside
+                    src/serve/ may include a serve/ header.  The core
+                    libraries must stay linkable without the job engine.
 catch-swallow       No `catch (...)` that swallows the exception: the body
                     must rethrow (`throw;`), capture it for later
                     (`std::current_exception`/`std::rethrow_exception`), or
@@ -304,6 +309,24 @@ def check_layering(path: str, raw: str, code: str, findings: list) -> None:
                     "through the pv::Ddi interface"))
 
 
+SERVE_LAYER = "src/serve/"
+SERVE_INCLUDE = re.compile(
+    r'^[ \t]*#[ \t]*include[ \t]*"(serve/[^"]+)"', re.MULTILINE)
+
+
+def check_serve_layering(path: str, raw: str, findings: list) -> None:
+    """serve/ depends on the solve pipeline, never the reverse
+    (DESIGN.md §15)."""
+    if path.replace(os.sep, "/").startswith(SERVE_LAYER):
+        return
+    for m in SERVE_INCLUDE.finditer(raw):
+        findings.append(
+            Finding(path, line_of(raw, m.start()), "serve-layering",
+                    f'include of "{m.group(1)}" outside src/serve/; the '
+                    "solve pipeline must not depend on the job engine — "
+                    "drivers link xfci_serve, core libraries never do"))
+
+
 # Raw process/shared-memory syscalls are fenced inside the two ipc files of
 # the DDI layer (shm_ipc.* and process_ddi.*), the same way pv::Machine is
 # fenced inside src/parallel/: everything else talks to pv::Ddi and stays
@@ -553,6 +576,7 @@ def lint_tree(root: str) -> list:
             check_raw_assert(rel, code, findings)
             check_catch_swallow(rel, code, findings)
             check_layering(rel, raw, code, findings)
+            check_serve_layering(rel, raw, findings)
             check_ipc_fence(rel, code, findings)
             check_timing(rel, code, findings)
             check_simd(rel, raw, code, findings)
@@ -1088,6 +1112,18 @@ def self_test() -> int:
            BAD_LAYER_CPP, "layering", True)
     expect("comment mention of machine allowed", "good_layer.cpp",
            GOOD_LAYER_CPP, "layering", False)
+    expect("seeded serve include in the fci layer", "bad_serve.cpp",
+           '#include "serve/engine.hpp"\nvoid f();\n',
+           "serve-layering", True)
+    expect("seeded serve include in a header", "bad_serve.hpp",
+           '#pragma once\n#include "serve/setup_cache.hpp"\n',
+           "serve-layering", True, subdir="fci_parallel")
+    expect("serve include allowed inside src/serve", "engine.cpp",
+           '#include "serve/engine.hpp"\nvoid f();\n',
+           "serve-layering", False, subdir="serve")
+    expect("comment mention of serve allowed", "doc_serve.cpp",
+           '// the serve/engine.hpp layer caches these setups\nvoid f();\n',
+           "serve-layering", False)
     expect("seeded raw ipc syscalls outside src/parallel", "bad_ipc.cpp",
            BAD_IPC_CPP, "ipc-fence", True)
     expect("ipc syscalls allowed in shm_ipc", "shm_ipc.cpp",
