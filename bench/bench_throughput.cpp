@@ -16,9 +16,12 @@
 // workload).  BENCH_throughput.json follows the xfci-bench-v1 schema
 // (tools/check_trace.py --bench).
 //
-//   bench_throughput [--smoke] [--jobs N] [--json PATH]
+//   bench_throughput [--smoke] [--jobs N] [--json PATH] [--telemetry]
 //
-// --smoke shrinks the workload for CI wall-clock budgets.
+// --smoke shrinks the workload for CI wall-clock budgets.  --telemetry
+// enables the live metrics registry for the whole run (no exporter):
+// compare warm jobs/s against a plain run to measure instrumentation
+// overhead — the acceptance budget is <2% on the warm drain.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +32,7 @@
 
 #include "bench_util.hpp"
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "integrals/fcidump.hpp"
 #include "integrals/tables.hpp"
@@ -137,11 +141,14 @@ RunStats run_workload(const std::vector<std::string>& job_files,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool with_telemetry = false;
   std::size_t workers = 0;
   std::string json_path = "BENCH_throughput.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      with_telemetry = true;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -149,10 +156,11 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--smoke] [--jobs N] "
-                   "[--json PATH]\n");
+                   "[--json PATH] [--telemetry]\n");
       return 2;
     }
   }
+  if (with_telemetry) xfci::obs::telemetry().set_enabled(true);
 
   const std::size_t norb = smoke ? 16 : 24;
   const std::size_t num_systems = smoke ? 3 : 6;
@@ -200,6 +208,7 @@ int main(int argc, char** argv) {
   report.config_num("num_systems", static_cast<double>(num_systems));
   report.config_num("num_jobs", static_cast<double>(num_jobs));
   report.config_num("smoke", smoke ? 1.0 : 0.0);
+  report.config_num("telemetry", with_telemetry ? 1.0 : 0.0);
   for (const auto& [mode, s] :
        {std::pair<const char*, const RunStats&>{"cold", cold},
         std::pair<const char*, const RunStats&>{"warm", warm}}) {

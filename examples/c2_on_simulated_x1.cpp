@@ -24,6 +24,11 @@
 //   --trace PATH        record per-rank span traces to PATH as Chrome
 //                       trace-event JSON (open in https://ui.perfetto.dev)
 //   --metrics PATH      write the machine-readable run report JSON
+//   --telemetry-port N  serve live Prometheus text on 127.0.0.1:N
+//                       (plus /healthz and /snapshot.json) while running
+//   --telemetry PATH    write periodic xfci-telemetry-v1 snapshots; the
+//                       final write happens at exit, so PATH ends up with
+//                       the run's total solver/gemm/DDI counters
 //
 // Kill-then-restart demo:
 //   $ c2_on_simulated_x1 16 --checkpoint /tmp/c2.ck --max-iters 4
@@ -37,6 +42,7 @@
 #include "common/trace.hpp"
 #include "fci_parallel/driver_cli.hpp"
 #include "fci_parallel/parallel_fci.hpp"
+#include "obs/exporter.hpp"
 #include "systems/standard_systems.hpp"
 
 namespace xs = xfci::systems;
@@ -46,6 +52,11 @@ namespace fcp = xfci::fcp;
 int main(int argc, char** argv) {
   const auto cli = fcp::DriverCli::parse(argc, argv);
   const std::size_t msps = cli.num_ranks;
+  // Telemetry observes values the solver already computes (never clocks
+  // of its own), so a --telemetry run prints the exact same text and
+  // energy as a plain one; without the flags the registry stays disabled.
+  const auto exporter = xfci::obs::start_telemetry(
+      cli.telemetry_wanted, cli.telemetry_port, cli.telemetry);
 
   xs::SpaceOptions o;
   o.basis = "x-dz";

@@ -2,7 +2,8 @@
 // (DESIGN.md §15) — the multi-tenant front door to the solve pipeline.
 //
 //   serve_tool <dir> [--jobs N] [--priority interactive|batch]
-//              [--metrics PATH]
+//              [--metrics PATH] [--telemetry-port N] [--telemetry PATH]
+//              [--linger N]
 //
 // Every *.fcidump file under <dir> becomes one job; files with identical
 // bytes share one cached SolveSetup, so a directory of repeated systems
@@ -11,7 +12,11 @@
 // concurrency), --priority the class every job is submitted under, and
 // --metrics writes the engine's xfci-metrics-v1 run report (cache and
 // per-job sections included; validate with tools/check_trace.py
-// --metrics).
+// --metrics).  --telemetry-port serves live Prometheus text on
+// 127.0.0.1:N (plus /healthz and /snapshot.json), --telemetry writes a
+// periodic xfci-telemetry-v1 snapshot file, and --linger keeps the
+// process (and exporter) alive N seconds after the drain so external
+// scrapers get a quiescent read that must match the final report.
 
 #include <algorithm>
 #include <cstdio>
@@ -19,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "fci_parallel/driver_cli.hpp"
+#include "obs/exporter.hpp"
 #include "serve/engine.hpp"
 
 namespace fs = std::filesystem;
@@ -30,7 +37,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: serve_tool <dir> [--jobs N] "
-               "[--priority interactive|batch] [--metrics PATH]\n");
+               "[--priority interactive|batch] [--metrics PATH]\n"
+               "                  [--telemetry-port N] [--telemetry PATH] "
+               "[--linger N]\n");
   return 2;
 }
 
@@ -70,6 +79,11 @@ int main(int argc, char** argv) {
   eopt.num_workers = cli.jobs;
   eopt.run_label = "serve_tool";
   xv::Engine engine(eopt);
+  // Healthy while the engine still has its worker pool; the exporter (if
+  // any) outlives the drain so post-drain scrapes see the final counters.
+  const auto exporter = xfci::obs::start_telemetry(
+      cli.telemetry_wanted, cli.telemetry_port, cli.telemetry,
+      [&engine] { return engine.num_workers() > 0; });
   const xv::Priority priority = xv::parse_priority(cli.priority);
   for (const std::string& path : files) {
     xv::JobSpec spec;
@@ -105,5 +119,7 @@ int main(int argc, char** argv) {
     engine.write_report(cli.metrics);
     std::printf("wrote %s\n", cli.metrics.c_str());
   }
+  if (cli.linger > 0)
+    xfci::sleep_seconds(static_cast<double>(cli.linger));
   return failures == 0 ? 0 : 1;
 }

@@ -24,6 +24,16 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Seconds since the Unix epoch, as a double.  The one sanctioned
+/// system-clock read: telemetry snapshots stamp themselves with it, and
+/// the timing lint rule keeps every other layer off raw clocks.
+double wall_unix_seconds();
+
+/// Blocks the calling thread for (at least) `seconds`.  Lives here so
+/// drivers that need a real-time pause (e.g. serve_tool --linger holding
+/// the telemetry exporter open for scrapes) stay off raw chrono.
+void sleep_seconds(double seconds);
+
 /// Accumulates named wall-clock phases ("beta-beta", "alpha-beta", ...).
 /// Used by drivers to produce Table-3 style breakdowns.
 class PhaseTimer {

@@ -6,6 +6,8 @@
 #include <memory>
 #include <numeric>
 
+#include "common/metric_names.hpp"
+#include "common/telemetry.hpp"
 #include "fci/checkpoint.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/kernels.hpp"
@@ -24,6 +26,25 @@ void normalize(std::vector<double>& v) {
   const double n = std::sqrt(dot(v, v));
   XFCI_REQUIRE(n > 0.0, "cannot normalize zero vector");
   for (auto& x : v) x /= n;
+}
+
+// Live telemetry shared by every diagonalization method: an iteration
+// counter and a last-residual gauge.  Registration is lazy and only
+// reached when telemetry is enabled, so untelemetered solves stay
+// bitwise identical (the registry only observes values, never charges).
+void note_iteration() {
+  obs::Registry& reg = obs::telemetry();
+  if (!reg.enabled()) return;
+  static obs::Counter iterations =
+      reg.counter(obs::metric::kSolverIterations);
+  iterations.inc();
+}
+
+void note_residual(double rnorm) {
+  obs::Registry& reg = obs::telemetry();
+  if (!reg.enabled()) return;
+  static obs::Gauge residual = reg.gauge(obs::metric::kSolverResidualNorm);
+  residual.set(rnorm);
 }
 
 }  // namespace
@@ -295,6 +316,7 @@ SolverResult solve_davidson(SigmaOperator& op,
       op.apply(basis[hbasis.size()], hb);
       hbasis.push_back(std::move(hb));
       ++res.iterations;
+      note_iteration();
       if (tr != nullptr)
         tr->span(tr->control_track(), "solver", "iteration", it0, tr->now(),
                  obs::trace_args(
@@ -343,6 +365,7 @@ SolverResult solve_davidson(SigmaOperator& op,
         std::printf("  davidson it %2zu root %zu  E = %.12f  |r| = %.3e\n",
                     res.iterations, root, theta[root] + core, rnorm);
     }
+    note_residual(max_rnorm);
 
     if (all_converged) {
       res.converged = true;
@@ -418,6 +441,8 @@ SolverResult solve_subspace2(SigmaOperator& op,
   obs::Tracer* tr = solver_tracer(opt);
   const auto end_iteration = [&](std::size_t iter, double it0, double energy,
                                  double rnorm) {
+    note_iteration();
+    note_residual(rnorm);
     if (tr != nullptr)
       tr->span(tr->control_track(), "solver", "iteration", it0, tr->now(),
                obs::trace_args({{"iter", static_cast<double>(iter)},
@@ -566,6 +591,8 @@ SolverResult solve_single_vector(SigmaOperator& op,
 
   const auto end_iteration = [&](std::size_t iter, double it0, double energy,
                                  double step, double rnorm) {
+    note_iteration();
+    note_residual(rnorm);
     if (tr != nullptr)
       tr->span(tr->control_track(), "solver", "iteration", it0, tr->now(),
                obs::trace_args({{"iter", static_cast<double>(iter)},

@@ -19,7 +19,9 @@ namespace {
                "          [--checkpoint PATH] [--restart PATH]\n"
                "          [--max-iters N] [--trace PATH] [--metrics PATH]\n"
                "          [--gemm-kernel portable|avx2|avx512]\n"
-               "          [--jobs N] [--priority interactive|batch]\n",
+               "          [--jobs N] [--priority interactive|batch]\n"
+               "          [--telemetry-port N] [--telemetry PATH]\n"
+               "          [--linger N]\n",
                prog, bad, prog);
   std::exit(2);
 }
@@ -113,6 +115,16 @@ DriverCli DriverCli::parse(int argc, char** argv,
                            cli.priority)) {
       if (cli.priority != "interactive" && cli.priority != "batch")
         usage_error(prog, cli.priority.c_str());
+    } else if (std::strcmp(arg, "--telemetry-port") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], cli.telemetry_port) ||
+          cli.telemetry_port > 65535)
+        usage_error(prog, argv[i]);
+      cli.telemetry_wanted = true;
+    } else if (string_flag(prog, "--telemetry", argc, argv, i,
+                           cli.telemetry)) {
+      cli.telemetry_wanted = true;
+    } else if (std::strcmp(arg, "--linger") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], cli.linger)) usage_error(prog, argv[i]);
     } else if (arg[0] >= '0' && arg[0] <= '9') {
       if (!parse_count(arg, cli.num_ranks)) usage_error(prog, arg);
     } else {

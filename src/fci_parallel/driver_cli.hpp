@@ -35,6 +35,13 @@ namespace xfci::fcp {
 ///                        (0 = hardware concurrency)
 ///   --priority P         serve-layer drivers: default priority class for
 ///                        submitted jobs, "interactive" or "batch"
+///   --telemetry-port N   enable live telemetry and serve /metrics
+///                        (Prometheus text) + /healthz + /snapshot.json on
+///                        127.0.0.1:N (0 picks an ephemeral port)
+///   --telemetry PATH     enable live telemetry and write a periodic
+///                        xfci-telemetry-v1 snapshot to PATH
+///   --linger N           serve-layer drivers: stay alive N extra seconds
+///                        after the drain so scrapers can hit /metrics
 /// String-valued flags also accept the --flag=VALUE form.  Unknown flags,
 /// malformed or negative numeric values, empty string-flag values and
 /// unavailable kernel names abort with a usage message on stderr and exit
@@ -52,6 +59,13 @@ struct DriverCli {
   std::string gemm_kernel;  ///< pinned micro-kernel name ("" = dispatch)
   std::size_t jobs = 0;     ///< serve-engine workers (0 = hardware)
   std::string priority = "batch";  ///< serve default priority class
+  /// /metrics exporter port (only meaningful when telemetry_wanted).
+  std::size_t telemetry_port = 0;
+  std::string telemetry;  ///< periodic snapshot path ("" = no file)
+  /// True once --telemetry-port or --telemetry was seen; the default-off
+  /// state keeps no-flag runs bitwise identical (registry stays disabled).
+  bool telemetry_wanted = false;
+  std::size_t linger = 0;  ///< post-drain scrape window, seconds
   /// Cost-model overhead scaling shared by the small-system drivers
   /// (EXPERIMENTS.md): latencies scaled with the problem size.
   double overhead_scale = 0.02;

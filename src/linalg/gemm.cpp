@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metric_names.hpp"
+#include "common/telemetry.hpp"
 #include "linalg/gemm_kernels.hpp"
 #include "parallel/thread_team.hpp"
 
@@ -32,6 +34,30 @@ std::atomic<pv::ThreadTeam*> g_team{nullptr};
 
 std::size_t round_up(std::size_t x, std::size_t q) {
   return (x + q - 1) / q * q;
+}
+
+// Telemetry for the hot entry point.  Only reached when the registry is
+// enabled, so the static/thread_local registrations never run (and a
+// disabled run stays bitwise identical to an uninstrumented build).
+// The dispatch counter is cached per (thread, kernel): set_gemm_kernel()
+// can repoint the dispatcher mid-process, so the label is dynamic, but
+// re-registration only happens on an actual switch.
+void note_gemm_call(std::size_t m, std::size_t n, std::size_t k,
+                    const char* kernel) {
+  namespace metric = obs::metric;
+  obs::Registry& reg = obs::telemetry();
+  static obs::Counter calls = reg.counter(metric::kGemmCalls);
+  static obs::Counter flops = reg.counter(metric::kGemmFlops);
+  calls.inc();
+  flops.inc(static_cast<std::uint64_t>(gemm_flops(m, n, k)));
+  thread_local const char* cached_kernel = nullptr;
+  thread_local obs::Counter dispatch;
+  if (cached_kernel != kernel) {
+    dispatch = reg.counter(metric::kGemmKernelDispatch,
+                           {{metric::kLabelKernel, kernel}});
+    cached_kernel = kernel;
+  }
+  dispatch.inc();
 }
 
 // Packs an mc x kc block of op(A) into column-panel-major order:
@@ -185,6 +211,9 @@ void gemm(bool transa, bool transb, std::size_t m, std::size_t n,
                "gemm: lda too small for op(A)");
   XFCI_REQUIRE(!reads_ab || ldb >= (transb ? k : n),
                "gemm: ldb too small for op(B)");
+  if (obs::telemetry().enabled()) {
+    note_gemm_call(m, n, k, active_gemm_kernel().name);
+  }
   // Scale C by beta first (handles alpha == 0 / k == 0 uniformly).
   if (beta == 0.0) {
     for (std::size_t i = 0; i < m; ++i)

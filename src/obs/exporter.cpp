@@ -1,0 +1,180 @@
+#include "obs/exporter.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/timer.hpp"
+
+namespace xfci::obs {
+namespace {
+
+// Bounded poll interval so stop() latency stays low even with a long
+// snapshot period.
+constexpr int kPollMillis = 100;
+
+std::string http_response(const char* status, const char* content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out.append(body.data(), body.size());
+  return out;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; a lost scrape is not an error
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// First request line up to CRLF, read with a short timeout so a stuck
+/// client cannot wedge the (single-threaded) exporter.
+std::string read_request_line(int fd) {
+  char buf[2048];
+  std::size_t have = 0;
+  while (have < sizeof buf) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf + have, sizeof buf - have, 0);
+    if (n <= 0) break;
+    have += static_cast<std::size_t>(n);
+    const char* eol =
+        static_cast<const char*>(std::memchr(buf, '\n', have));
+    if (eol != nullptr) {
+      std::size_t len = static_cast<std::size_t>(eol - buf);
+      while (len > 0 && (buf[len - 1] == '\r')) --len;
+      return std::string(buf, len);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Exporter::Exporter(Registry& registry, ExporterOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  XFCI_REQUIRE(options_.snapshot_period_seconds > 0.0,
+               "telemetry exporter: snapshot period must be positive");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("telemetry exporter: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("telemetry exporter: cannot bind 127.0.0.1:" +
+                std::to_string(options_.port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+Exporter::~Exporter() { stop(); }
+
+void Exporter::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  write_snapshot_file();
+}
+
+void Exporter::write_snapshot_file() {
+  if (options_.snapshot_path.empty()) return;
+  write_text_file(options_.snapshot_path,
+                  telemetry_json(registry_.snapshot(), wall_unix_seconds()) +
+                      "\n");
+}
+
+void Exporter::serve_loop() {
+  Timer since_snapshot;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!options_.snapshot_path.empty() &&
+        since_snapshot.seconds() >= options_.snapshot_period_seconds) {
+      write_snapshot_file();
+      since_snapshot.reset();
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, kPollMillis) <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void Exporter::handle_client(int fd) {
+  const std::string line = read_request_line(fd);
+  // "GET <path> HTTP/1.x" — anything else is a bad request.
+  if (line.compare(0, 4, "GET ") != 0) {
+    send_all(fd, http_response("400 Bad Request", "text/plain",
+                               "bad request\n"));
+    return;
+  }
+  std::string path = line.substr(4);
+  const std::size_t sp = path.find(' ');
+  if (sp != std::string::npos) path.resize(sp);
+  if (path == "/metrics") {
+    send_all(fd, http_response(
+                     "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                     prometheus_text(registry_.snapshot())));
+  } else if (path == "/healthz") {
+    const bool ok = options_.healthy == nullptr || options_.healthy();
+    send_all(fd, ok ? http_response("200 OK", "text/plain", "ok\n")
+                    : http_response("503 Service Unavailable", "text/plain",
+                                    "unhealthy\n"));
+  } else if (path == "/snapshot.json") {
+    send_all(fd, http_response("200 OK", "application/json",
+                               telemetry_json(registry_.snapshot(),
+                                              wall_unix_seconds()) +
+                                   "\n"));
+  } else {
+    send_all(fd, http_response("404 Not Found", "text/plain",
+                               "not found\n"));
+  }
+}
+
+std::unique_ptr<Exporter> start_telemetry(bool wanted, std::size_t port,
+                                          const std::string& snapshot_path,
+                                          std::function<bool()> healthy) {
+  XFCI_REQUIRE(port <= 65535, "telemetry port out of range");
+  if (!wanted) return nullptr;
+  telemetry().set_enabled(true);
+  ExporterOptions opt;
+  opt.port = static_cast<std::uint16_t>(port);
+  opt.snapshot_path = snapshot_path;
+  opt.healthy = std::move(healthy);
+  auto exporter = std::make_unique<Exporter>(telemetry(), std::move(opt));
+  std::fprintf(stderr, "telemetry: serving /metrics on 127.0.0.1:%u\n",
+               static_cast<unsigned>(exporter->port()));
+  return exporter;
+}
+
+}  // namespace xfci::obs

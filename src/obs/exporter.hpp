@@ -1,0 +1,90 @@
+#pragma once
+// Minimal blocking HTTP exporter for the telemetry registry
+// (DESIGN.md §16).
+//
+// One background thread owns a listening socket and multiplexes two
+// duties through a single poll() loop:
+//
+//  * Scrapes: GET /metrics returns the registry's current snapshot as
+//    Prometheus text exposition; GET /healthz returns 200/503 from a
+//    caller-supplied liveness callback (worker/rank liveness, not just
+//    process-up); GET /snapshot.json returns the xfci-telemetry-v1
+//    document.  Requests are served one at a time — a scrape reads a
+//    few KB, and serializing them keeps the exporter out of the hot
+//    path entirely (snapshots cost the workers nothing but relaxed
+//    cell reads).
+//
+//  * Periodic snapshots: when `snapshot_path` is set, the loop rewrites
+//    that file every `snapshot_period_seconds` and once more at stop(),
+//    so a crashed run still leaves its last-known state on disk.
+//
+// The exporter never enables the registry — drivers decide that — and
+// binding is loopback-only: this is an operator surface, not a public
+// one.  Lives in its own xfci_obs library (above xfci_common only) so
+// the solver/serve layers never link socket code.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/sync.hpp"
+#include "common/telemetry.hpp"
+
+namespace xfci::obs {
+
+struct ExporterOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (tests
+  /// read the actual one back via Exporter::port()).
+  std::uint16_t port = 0;
+  /// When non-empty, the xfci-telemetry-v1 snapshot file to rewrite
+  /// periodically and at shutdown.
+  std::string snapshot_path;
+  double snapshot_period_seconds = 1.0;
+  /// Liveness for /healthz: return false when workers/ranks are known
+  /// dead.  Defaults to always-healthy when unset.
+  std::function<bool()> healthy;
+};
+
+class Exporter {
+ public:
+  /// Binds and starts serving immediately; throws xfci::Error when the
+  /// port is taken.  `registry` must outlive the exporter.
+  Exporter(Registry& registry, ExporterOptions options);
+  ~Exporter();  ///< stop()s if still running.
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// The bound port (== options.port unless that was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Joins the serving thread; idempotent.  Writes the final snapshot
+  /// file before returning.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_client(int fd);
+  void write_snapshot_file();
+
+  Registry& registry_;
+  ExporterOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Driver convenience behind the shared --telemetry-port / --telemetry
+/// flags: returns nullptr without touching the registry when `wanted` is
+/// false (no-flag runs stay bitwise identical), otherwise enables the
+/// global registry, starts an exporter on 127.0.0.1:`port` (0 =
+/// ephemeral) with the given periodic-snapshot path and /healthz
+/// callback, and logs the bound port to stderr.
+std::unique_ptr<Exporter> start_telemetry(bool wanted, std::size_t port,
+                                          const std::string& snapshot_path,
+                                          std::function<bool()> healthy = {});
+
+}  // namespace xfci::obs

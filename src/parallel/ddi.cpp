@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "parallel/ddi_telemetry.hpp"
 #include "parallel/machine.hpp"
 #include "parallel/task_pool.hpp"
 #include "parallel/thread_team.hpp"
@@ -36,12 +37,15 @@ class SimulatedDdi final : public Ddi {
   }
 
   OpOutcome get(std::size_t rank, std::size_t owner, double words) override {
+    tm_.note_op(DdiTelemetry::kGet, words);
     return machine_.record_get(rank, owner, words);
   }
   OpOutcome acc(std::size_t rank, std::size_t owner, double words) override {
+    tm_.note_op(DdiTelemetry::kAcc, words);
     return machine_.record_acc(rank, owner, words);
   }
   OpOutcome put(std::size_t rank, std::size_t owner, double words) override {
+    tm_.note_op(DdiTelemetry::kPut, words);
     return machine_.record_put(rank, owner, words);
   }
   void alltoall(std::size_t rank, std::size_t peers,
@@ -125,6 +129,7 @@ class SimulatedDdi final : public Ddi {
   Machine machine_;
   std::size_t task_counter_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  DdiTelemetry tm_ = DdiTelemetry::make("sim");
 };
 
 Ddi::PoolStats SimulatedDdi::run_pool(const TaskPool& pool,
@@ -155,6 +160,7 @@ Ddi::PoolStats SimulatedDdi::run_pool(const TaskPool& pool,
                    "aggregated DLB task exceeded its reassignment budget");
       ++retries;
       st.tasks_reassigned += 1;
+      tm_.tasks_reassigned.inc();
       if (tr) {
         // Close the dead rank's partial span at its frozen clock, mark
         // where the replacement picks the task up.
@@ -209,14 +215,18 @@ class ThreadsDdi final : public Ddi {
   }
 
   // One-sided ops are shared-memory loads/stores the caller already
-  // performed; nothing is counted (comm_words stays 0 on this backend).
-  OpOutcome get(std::size_t, std::size_t, double) override {
+  // performed; nothing is counted (comm_words stays 0 on this backend),
+  // but live telemetry still sees the op rate.
+  OpOutcome get(std::size_t, std::size_t, double words) override {
+    tm_.note_op(DdiTelemetry::kGet, words);
     return OpOutcome::kDelivered;
   }
-  OpOutcome acc(std::size_t, std::size_t, double) override {
+  OpOutcome acc(std::size_t, std::size_t, double words) override {
+    tm_.note_op(DdiTelemetry::kAcc, words);
     return OpOutcome::kDelivered;
   }
-  OpOutcome put(std::size_t, std::size_t, double) override {
+  OpOutcome put(std::size_t, std::size_t, double words) override {
+    tm_.note_op(DdiTelemetry::kPut, words);
     return OpOutcome::kDelivered;
   }
   void alltoall(std::size_t, std::size_t, double) override {}
@@ -312,6 +322,7 @@ class ThreadsDdi final : public Ddi {
   std::vector<CommCounters> counters_;  // stays zero: nothing moves
   std::atomic<std::size_t> task_counter_{0};
   obs::Tracer* tracer_ = nullptr;
+  DdiTelemetry tm_ = DdiTelemetry::make("threads");
 };
 
 Ddi::PoolStats ThreadsDdi::run_pool(const TaskPool& pool,
@@ -351,6 +362,7 @@ Ddi::PoolStats ThreadsDdi::run_pool(const TaskPool& pool,
       flops_[tid] = flops0;
       rework[chunk] = redo.seconds();
       reassigned[chunk] = 1;
+      tm_.tasks_reassigned.inc();
     }
     const double t_gate = timer_.seconds();
     const double waited = commit.wait_turn(chunk);

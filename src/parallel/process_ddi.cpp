@@ -13,6 +13,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "parallel/ddi_telemetry.hpp"
 #include "parallel/shm_ipc.hpp"
 #include "parallel/task_pool.hpp"
 
@@ -343,6 +344,7 @@ class ProcessDdi final : public Ddi {
         c.put_words.fetch_add(words, std::memory_order_relaxed);
         break;
     }
+    tm_.note_op(static_cast<DdiTelemetry::Op>(kind), words);
     return OpOutcome::kDelivered;
   }
 
@@ -408,6 +410,14 @@ class ProcessDdi final : public Ddi {
         fence_rank(r);
       }
     }
+    // Liveness gauge: age of the stalest heartbeat among ranks that still
+    // have a live child.  0 when every child has exited or been fenced.
+    double max_age = 0.0;
+    for (std::size_t r = 0; r < num_ranks_; ++r) {
+      if (pids_[r] < 0 || !alive(r)) continue;
+      max_age = std::max(max_age, now_s - hb_time_[r]);
+    }
+    tm_hb_age_.set(max_age);
   }
 
   std::size_t live_children() const {
@@ -468,6 +478,16 @@ class ProcessDdi final : public Ddi {
   ShmSegment control_;
   obs::Tracer* tracer_ = nullptr;
   mutable std::vector<CommCounters> counters_cache_;
+
+  // Live telemetry.  Op counters tick wherever the op is issued — in the
+  // driver for static phases and recovery refetches, in a child (its own
+  // process-local registry) for pool-stage ops; the scrapeable driver-side
+  // series therefore carries the driver-issued traffic, while child op
+  // totals stay in the shm counters the report aggregates.  The heartbeat
+  // age gauge is pure driver state, updated every watchdog tick.
+  DdiTelemetry tm_ = DdiTelemetry::make("process");
+  obs::Gauge tm_hb_age_ =
+      obs::telemetry().gauge(obs::metric::kProcessHeartbeatAge);
 
   // Driver-side failure-domain state (children inherit frozen copies).
   std::vector<pid_t> pids_;
@@ -722,6 +742,7 @@ void ProcessDdi::reassign(std::size_t chunk, const PoolHooks& hooks,
                "aggregated DLB task exceeded its reassignment budget");
   ++retries_[chunk];
   st.tasks_reassigned += 1;
+  tm_.tasks_reassigned.inc();
   if (recovery_mark_[chunk] < 0.0) recovery_mark_[chunk] = timer_.seconds();
   wait_mark_[chunk] = -1.0;
   // STONITH before the generation bump: if the old claimant still has a

@@ -8,6 +8,7 @@
 
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/metric_names.hpp"
 #include "common/metrics.hpp"
 #include "fci/solve_session.hpp"
 #include "integrals/fcidump.hpp"
@@ -34,6 +35,11 @@ std::uint64_t hash_tables(const integrals::IntegralTables& t) {
       h);
   h = hash_bytes(t.group.name(), h);
   return h;
+}
+
+/// Index into the per-priority telemetry handle arrays.
+std::size_t pidx(Priority p) {
+  return p == Priority::kInteractive ? 0 : 1;
 }
 
 }  // namespace
@@ -70,7 +76,32 @@ Engine::Engine(const EngineOptions& options)
     : options_(options),
       cache_(options.cache_shards == 0 ? 1 : options.cache_shards,
              options.cache_byte_budget),
-      team_(options.num_workers) {}
+      team_(options.num_workers),
+      tm_(make_telemetry()) {}
+
+Engine::Telemetry Engine::make_telemetry() {
+  namespace m = obs::metric;
+  obs::Registry& reg = obs::telemetry();
+  Telemetry tm;
+  const Priority kBoth[2] = {Priority::kInteractive, Priority::kBatch};
+  for (Priority p : kBoth) {
+    const std::vector<obs::Label> by_priority = {
+        {m::kLabelPriority, priority_name(p)}};
+    tm.submitted[pidx(p)] = reg.counter(m::kServeJobsSubmitted, by_priority);
+    tm.rejected[pidx(p)] = reg.counter(m::kServeJobsRejected, by_priority);
+    tm.completed[pidx(p)] = reg.counter(m::kServeJobsCompleted, by_priority);
+    tm.failed[pidx(p)] = reg.counter(m::kServeJobsFailed, by_priority);
+    tm.queue_depth[pidx(p)] = reg.gauge(m::kServeQueueDepth, by_priority);
+  }
+  tm.workers_busy = reg.gauge(m::kServeWorkersBusy);
+  tm.stage_queue =
+      reg.histogram(m::kServeJobStageSeconds, {{m::kLabelStage, "queue"}});
+  tm.stage_setup =
+      reg.histogram(m::kServeJobStageSeconds, {{m::kLabelStage, "setup"}});
+  tm.stage_solve =
+      reg.histogram(m::kServeJobStageSeconds, {{m::kLabelStage, "solve"}});
+  return tm;
+}
 
 std::size_t Engine::submit(JobSpec spec) {
   XFCI_REQUIRE(!spec.fcidump_path.empty() || spec.tables != nullptr,
@@ -87,6 +118,7 @@ std::size_t Engine::submit(JobSpec spec) {
   if (options_.max_pending != 0 && pending_ >= options_.max_pending) {
     job->result.state = JobState::kRejected;
     job->result.error = "admission control: queue full";
+    tm_.rejected[pidx(job->spec.priority)].inc();
   } else {
     job->result.state = JobState::kQueued;
     ++pending_;
@@ -94,6 +126,8 @@ std::size_t Engine::submit(JobSpec spec) {
       interactive_.push_back(id);
     else
       batch_.push_back(id);
+    tm_.submitted[pidx(job->spec.priority)].inc();
+    tm_.queue_depth[pidx(job->spec.priority)].add(1.0);
   }
   jobs_.push_back(std::move(job));
   return id;
@@ -116,6 +150,9 @@ Engine::Job* Engine::pop_next() {
   job.result.state = JobState::kRunning;
   job.result.sequence = ++started_;
   job.result.queue_seconds = clock_.seconds() - job.submit_time;
+  tm_.queue_depth[pidx(job.spec.priority)].add(-1.0);
+  tm_.workers_busy.add(1.0);
+  tm_.stage_queue.observe(job.result.queue_seconds);
   return &job;
 }
 
@@ -178,10 +215,12 @@ void Engine::run_job(Job& job) {
       r.cache_hit = job.result.cache_hit;
     }
     r.setup_seconds = t.seconds();
+    tm_.stage_setup.observe(r.setup_seconds);
     t.reset();
     fci::SolveSession session(setup);
     const fci::FciResult res = session.solve(job.spec.solver);
     r.solve_seconds = t.seconds();
+    tm_.stage_solve.observe(r.solve_seconds);
     r.energy = res.solve.energy;
     r.converged = res.solve.converged;
     r.cancelled = res.solve.cancelled;
@@ -195,6 +234,12 @@ void Engine::run_job(Job& job) {
     r.error = e.what();
   }
   r.total_seconds = total.seconds();
+  if (r.state == JobState::kDone) {
+    tm_.completed[pidx(r.priority)].inc();
+  } else {
+    tm_.failed[pidx(r.priority)].inc();
+  }
+  tm_.workers_busy.add(-1.0);
   sync::MutexLock lock(mu_);
   job.result = r;
 }

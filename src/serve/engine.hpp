@@ -35,6 +35,7 @@
 
 #include "common/annotations.hpp"
 #include "common/sync.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "fci/fci.hpp"
 #include "integrals/tables.hpp"
@@ -167,10 +168,28 @@ class Engine {
   void run_job(Job& job);
   std::shared_ptr<const fci::SolveSetup> acquire_setup(Job& job);
 
+  // Live telemetry handles, indexed by priority where labeled.  Updated
+  // at the same state transitions the report aggregates over (one event
+  // stream for scrape and report, DESIGN.md §16); writes drop while
+  // telemetry is disabled.
+  struct Telemetry {
+    obs::Counter submitted[2];
+    obs::Counter rejected[2];
+    obs::Counter completed[2];
+    obs::Counter failed[2];
+    obs::Gauge queue_depth[2];
+    obs::Gauge workers_busy;
+    obs::Histogram stage_queue;
+    obs::Histogram stage_setup;
+    obs::Histogram stage_solve;
+  };
+  static Telemetry make_telemetry();
+
   EngineOptions options_;
   SetupCache cache_;
   pv::ThreadTeam team_;
   Timer clock_;  ///< one clock domain for queue/latency accounting
+  Telemetry tm_;
 
   mutable sync::Mutex mu_;
   std::vector<std::unique_ptr<Job>> jobs_ XFCI_GUARDED_BY(mu_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/metric_names.hpp"
 
 namespace xfci::serve {
 
@@ -35,6 +36,12 @@ SetupCache::SetupCache(std::size_t num_shards, std::size_t byte_budget) {
   shard_budget_ = byte_budget == 0
                       ? 0
                       : std::max<std::size_t>(1, byte_budget / num_shards);
+  obs::Registry& reg = obs::telemetry();
+  tm_hits_ = reg.counter(obs::metric::kServeCacheHits);
+  tm_misses_ = reg.counter(obs::metric::kServeCacheMisses);
+  tm_evictions_ = reg.counter(obs::metric::kServeCacheEvictions);
+  tm_resident_bytes_ = reg.gauge(obs::metric::kServeCacheResidentBytes);
+  tm_resident_entries_ = reg.gauge(obs::metric::kServeCacheResidentEntries);
 }
 
 SetupCache::Shard& SetupCache::shard_for(const SetupKey& key) {
@@ -54,11 +61,13 @@ std::shared_ptr<const fci::SolveSetup> SetupCache::get_or_build(
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     ++shard.hits;
+    tm_hits_.inc();
     it->second.last_use = ++shard.tick;
     if (hit != nullptr) *hit = true;
     return it->second.setup;
   }
   ++shard.misses;
+  tm_misses_.inc();
   if (hit != nullptr) *hit = false;
   // Build under the shard lock: a second request for this key waits here
   // and then takes the hit path instead of duplicating the build.
@@ -69,6 +78,8 @@ std::shared_ptr<const fci::SolveSetup> SetupCache::get_or_build(
   entry.bytes = setup->memory_bytes();
   entry.last_use = ++shard.tick;
   shard.bytes += entry.bytes;
+  tm_resident_bytes_.add(static_cast<double>(entry.bytes));
+  tm_resident_entries_.add(1.0);
   shard.entries.emplace(key, std::move(entry));
   // LRU eviction against this shard's slice of the byte budget.  The
   // entry just inserted is the most recently used, so it survives even
@@ -81,6 +92,9 @@ std::shared_ptr<const fci::SolveSetup> SetupCache::get_or_build(
       if (e->second.last_use < victim->second.last_use) victim = e;
     shard.bytes -= victim->second.bytes;
     ++shard.evictions;
+    tm_evictions_.inc();
+    tm_resident_bytes_.add(-static_cast<double>(victim->second.bytes));
+    tm_resident_entries_.add(-1.0);
     shard.entries.erase(victim);
   }
   return setup;
@@ -89,6 +103,8 @@ std::shared_ptr<const fci::SolveSetup> SetupCache::get_or_build(
 void SetupCache::clear() {
   for (auto& shard : shards_) {
     sync::MutexLock lock(shard->mu);
+    tm_resident_bytes_.add(-static_cast<double>(shard->bytes));
+    tm_resident_entries_.add(-static_cast<double>(shard->entries.size()));
     shard->entries.clear();
     shard->bytes = 0;
   }

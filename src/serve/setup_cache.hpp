@@ -33,6 +33,7 @@
 
 #include "common/annotations.hpp"
 #include "common/sync.hpp"
+#include "common/telemetry.hpp"
 #include "fci/solve_setup.hpp"
 
 namespace xfci::serve {
@@ -126,6 +127,16 @@ class SetupCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_budget_ = 0;  ///< per-shard byte cap (0 = unlimited)
+
+  // Live telemetry mirrors of the shard counters, updated inside the
+  // same critical sections that bump them (DESIGN.md §16): the scrape
+  // and the final report consume one event stream, so they agree at
+  // quiescence.  The handles drop writes while telemetry is disabled.
+  obs::Counter tm_hits_;
+  obs::Counter tm_misses_;
+  obs::Counter tm_evictions_;
+  obs::Gauge tm_resident_bytes_;
+  obs::Gauge tm_resident_entries_;
 };
 
 }  // namespace xfci::serve

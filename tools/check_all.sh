@@ -65,6 +65,20 @@ if [ -x "${c2}" ]; then
       --metrics "${obs_tmp}/sim_metrics.json" \
       --metrics "${obs_tmp}/threads_metrics.json" \
       --expect-spans iteration,sigma,beta_side,alpha_side,mixed,task
+  # Live telemetry smoke (DESIGN.md §16): an instrumented run on an
+  # ephemeral exporter port must leave a valid xfci-telemetry-v1
+  # snapshot behind, and the telemetry-enabled energy output must be
+  # bitwise identical to the plain run's.
+  echo "== telemetry: instrumented C2 run + snapshot validation =="
+  "${c2}" 4 > "${obs_tmp}/c2_plain.out"
+  "${c2}" 4 --telemetry-port 0 --telemetry "${obs_tmp}/telemetry.json" \
+      > "${obs_tmp}/c2_tele.out" 2> /dev/null
+  python3 tools/check_trace.py --telemetry "${obs_tmp}/telemetry.json"
+  if ! cmp -s "${obs_tmp}/c2_plain.out" "${obs_tmp}/c2_tele.out"; then
+    diff "${obs_tmp}/c2_plain.out" "${obs_tmp}/c2_tele.out" || true
+    echo "telemetry perturbed the C2 output (must be bitwise identical)"
+    exit 1
+  fi
 else
   echo "== observability: ${c2} not built; skipped =="
 fi

@@ -18,6 +18,20 @@ Three document kinds, matched to the files our drivers emit:
 --bench FILE     BENCH_*.json written by the bench binaries (BenchReport,
                  schema "xfci-bench-v1"): schema tag, non-empty rows with
                  a consistent column set, numeric total_seconds.
+--telemetry FILE Live-telemetry snapshot written by --telemetry=FILE
+                 (obs::telemetry_json, schema "xfci-telemetry-v1").
+                 Checks the schema tag, the shared histogram bounds
+                 (positive, strictly increasing), per-metric shape by
+                 kind (counter value, gauge value, histogram buckets /
+                 sum / count with count == sum of buckets), Prometheus
+                 name and label-key syntax, and duplicate series.
+--prom FILE      Prometheus text exposition scraped from the exporter's
+                 /metrics.  Checks line and label syntax, HELP/TYPE
+                 declarations before samples, non-negative counters,
+                 cumulative (non-decreasing) histogram buckets with a
+                 le="+Inf" bucket equal to _count.  Given several --prom
+                 files, they are treated as successive scrapes of one
+                 process and every counter must be monotonic across them.
 
 --expect-spans a,b,c   With --trace: require each named span to occur.
 
@@ -29,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
 import tempfile
 
@@ -250,6 +265,272 @@ def check_bench(path: str, doc, findings: list) -> None:
         fail(findings, path, "'total_seconds' must be a number")
 
 
+# -------------------------------------------------------------- telemetry --
+
+# Prometheus data-model syntax (shared by the JSON snapshot and the text
+# exposition: the snapshot promises its names scrape cleanly).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_KEY_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TELEMETRY_KINDS = {"counter", "gauge", "histogram"}
+
+
+def check_telemetry(path: str, doc, findings: list) -> None:
+    if not isinstance(doc, dict):
+        fail(findings, path, "telemetry document is not an object")
+        return
+    if doc.get("schema") != "xfci-telemetry-v1":
+        fail(findings, path,
+             f"schema is {doc.get('schema')!r}, want 'xfci-telemetry-v1'")
+    wall = doc.get("wall_unix_seconds")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        fail(findings, path, f"bad wall_unix_seconds {wall!r}")
+    bounds = doc.get("histogram_bounds")
+    if not isinstance(bounds, list) or not bounds:
+        fail(findings, path, "histogram_bounds must be a non-empty array")
+        bounds = []
+    else:
+        for i, b in enumerate(bounds):
+            if not isinstance(b, (int, float)) or b <= 0:
+                fail(findings, path, f"histogram_bounds[{i}] {b!r} not > 0")
+            elif i > 0 and b <= bounds[i - 1]:
+                fail(findings, path,
+                     f"histogram_bounds[{i}] {b!r} not increasing")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        fail(findings, path, "'metrics' must be an array")
+        return
+    seen: set = set()
+    for i, m in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(m, dict):
+            fail(findings, path, f"{where}: not an object")
+            continue
+        name = m.get("name")
+        if not isinstance(name, str) or not METRIC_NAME_RE.match(name):
+            fail(findings, path, f"{where}: bad metric name {name!r}")
+            continue
+        labels = m.get("labels")
+        if not isinstance(labels, dict):
+            fail(findings, path, f"{where} ({name}): 'labels' must be an "
+                 "object")
+            labels = {}
+        for k, v in labels.items():
+            if not LABEL_KEY_RE.match(k):
+                fail(findings, path, f"{where} ({name}): bad label key "
+                     f"{k!r}")
+            if not isinstance(v, str):
+                fail(findings, path, f"{where} ({name}): label {k} value "
+                     f"{v!r} is not a string")
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen:
+            fail(findings, path, f"{where}: duplicate series {series!r}")
+        seen.add(series)
+        kind = m.get("kind")
+        if kind not in TELEMETRY_KINDS:
+            fail(findings, path, f"{where} ({name}): kind {kind!r} not one "
+                 f"of {sorted(TELEMETRY_KINDS)}")
+            continue
+        if kind == "counter":
+            v = m.get("value")
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(findings, path, f"{where} ({name}): counter value "
+                     f"{v!r} must be a non-negative integer")
+        elif kind == "gauge":
+            v = m.get("value")
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(findings, path, f"{where} ({name}): gauge value {v!r} "
+                     "must be a number")
+        else:  # histogram
+            buckets = m.get("buckets")
+            if not isinstance(buckets, list) or \
+                    len(buckets) != len(bounds) + 1:
+                fail(findings, path, f"{where} ({name}): want "
+                     f"{len(bounds) + 1} buckets (bounds + overflow), got "
+                     f"{buckets!r}")
+                continue
+            total = 0
+            ok = True
+            for j, b in enumerate(buckets):
+                if not isinstance(b, int) or isinstance(b, bool) or b < 0:
+                    fail(findings, path, f"{where} ({name}): buckets[{j}] "
+                         f"{b!r} must be a non-negative integer")
+                    ok = False
+                else:
+                    total += b
+            count = m.get("count")
+            if ok and count != total:
+                fail(findings, path, f"{where} ({name}): count {count!r} "
+                     f"!= sum of buckets {total}")
+            if not isinstance(m.get("sum"), (int, float)):
+                fail(findings, path, f"{where} ({name}): missing numeric "
+                     "'sum'")
+
+
+# ------------------------------------------------------- prometheus text --
+
+def parse_prom_labels(path: str, where: str, text: str,
+                      findings: list) -> dict | None:
+    """Parses `key="value",...` (no surrounding braces); None on error."""
+    labels: dict = {}
+    i = 0
+    while i < len(text):
+        eq = text.find("=", i)
+        if eq < 0 or eq + 1 >= len(text) or text[eq + 1] != '"':
+            fail(findings, path, f"{where}: malformed labels {text!r}")
+            return None
+        key = text[i:eq]
+        if not LABEL_KEY_RE.match(key):
+            fail(findings, path, f"{where}: bad label key {key!r}")
+            return None
+        j = eq + 2
+        value = []
+        while j < len(text) and text[j] != '"':
+            if text[j] == "\\":
+                if j + 1 >= len(text) or text[j + 1] not in '\\"n':
+                    fail(findings, path,
+                         f"{where}: bad escape in label value {text!r}")
+                    return None
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[text[j + 1]])
+                j += 2
+            else:
+                value.append(text[j])
+                j += 1
+        if j >= len(text):
+            fail(findings, path, f"{where}: unterminated label value in "
+                 f"{text!r}")
+            return None
+        labels[key] = "".join(value)
+        i = j + 1
+        if i < len(text):
+            if text[i] != ",":
+                fail(findings, path, f"{where}: expected ',' between "
+                     f"labels in {text!r}")
+                return None
+            i += 1
+    return labels
+
+
+def parse_prom_text(path: str, text: str, findings: list):
+    """Returns ({family: type}, [(name, labels, value)]) or None."""
+    types: dict = {}
+    samples: list = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail(findings, path, f"{where}: malformed comment {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in TELEMETRY_KINDS:
+                    fail(findings, path, f"{where}: malformed TYPE {line!r}")
+                elif parts[2] in types:
+                    fail(findings, path,
+                         f"{where}: duplicate TYPE for {parts[2]}")
+                else:
+                    types[parts[2]] = parts[3]
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.find("}", brace)
+            if close < 0:
+                fail(findings, path, f"{where}: unterminated labels "
+                     f"{line!r}")
+                continue
+            name = line[:brace]
+            labels = parse_prom_labels(path, where, line[brace + 1:close],
+                                       findings)
+            if labels is None:
+                continue
+            rest = line[close + 1:].strip()
+        else:
+            fields = line.split()
+            if len(fields) != 2:
+                fail(findings, path, f"{where}: want 'name value', got "
+                     f"{line!r}")
+                continue
+            name, rest = fields[0], fields[1]
+            labels = {}
+        if not METRIC_NAME_RE.match(name):
+            fail(findings, path, f"{where}: bad metric name {name!r}")
+            continue
+        try:
+            value = float(rest)
+        except ValueError:
+            fail(findings, path, f"{where}: bad sample value {rest!r}")
+            continue
+        samples.append((name, labels, value))
+    return types, samples
+
+
+def family_of(name: str, types: dict) -> str:
+    """Histogram samples use <family>_bucket/_sum/_count names."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[:-len(suffix)] in types:
+            return name[:-len(suffix)]
+    return name
+
+
+def check_prom(path: str, text: str, findings: list,
+               counters: dict | None = None) -> None:
+    """Validates one exposition; `counters` carries {series: value} across
+    successive scrapes for the monotonicity check."""
+    parsed = parse_prom_text(path, text, findings)
+    if parsed is None:
+        return
+    types, samples = parsed
+    hist_buckets: dict = {}  # (family, labels-minus-le) -> [(le, cum)]
+    hist_counts: dict = {}
+    for name, labels, value in samples:
+        family = family_of(name, types)
+        ftype = types.get(family)
+        if ftype is None:
+            fail(findings, path, f"sample {name} has no TYPE declaration")
+            continue
+        series = (name, tuple(sorted(labels.items())))
+        if ftype == "counter":
+            if value < 0:
+                fail(findings, path, f"counter {name} is negative: {value}")
+            if counters is not None:
+                prev = counters.get(series)
+                if prev is not None and value < prev:
+                    fail(findings, path,
+                         f"counter {series!r} went backwards: {prev} -> "
+                         f"{value}")
+                counters[series] = value
+        elif ftype == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                fail(findings, path, f"{name}{labels!r} lacks an le label")
+                continue
+            key = (family,
+                   tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le")))
+            hist_buckets.setdefault(key, []).append((labels["le"], value))
+        elif ftype == "histogram" and name.endswith("_count"):
+            hist_counts[(family, tuple(sorted(labels.items())))] = value
+    for (family, labels), buckets in sorted(hist_buckets.items()):
+        cum = [b for _, b in buckets]  # exposition order == ascending le
+        if any(b < a for a, b in zip(cum, cum[1:])):
+            fail(findings, path,
+                 f"histogram {family}{dict(labels)!r} buckets are not "
+                 "cumulative")
+        les = [le for le, _ in buckets]
+        if les.count("+Inf") != 1 or les[-1] != "+Inf":
+            fail(findings, path,
+                 f"histogram {family}{dict(labels)!r} must end with one "
+                 'le="+Inf" bucket')
+        elif (family, labels) not in hist_counts:
+            fail(findings, path,
+                 f"histogram {family}{dict(labels)!r} lacks a _count "
+                 "sample")
+        elif hist_counts[(family, labels)] != cum[-1]:
+            fail(findings, path,
+                 f"histogram {family}{dict(labels)!r} +Inf bucket "
+                 f"{cum[-1]} != _count {hist_counts[(family, labels)]}")
+
+
 # -------------------------------------------------------------- self-test --
 
 GOOD_TRACE = {"traceEvents": [
@@ -306,6 +587,48 @@ GOOD_BENCH = {
     "rows": [{"msps": 16, "t": 1.0}, {"msps": 32, "t": 0.5}],
     "total_seconds": 1.5,
 }
+
+
+GOOD_TELEMETRY = {
+    "schema": "xfci-telemetry-v1",
+    "wall_unix_seconds": 1.7e9,
+    "histogram_bounds": [0.001, 0.002, 0.004],
+    "metrics": [
+        {"name": "xfci_serve_jobs_completed_total", "kind": "counter",
+         "help": "h", "labels": {"priority": "batch"}, "value": 3},
+        {"name": "xfci_serve_jobs_completed_total", "kind": "counter",
+         "help": "h", "labels": {"priority": "interactive"}, "value": 0},
+        {"name": "xfci_serve_queue_depth", "kind": "gauge", "help": "h",
+         "labels": {}, "value": 0.0},
+        {"name": "xfci_serve_job_stage_seconds", "kind": "histogram",
+         "help": "h", "labels": {"stage": "solve"},
+         "buckets": [1, 2, 0, 1], "sum": 0.005, "count": 4},
+    ],
+}
+
+GOOD_PROM = """\
+# HELP xfci_serve_jobs_completed_total Jobs finished.
+# TYPE xfci_serve_jobs_completed_total counter
+xfci_serve_jobs_completed_total{priority="batch"} 3
+xfci_serve_jobs_completed_total{priority="interactive"} 0
+# HELP xfci_serve_queue_depth Jobs waiting.
+# TYPE xfci_serve_queue_depth gauge
+xfci_serve_queue_depth 0
+# HELP xfci_serve_job_stage_seconds Latency.
+# TYPE xfci_serve_job_stage_seconds histogram
+xfci_serve_job_stage_seconds_bucket{stage="solve",le="0.001"} 1
+xfci_serve_job_stage_seconds_bucket{stage="solve",le="0.002"} 3
+xfci_serve_job_stage_seconds_bucket{stage="solve",le="+Inf"} 4
+xfci_serve_job_stage_seconds_sum{stage="solve"} 0.005
+xfci_serve_job_stage_seconds_count{stage="solve"} 4
+"""
+
+BAD_PROM_NONCUMULATIVE = GOOD_PROM.replace(
+    'le="0.002"} 3', 'le="0.002"} 0')
+BAD_PROM_COUNT = GOOD_PROM.replace("_count{stage=\"solve\"} 4",
+                                   "_count{stage=\"solve\"} 5")
+BAD_PROM_LABEL = GOOD_PROM.replace('priority="batch"', 'priority=batch')
+BAD_PROM_UNDECLARED = "xfci_mystery_total 1\n"
 
 
 GOOD_SERVE_CACHE = {"enabled": True, "hits": 2, "misses": 1,
@@ -381,6 +704,64 @@ def self_test() -> int:
     bad = dict(good, jobs={"0": GOOD_SERVE_JOBS[0]})
     expect("non-array jobs caught", check_metrics, bad, True)
 
+    # Telemetry snapshots (xfci-telemetry-v1).
+    expect("good telemetry passes", check_telemetry, GOOD_TELEMETRY, False)
+    bad = dict(GOOD_TELEMETRY, schema="wrong")
+    expect("wrong telemetry schema caught", check_telemetry, bad, True)
+    bad = dict(GOOD_TELEMETRY, histogram_bounds=[0.002, 0.001, 0.004])
+    expect("non-increasing bounds caught", check_telemetry, bad, True)
+    bad = dict(GOOD_TELEMETRY,
+               metrics=GOOD_TELEMETRY["metrics"][:1] * 2)
+    expect("duplicate series caught", check_telemetry, bad, True)
+    bad = dict(GOOD_TELEMETRY, metrics=[
+        dict(GOOD_TELEMETRY["metrics"][0], name="bad name!")])
+    expect("bad metric name caught", check_telemetry, bad, True)
+    bad = dict(GOOD_TELEMETRY, metrics=[
+        dict(GOOD_TELEMETRY["metrics"][0], value=-1)])
+    expect("negative counter caught", check_telemetry, bad, True)
+    bad = dict(GOOD_TELEMETRY, metrics=[
+        dict(GOOD_TELEMETRY["metrics"][0], value=2.5)])
+    expect("non-integer counter caught", check_telemetry, bad, True)
+    bad = dict(GOOD_TELEMETRY, metrics=[
+        dict(GOOD_TELEMETRY["metrics"][3], count=7)])
+    expect("histogram count mismatch caught", check_telemetry, bad, True)
+    bad = dict(GOOD_TELEMETRY, metrics=[
+        dict(GOOD_TELEMETRY["metrics"][3], buckets=[1, 2])])
+    expect("short histogram caught", check_telemetry, bad, True)
+    bad = dict(GOOD_TELEMETRY, metrics=[
+        dict(GOOD_TELEMETRY["metrics"][0],
+             labels={"le with space": "x"})])
+    expect("bad label key caught", check_telemetry, bad, True)
+
+    # Prometheus text exposition.
+    expect("good prom passes", check_prom, GOOD_PROM, False)
+    expect("non-cumulative buckets caught", check_prom,
+           BAD_PROM_NONCUMULATIVE, True)
+    expect("bucket/count mismatch caught", check_prom, BAD_PROM_COUNT, True)
+    expect("unquoted label value caught", check_prom, BAD_PROM_LABEL, True)
+    expect("undeclared family caught", check_prom, BAD_PROM_UNDECLARED,
+           True)
+    # Successive scrapes: a counter that goes backwards must be caught,
+    # monotonic ones must pass.
+    counters: dict = {}
+    monotonic: list = []
+    check_prom("<scrape 1>", GOOD_PROM, monotonic, counters=counters)
+    check_prom("<scrape 2>",
+               GOOD_PROM.replace('priority="batch"} 3',
+                                 'priority="batch"} 5'),
+               monotonic, counters=counters)
+    cases += 1
+    if monotonic:
+        failures.append(f"monotonic scrapes: unexpected {monotonic}")
+    regressed: list = []
+    check_prom("<scrape 3>",
+               GOOD_PROM.replace('priority="batch"} 3',
+                                 'priority="batch"} 1'),
+               regressed, counters=counters)
+    cases += 1
+    if not regressed:
+        failures.append("backwards counter across scrapes not caught")
+
     expect("good bench passes", check_bench, GOOD_BENCH, False)
     bad = dict(GOOD_BENCH, rows=[])
     expect("empty bench rows caught", check_bench, bad, True)
@@ -394,11 +775,16 @@ def self_test() -> int:
         tp = os.path.join(tmp, "t.json")
         mp = os.path.join(tmp, "m.json")
         bp = os.path.join(tmp, "b.json")
+        yp = os.path.join(tmp, "y.json")
+        pp = os.path.join(tmp, "p.prom")
         for p, doc in ((tp, GOOD_TRACE), (mp, GOOD_METRICS),
-                       (bp, GOOD_BENCH)):
+                       (bp, GOOD_BENCH), (yp, GOOD_TELEMETRY)):
             with open(p, "w", encoding="utf-8") as fh:
                 json.dump(doc, fh)
+        with open(pp, "w", encoding="utf-8") as fh:
+            fh.write(GOOD_PROM)
         rc = run(["--trace", tp, "--metrics", mp, "--bench", bp,
+                  "--telemetry", yp, "--prom", pp, "--prom", pp,
                   "--expect-spans", "sigma"])
         if rc != 0:
             failures.append(f"end-to-end valid files: exit {rc}, want 0")
@@ -427,6 +813,12 @@ def run(argv: list) -> int:
                     help="xfci-metrics-v1 run report to validate")
     ap.add_argument("--bench", action="append", default=[],
                     help="xfci-bench-v1 report to validate")
+    ap.add_argument("--telemetry", action="append", default=[],
+                    help="xfci-telemetry-v1 snapshot to validate")
+    ap.add_argument("--prom", action="append", default=[],
+                    help="Prometheus /metrics scrape to validate; several "
+                         "are checked as successive scrapes (counters "
+                         "must be monotonic)")
     ap.add_argument("--expect-spans", default="",
                     help="comma-separated span names every --trace file "
                          "must contain")
@@ -436,7 +828,8 @@ def run(argv: list) -> int:
 
     if args.self_test:
         return self_test()
-    if not (args.trace or args.metrics or args.bench):
+    if not (args.trace or args.metrics or args.bench or args.telemetry
+            or args.prom):
         ap.print_usage(sys.stderr)
         return 2
 
@@ -454,13 +847,27 @@ def run(argv: list) -> int:
         doc = load_json(path, findings)
         if doc is not None:
             check_bench(path, doc, findings)
+    for path in args.telemetry:
+        doc = load_json(path, findings)
+        if doc is not None:
+            check_telemetry(path, doc, findings)
+    counters: dict = {}
+    for path in args.prom:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            fail(findings, path, f"unreadable: {exc}")
+            continue
+        check_prom(path, text, findings, counters=counters)
 
     for f in findings:
         print(f)
     if findings:
         print(f"check_trace: {len(findings)} finding(s).", file=sys.stderr)
         return 1
-    nfiles = len(args.trace) + len(args.metrics) + len(args.bench)
+    nfiles = (len(args.trace) + len(args.metrics) + len(args.bench) +
+              len(args.telemetry) + len(args.prom))
     print(f"check_trace: {nfiles} file(s) valid.")
     return 0
 

@@ -67,6 +67,13 @@ env-read            Raw environment access (getenv/setenv/...) is fenced
                     inside src/common/env.*: everything else goes through
                     xfci::env::get() so every consulted variable is recorded
                     and surfaced in the run report (--metrics).
+telemetry           Metric registration goes through the constants in
+                    src/common/metric_names.hpp: a counter(/gauge(/
+                    histogram( call whose first argument is a string
+                    literal is rejected everywhere else, so the full
+                    metric surface is greppable in one header and names
+                    cannot drift between the Prometheus exposition and
+                    the xfci-telemetry-v1 snapshot (DESIGN.md §16).
 suppression-budget  The repo-wide suppression counts (NOLINT,
                     XFCI_NO_THREAD_SAFETY_ANALYSIS, `lint:` escapes) must
                     equal the budget in .lint-budget: growth fails until the
@@ -507,6 +514,24 @@ ENV_ALLOWED = "src/common/env."
 ENV_TOKEN = re.compile(
     r"\b(?:std::)?(getenv|secure_getenv|setenv|putenv|unsetenv)\s*\(")
 
+TELEMETRY_ALLOWED = "src/common/metric_names.hpp"
+# Registration with a quoted first argument.  strip_comments_and_strings
+# keeps the opening quote (only string *contents* are blanked), so this
+# matches real calls but not comment mentions.
+TELEMETRY_TOKEN = re.compile(r"\b(counter|gauge|histogram)\s*\(\s*\"")
+
+
+def check_telemetry_names(path: str, code: str, findings: list) -> None:
+    """Metric names live in common/metric_names.hpp, never at call sites."""
+    if path.replace(os.sep, "/") == TELEMETRY_ALLOWED:
+        return
+    for m in TELEMETRY_TOKEN.finditer(code):
+        findings.append(
+            Finding(path, line_of(code, m.start()), "telemetry",
+                    f"metric registered via {m.group(1)}(\"...\") with an "
+                    "inline name; use a MetricSpec constant from "
+                    "common/metric_names.hpp"))
+
 
 def check_env_read(path: str, code: str, findings: list) -> None:
     """Environment access is recorded by xfci::env so run reports list
@@ -583,6 +608,7 @@ def lint_tree(root: str) -> list:
             check_lock_annotations(rel, raw, code, findings)
             check_determinism(rel, raw, code, findings)
             check_env_read(rel, code, findings)
+            check_telemetry_names(rel, code, findings)
             if fn.endswith((".hpp", ".h")):
                 check_using_namespace(rel, code, findings)
                 check_pragma_once(rel, raw, findings)
@@ -1204,6 +1230,30 @@ def self_test() -> int:
         "fci/r.hpp": '#pragma once\n#include "common/base.hpp"\n',
         "common/base.hpp": "#pragma once\n",
     }, "include-cycles", False)
+
+    # telemetry: metric names live in common/metric_names.hpp only.
+    bad_inline_metric = (
+        '#include "common/telemetry.hpp"\n'
+        'void f() {\n'
+        '  auto c = xfci::obs::telemetry().counter("xfci_ad_hoc_total");\n'
+        '}\n')
+    expect("seeded inline metric name", "bad_metric.cpp",
+           bad_inline_metric, "telemetry", True)
+    expect("seeded inline histogram name", "bad_hist.cpp",
+           'void f() { reg.histogram("xfci_lat_seconds", {}); }\n',
+           "telemetry", True)
+    expect("MetricSpec constant registration passes", "good_metric.cpp",
+           '#include "common/metric_names.hpp"\n'
+           'void f() { auto c = reg.counter(xfci::obs::metric::kGemmCalls); '
+           '}\n',
+           "telemetry", False)
+    expect("comment mention of counter(\"...\") allowed", "doc_metric.cpp",
+           '// never write counter("name") inline\nvoid f();\n',
+           "telemetry", False)
+    expect("metric_names.hpp itself is exempt", "metric_names.hpp",
+           '#pragma once\ninline int counter(const char*);\n'
+           'inline int x = counter("xfci_x_total");\n',
+           "telemetry", False, subdir="common")
 
     # env-read: raw environment access is fenced to src/common/env.*.
     expect("seeded raw getenv", "bad_env.cpp", BAD_GETENV_CPP,
